@@ -1,0 +1,16 @@
+"""Benchmark: the Section 6.4 direct-mapped-vs-fully-associative study."""
+
+from repro.experiments import assoc_study
+
+
+def bench_assoc_study(benchmark, run_once):
+    result = run_once(
+        benchmark,
+        assoc_study.run,
+        n=256,
+        capacities=[1 << k for k in range(8, 18)],
+    )
+    factor = result.comparison(
+        "direct-mapped / fully-associative size factor"
+    ).measured_value
+    assert 1.5 <= factor <= 8.0

@@ -1,0 +1,93 @@
+"""Benchmarks for the extension experiments: prefetchability, cache
+hierarchy design, cost model, scaling study, and the CG blocking
+ablation."""
+
+import pytest
+
+from repro.experiments import (
+    cg_blocking,
+    cost_model,
+    hierarchy_design,
+    prefetch_study,
+    scaling_study,
+)
+from repro.units import KB
+
+
+def bench_prefetch_study(benchmark, run_once):
+    result = run_once(benchmark, prefetch_study.run)
+    assert result.comparison("regular-vs-irregular separation").measured_value > 0
+
+
+def bench_hierarchy_design(benchmark, run_once):
+    result = run_once(benchmark, hierarchy_design.run)
+    for comp in result.comparisons:
+        if "local miss rate" in comp.quantity:
+            assert comp.ratio == pytest.approx(1.0, abs=1e-9)
+
+
+def bench_cost_model(benchmark):
+    result = benchmark(cost_model.run)
+    assert result.comparison(
+        "worst equal-split penalty across applications"
+    ).measured_value < 2.0
+
+
+def bench_scaling_study(benchmark):
+    result = benchmark(scaling_study.run)
+    assert result.comparison("BH MC theta at 1M particles").ratio == pytest.approx(
+        1.0, abs=0.05
+    )
+    assert result.comparison(
+        "BH lev2WS at ~1G particles (MC)"
+    ).measured_value < 300 * KB
+
+
+def bench_cg_blocking(benchmark, run_once):
+    result = run_once(benchmark, cg_blocking.run)
+    assert result.comparison("blocked knee growth (2x n)").measured_value == pytest.approx(
+        1.0, abs=0.5
+    )
+
+
+def bench_bh_phases(benchmark, run_once):
+    from repro.experiments import bh_phases
+
+    result = run_once(benchmark, bh_phases.run, 256)
+    assert result.comparison("build/force sharing-rate ratio").measured_value > 5
+
+
+def bench_cg_unstructured(benchmark):
+    from repro.experiments import cg_unstructured
+
+    result = benchmark(cg_unstructured.run, 32, 8)
+    assert result.comparison(
+        "communication penalty: unstructured / regular"
+    ).measured_value > 1.1
+
+
+def bench_all_cache(benchmark):
+    from repro.experiments import all_cache
+
+    result = benchmark(all_cache.run)
+    assert result.comparison(
+        "all-cache speedup at 256 KB partitions"
+    ).measured_value > 2.0
+
+
+def bench_volrend_stealing(benchmark, run_once):
+    from repro.experiments import volrend_stealing
+
+    result = run_once(benchmark, volrend_stealing.run, 32)
+    coarse = result.comparison("steal fraction, coarse grain").measured_value
+    fine = result.comparison("steal fraction, fine grain").measured_value
+    assert fine > coarse
+
+
+def bench_line_size_study(benchmark, run_once):
+    from repro.experiments import line_size_study
+
+    result = run_once(benchmark, line_size_study.run)
+    assert result.comparison(
+        "streaming vs Barnes-Hut line-size benefit"
+    ).measured_value > 2

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 2 (LU miss rates vs cache size)."""
+
+import pytest
+
+from repro.experiments import fig2_lu
+
+
+def bench_fig2_full(benchmark, run_once):
+    """Analytical full-scale curves + trace validation at n=96."""
+    result = run_once(benchmark, fig2_lu.run, validate_n=96)
+    assert result.comparison("lev2WS (one block, B=16)").ratio == pytest.approx(
+        1.0, abs=0.2
+    )
+    assert result.comparison(
+        "simulated lev2WS knee (reduced problem)"
+    ).ratio == pytest.approx(1.0, abs=0.6)
+
+
+def bench_fig2_analytical_only(benchmark):
+    """The pure-model sweep, cheap enough for repeated timing."""
+    result = benchmark(fig2_lu.run, validate_n=None)
+    assert len(result.curves) == 3

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 4 (CG miss rates vs cache size)."""
+
+import pytest
+
+from repro.experiments import fig4_cg
+
+
+def bench_fig4_full(benchmark, run_once):
+    result = run_once(benchmark, fig4_cg.run, validate_n=128)
+    assert result.comparison(
+        "simulated lev2WS knee (reduced problem)"
+    ).ratio == pytest.approx(1.0, abs=0.6)
+
+
+def bench_fig4_analytical_only(benchmark):
+    result = benchmark(fig4_cg.run, validate_n=None)
+    assert result.comparison("lev1WS, 2-D prototypical").ratio == pytest.approx(
+        1.0, abs=0.5
+    )

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 5 (FFT miss rates vs cache size)."""
+
+import pytest
+
+from repro.experiments import fig5_fft
+
+
+def bench_fig5_full(benchmark, run_once):
+    result = run_once(benchmark, fig5_fft.run, validate_n=2**14)
+    for radix, tolerance in ((2, 0.15), (8, 0.45)):
+        comp = result.comparison(
+            f"simulated plateau, radix-{radix} (reduced problem)"
+        )
+        assert comp.ratio == pytest.approx(1.0, abs=tolerance)
+
+
+def bench_fig5_analytical_only(benchmark):
+    result = benchmark(fig5_fft.run, validate_n=None)
+    assert result.comparison("plateau after lev1WS, radix-2").measured_value == pytest.approx(0.6)

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 6 (Barnes-Hut working sets) — the
+paper's own configuration: 1024 particles, theta=1.0, 4 processors,
+quadrupole moments."""
+
+import pytest
+
+from repro.experiments import fig6_barneshut
+
+
+def bench_fig6_paper_configuration(benchmark, run_once):
+    result = run_once(benchmark, fig6_barneshut.run, n=1024)
+    assert result.comparison("lev2WS (tree data per particle)").ratio == pytest.approx(
+        1.0, abs=0.6
+    )
+    assert result.comparison("communication floor").measured_value < 0.01
+
+
+def bench_fig6_reduced(benchmark, run_once):
+    result = run_once(benchmark, fig6_barneshut.run, n=256)
+    assert result.comparison("miss rate after lev1WS").measured_value < 0.35

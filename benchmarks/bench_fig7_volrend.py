@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 7 (volume rendering working sets)."""
+
+import pytest
+
+from repro.experiments import fig7_volrend
+
+
+def bench_fig7_full(benchmark, run_once):
+    result = run_once(benchmark, fig7_volrend.run, n=48, slope_sizes=(32, 48, 64))
+    assert result.comparison("lev2WS (ray-to-ray reuse)").ratio < 4.0
+    assert result.comparison(
+        "lev2WS growth: linear in n (R^2)"
+    ).measured_value > 0.9
+
+
+def bench_fig7_single_frame(benchmark, run_once):
+    result = run_once(benchmark, fig7_volrend.run, n=32, frames=1, slope_sizes=())
+    assert result.comparison("lev1WS (sample-to-sample reuse)").ratio == pytest.approx(
+        1.0, abs=0.8
+    )

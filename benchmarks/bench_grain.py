@@ -1,0 +1,16 @@
+"""Benchmark: the Sections 3.3-7.3 granularity sweep."""
+
+import pytest
+
+from repro.experiments import grain_sweep
+
+
+def bench_grain_sweep(benchmark):
+    result = benchmark(grain_sweep.run)
+    assert result.comparison("LU ratio, 1 MB grain").ratio == pytest.approx(
+        1.0, abs=0.35
+    )
+    assert result.comparison(
+        "Volume rendering instr/word"
+    ).measured_value == pytest.approx(600.0)
+    assert result.comparison("FFT grain for ratio 100").measured_value > 10 * 1024**4

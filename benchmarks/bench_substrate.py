@@ -1,0 +1,100 @@
+"""Microbenchmarks for the measurement substrate and kernels.
+
+These time the instruments themselves (profiler throughput, cache
+simulation, application kernels) rather than paper artifacts; useful
+for tracking regressions when modifying the simulators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.barnes_hut.bodies import plummer_model
+from repro.apps.barnes_hut.force import compute_accelerations
+from repro.apps.cg.grid import Grid2D
+from repro.apps.cg.solver import conjugate_gradient
+from repro.apps.fft.transform import fft
+from repro.apps.lu.factor import blocked_lu, random_diagonally_dominant
+from repro.apps.volrend.render import render_frame
+from repro.apps.volrend.volume import synthetic_head
+from repro.mem.cache import FullyAssociativeCache
+from repro.mem.multiproc import MultiprocessorMemory
+from repro.mem.setassoc import SetAssociativeCache
+from repro.mem.stack_distance import profile_trace
+from repro.mem.trace import Trace
+
+
+def _random_trace(num_refs=50_000, num_blocks=4096, seed=0):
+    rng = np.random.default_rng(seed)
+    addrs = rng.integers(0, num_blocks, size=num_refs).astype(np.int64) * 8
+    kinds = rng.integers(0, 2, size=num_refs).astype(np.uint8)
+    return Trace(addrs, kinds)
+
+
+def bench_stack_distance_profiler(benchmark):
+    trace = _random_trace()
+    profile = benchmark(profile_trace, trace)
+    assert profile.total == len(trace)
+
+
+def bench_fully_associative_cache(benchmark):
+    trace = _random_trace()
+
+    def run():
+        cache = FullyAssociativeCache(1024 * 8)
+        return cache.run(trace)
+
+    stats = benchmark(run)
+    assert stats.accesses == len(trace)
+
+
+def bench_direct_mapped_cache(benchmark):
+    trace = _random_trace()
+
+    def run():
+        cache = SetAssociativeCache(1024 * 8, associativity=1)
+        return cache.run(trace)
+
+    stats = benchmark(run)
+    assert stats.accesses == len(trace)
+
+
+def bench_multiprocessor_memory(benchmark):
+    traces = [_random_trace(10_000, 1024, seed=s) for s in range(4)]
+
+    def run():
+        mem = MultiprocessorMemory(4, capacity_bytes=256 * 8)
+        return mem.run_traces(traces)
+
+    stats = benchmark(run)
+    assert sum(s.accesses for s in stats) == 40_000
+
+
+def bench_lu_kernel(benchmark):
+    a = random_diagonally_dominant(96, seed=1)
+    packed = benchmark(lambda: blocked_lu(a.copy(), 16))
+    assert packed.shape == (96, 96)
+
+
+def bench_cg_solver(benchmark):
+    grid = Grid2D(48)
+    b = np.random.default_rng(0).standard_normal(grid.num_points)
+    result = benchmark(conjugate_gradient, grid.laplacian_matvec, b, None, 1e-8)
+    assert result.converged
+
+
+def bench_fft_kernel(benchmark):
+    x = np.random.default_rng(0).standard_normal(2**14).astype(complex)
+    out = benchmark(fft, x)
+    np.testing.assert_allclose(out[:4], np.fft.fft(x)[:4], atol=1e-6)
+
+
+def bench_barnes_hut_force_phase(benchmark, run_once):
+    bodies = plummer_model(512, seed=1)
+    acc = run_once(benchmark, compute_accelerations, bodies, 1.0)
+    assert acc.shape == (512, 3)
+
+
+def bench_volume_renderer(benchmark, run_once):
+    volume = synthetic_head(32)
+    image = run_once(benchmark, render_frame, volume, 0.3, 32)
+    assert image.shape == (32, 32)

@@ -1,0 +1,21 @@
+"""Benchmarks: regenerate Table 1 (growth rates) and Table 2 (working
+set sizes and desirable grain sizes)."""
+
+import pytest
+
+from repro.experiments import table1, table2
+from repro.units import MB
+
+
+def bench_table1(benchmark):
+    result = benchmark(table1.run)
+    for comp in result.comparisons:
+        if "exponent" in comp.quantity and "log" not in comp.note:
+            assert comp.ratio == pytest.approx(1.0, abs=0.02)
+
+
+def bench_table2(benchmark):
+    result = benchmark(table2.run)
+    for name in ("LU", "CG", "FFT", "Barnes-Hut", "Volume Rendering"):
+        assert 0.2 < result.comparison(f"{name}: important WS size").ratio < 4.0
+        assert result.comparison(f"{name}: desirable grain").measured_value <= 1.05 * MB

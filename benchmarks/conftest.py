@@ -1,0 +1,19 @@
+"""Benchmark configuration.
+
+Every paper table/figure has a ``bench_*`` target that regenerates it
+(at validated reduced scale where the artifact requires trace
+simulation) and asserts its headline shape, so a benchmark run doubles
+as a reproduction run.  Heavy experiments use one round.
+"""
+
+import pytest
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Run a heavy experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def run_once():
+    return one_shot

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Machine-design explorer: the paper's bottom-line question.
+
+Given a total problem size, how should a machine distribute resources
+between processors, cache and memory?  This sweeps node granularities
+for all five application classes, judges each against the
+communication sustainability bands calibrated from the Intel Paragon
+and CM-5, and prints each application's desirable grain size and cache
+requirement.
+
+Run:  python examples/machine_design.py [total-size, e.g. 4GB]
+"""
+
+import sys
+
+from repro import (
+    CM5,
+    CommunicationPattern,
+    GrainConfig,
+    PARAGON,
+    characterize,
+    format_size,
+)
+from repro.core.report import format_table
+from repro.core.speedup import project_speedup, utilization_summary
+from repro.experiments.table2 import prototypical_models
+from repro.units import GB, parse_size
+
+
+def show_machines() -> None:
+    print("== sustainable ratios on reference machines (Section 2.3) ==")
+    rows = []
+    for machine in (PARAGON, CM5):
+        rows.append(
+            [
+                machine.name,
+                f"{machine.sustainable_ratio(CommunicationPattern.NEAREST_NEIGHBOR):.0f}",
+                f"{machine.sustainable_ratio(CommunicationPattern.GENERAL, 1024):.0f}",
+            ]
+        )
+    print(
+        format_table(
+            ["machine", "nearest-neighbor FLOPs/dw", "general FLOPs/dw"], rows
+        )
+    )
+
+
+def explore(total_bytes: float) -> None:
+    print(f"\n== grain-size exploration for a {format_size(total_bytes)} problem ==")
+    configs = [
+        GrainConfig(total_bytes, p, f"P={p}")
+        for p in (64, 256, 1024, 4096, 16384)
+    ]
+    for model in prototypical_models():
+        result = characterize(model, configs)
+        important = result.working_sets.important_working_set
+        grain = result.desirable_grain
+        print(f"\n{model.name}:")
+        print(f"  important working set: {format_size(important.size_bytes)}"
+              f" ({important.name}; scales as {important.scaling})")
+        for assessment in result.assessments:
+            print(
+                f"    P={assessment.config.num_processors:>6}"
+                f" ({format_size(assessment.config.memory_per_processor):>9}/node):"
+                f" {assessment.flops_per_word:>8.0f} FLOPs/word,"
+                f" {assessment.units_per_processor:>9.0f} {model.load_model.unit_name:<14}"
+                f" -> {assessment.verdict.value}"
+            )
+        print(f"  desirable grain: {format_size(grain.memory_per_processor)}/node"
+              f" ({grain.num_processors} processors)")
+
+
+def project(total_bytes: float) -> None:
+    print(f"\n== projected speedups (Paragon-class network) ==")
+    counts = [64, 256, 1024, 4096, 16384]
+    for model in prototypical_models():
+        pattern = (
+            CommunicationPattern.GENERAL
+            if model.name == "FFT"
+            else CommunicationPattern.NEAREST_NEIGHBOR
+        )
+        points = project_speedup(model, total_bytes, counts, pattern=pattern)
+        print(f"\n{model.name}:")
+        print(utilization_summary(points))
+
+
+def main() -> None:
+    total = parse_size(sys.argv[1]) if len(sys.argv) > 1 else GB
+    show_machines()
+    explore(total)
+    project(total)
+    print(
+        "\nconclusion (Section 9): relatively fine-grained machines, with"
+        "\nlarge numbers of processors and small per-node cache and memory,"
+        "\nare appropriate for all five application classes."
+    )
+
+
+if __name__ == "__main__":
+    main()

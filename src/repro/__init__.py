@@ -1,0 +1,97 @@
+"""repro — a reproduction of Rothberg, Singh & Gupta, "Working Sets,
+Cache Sizes, and Node Granularity Issues for Large-Scale
+Multiprocessors" (ISCA 1993).
+
+The library has three layers:
+
+- :mod:`repro.mem` — the measurement substrate: cache simulators,
+  single-pass stack-distance profiling, and a shared-address-space
+  multiprocessor memory model;
+- :mod:`repro.apps` — the five application classes (dense LU, CG, FFT,
+  Barnes-Hut, volume rendering), each with a numerically validated
+  kernel, a per-processor memory-trace generator, and the paper's
+  analytical model;
+- :mod:`repro.core` — the paper's methodology: working-set hierarchies,
+  knee detection, MC/TC scaling, and grain-size analysis.
+
+Quick start::
+
+    from repro import profile_trace, MissRateCurve, default_capacity_grid
+    from repro.apps.lu import LUTraceGenerator
+
+    gen = LUTraceGenerator(n=96, block_size=8, num_processors=4)
+    trace = gen.trace_for_processor(0)
+    profile = profile_trace(trace)
+    curve = MissRateCurve.from_profile(
+        profile, default_capacity_grid(), metric="misses_per_flop",
+        flops=gen.flops,
+    )
+    for knee in curve.knees():
+        print(knee)
+"""
+
+from repro.core import (
+    CM5,
+    CommunicationPattern,
+    GrainConfig,
+    Knee,
+    MachineSpec,
+    MemoryConstrainedScaling,
+    MissRateCurve,
+    PARAGON,
+    SustainabilityBand,
+    TimeConstrainedScaling,
+    WorkingSet,
+    WorkingSetHierarchy,
+    classify_ratio,
+    find_knees,
+    prototypical_configs,
+)
+from repro.core.analysis import ApplicationModel, Characterization, characterize
+from repro.mem import (
+    Access,
+    AddressSpace,
+    FullyAssociativeCache,
+    MultiprocessorMemory,
+    SetAssociativeCache,
+    StackDistanceProfiler,
+    Trace,
+)
+from repro.mem.stack_distance import default_capacity_grid, profile_trace
+from repro.units import GB, KB, MB, format_size
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Access",
+    "AddressSpace",
+    "ApplicationModel",
+    "CM5",
+    "Characterization",
+    "CommunicationPattern",
+    "FullyAssociativeCache",
+    "GB",
+    "GrainConfig",
+    "KB",
+    "Knee",
+    "MB",
+    "MachineSpec",
+    "MemoryConstrainedScaling",
+    "MissRateCurve",
+    "MultiprocessorMemory",
+    "PARAGON",
+    "SetAssociativeCache",
+    "StackDistanceProfiler",
+    "SustainabilityBand",
+    "TimeConstrainedScaling",
+    "Trace",
+    "WorkingSet",
+    "WorkingSetHierarchy",
+    "characterize",
+    "classify_ratio",
+    "default_capacity_grid",
+    "find_knees",
+    "format_size",
+    "profile_trace",
+    "prototypical_configs",
+]

@@ -1,0 +1,16 @@
+"""The five application classes studied by the paper (Sections 3-7).
+
+Each subpackage provides three layers:
+
+- a **kernel**: a real, numerically validated implementation of the
+  computation (blocked LU, CG, radix-r FFT, Barnes-Hut, ray-cast volume
+  rendering),
+- a **trace generator**: the same computation instrumented to emit the
+  per-processor double-word memory reference stream that the paper's
+  cache simulations consume, and
+- a **model**: the paper's analytical working-set / communication /
+  grain-size formulas, exposed as an
+  :class:`repro.core.analysis.ApplicationModel`.
+"""
+
+__all__ = ["lu", "cg", "fft", "barnes_hut", "volrend"]

@@ -1,0 +1,29 @@
+"""Hierarchical N-body: the Barnes-Hut method (paper Section 6).
+
+A 3-D galactic simulation: bodies are inserted into an octree whose
+internal cells carry centers of mass and quadrupole moments; the force
+on each body is computed by a tree walk that opens a cell when
+``l/d >= theta`` and otherwise interacts with its multipole
+approximation.
+"""
+
+from repro.apps.barnes_hut.bodies import BodySet, plummer_model, uniform_cube
+from repro.apps.barnes_hut.force import compute_accelerations, direct_sum
+from repro.apps.barnes_hut.model import BarnesHutModel
+from repro.apps.barnes_hut.octree import Octree
+from repro.apps.barnes_hut.partition import morton_partition
+from repro.apps.barnes_hut.simulate import Simulation
+from repro.apps.barnes_hut.trace import BarnesHutTraceGenerator
+
+__all__ = [
+    "BarnesHutModel",
+    "BarnesHutTraceGenerator",
+    "BodySet",
+    "Octree",
+    "Simulation",
+    "compute_accelerations",
+    "direct_sum",
+    "morton_partition",
+    "plummer_model",
+    "uniform_cube",
+]

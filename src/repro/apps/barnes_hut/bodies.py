@@ -1,0 +1,115 @@
+"""Body sets and initial-condition generators for N-body simulation.
+
+The paper's example is a galactic simulation; the Plummer model is the
+standard initial distribution for such studies (and is what the SPLASH
+BARNES application ships with).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class BodySet:
+    """A structure-of-arrays collection of bodies.
+
+    Attributes:
+        positions: (n, 3) float64.
+        velocities: (n, 3) float64.
+        masses: (n,) float64.
+        accelerations: (n, 3) float64 scratch, filled by force phases.
+    """
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    masses: np.ndarray
+    accelerations: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        n = self.positions.shape[0]
+        if self.positions.shape != (n, 3):
+            raise ValueError("positions must be (n, 3)")
+        if self.velocities.shape != (n, 3):
+            raise ValueError("velocities must be (n, 3)")
+        if self.masses.shape != (n,):
+            raise ValueError("masses must be (n,)")
+        if self.accelerations is None:
+            self.accelerations = np.zeros((n, 3))
+
+    def __len__(self) -> int:
+        return int(self.positions.shape[0])
+
+    @property
+    def total_mass(self) -> float:
+        return float(self.masses.sum())
+
+    def kinetic_energy(self) -> float:
+        return float(
+            0.5 * (self.masses * (self.velocities**2).sum(axis=1)).sum()
+        )
+
+    def potential_energy(self, gravitational_constant: float = 1.0, softening: float = 0.0) -> float:
+        """Exact O(n^2) potential energy (for conservation tests)."""
+        pos = self.positions
+        total = 0.0
+        n = len(self)
+        for i in range(n):
+            delta = pos[i + 1 :] - pos[i]
+            dist = np.sqrt((delta**2).sum(axis=1) + softening**2)
+            total -= gravitational_constant * float(
+                (self.masses[i] * self.masses[i + 1 :] / dist).sum()
+            )
+        return total
+
+    def bounding_cube(self, padding: float = 1e-6) -> tuple:
+        """(center, half_size) of the smallest cube containing all bodies."""
+        lo = self.positions.min(axis=0)
+        hi = self.positions.max(axis=0)
+        center = 0.5 * (lo + hi)
+        half = float((hi - lo).max()) * 0.5 + padding
+        return center, half
+
+
+def plummer_model(n: int, seed: int = 0, total_mass: float = 1.0) -> BodySet:
+    """Sample ``n`` bodies from a Plummer sphere (Aarseth et al. 1974
+    rejection method), the standard galactic initial condition."""
+    rng = np.random.default_rng(seed)
+    masses = np.full(n, total_mass / n)
+    # Radii from the inverse CDF of the Plummer profile.
+    u = rng.uniform(1e-10, 1 - 1e-10, size=n)
+    radii = (u ** (-2.0 / 3.0) - 1.0) ** -0.5
+    radii = np.minimum(radii, 10.0)  # clip the rare far outliers
+    positions = _random_directions(rng, n) * radii[:, None]
+    # Velocities by von Neumann rejection against q^2 (1-q^2)^(7/2).
+    velocities = np.empty((n, 3))
+    escape = np.sqrt(2.0) * (1.0 + radii**2) ** -0.25
+    for i in range(n):
+        while True:
+            q = rng.uniform(0.0, 1.0)
+            g = q * q * (1.0 - q * q) ** 3.5
+            if rng.uniform(0.0, 0.1) < g:
+                break
+        speed = q * escape[i]
+        velocities[i] = _random_directions(rng, 1)[0] * speed
+    return BodySet(positions=positions, velocities=velocities, masses=masses)
+
+
+def uniform_cube(n: int, seed: int = 0, total_mass: float = 1.0) -> BodySet:
+    """Bodies uniformly distributed in the unit cube, at rest."""
+    rng = np.random.default_rng(seed)
+    return BodySet(
+        positions=rng.uniform(0.0, 1.0, size=(n, 3)),
+        velocities=np.zeros((n, 3)),
+        masses=np.full(n, total_mass / n),
+    )
+
+
+def _random_directions(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Unit vectors uniform on the sphere."""
+    v = rng.standard_normal((n, 3))
+    norm = np.linalg.norm(v, axis=1, keepdims=True)
+    norm[norm == 0] = 1.0
+    return v / norm

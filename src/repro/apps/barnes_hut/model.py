@@ -1,0 +1,270 @@
+"""Analytical model for the Barnes-Hut method (paper Section 6).
+
+Working sets (Section 6.2):
+
+- lev1WS: interaction scratch, ~0.7 KB, independent of n, P and theta.
+- lev2WS: the tree data needed to compute the force on one particle,
+  reused across successive particles under a locality-preserving
+  partition.  Size ``~ (1/theta^2) log n`` with a constant of about
+  6 KB (so 32 KB at n=64K, theta=1; ~20 KB at n=1024).  **The important
+  working set.**
+- lev3WS: max(partition data, data needed for the partition's forces).
+
+Scaling rule (Section 6.2): when n is scaled by s under realistic
+error-balanced scaling, ``theta ~ s^(-1/8)`` (quadrupole) and
+``dt ~ s^(-1/2)``, with theta clamped near 0.5 where octopole moments
+take over.
+
+Grain size (Section 6.3): communication per processor scales as
+``n^(1/3) theta^3 / p^(1/3) * log^(4/3) p``; the communication-to-
+computation ratio as ``theta (p/n)^(2/3) log^(4/3)p / log n``, with one
+computation unit ~80 instructions and one communication unit 3 double
+words.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.analysis import ApplicationModel
+from repro.core.grain import GrainConfig, LoadBalanceModel
+from repro.core.scaling import solve_monotone
+from repro.core.working_set import WorkingSet, WorkingSetHierarchy
+from repro.units import KB
+
+#: Bytes of data per particle with quadrupole moments (Section 6.2).
+BYTES_PER_PARTICLE = 230.0
+#: The lev2WS constant of proportionality (Section 6.2: "about 6 Kbytes").
+LEV2_CONSTANT_BYTES = 6.0 * KB
+#: Instructions per particle-particle/particle-cell interaction.
+INSTRUCTIONS_PER_INTERACTION = 80.0
+#: Double words per communication unit.
+DOUBLEWORDS_PER_COMM_UNIT = 3.0
+#: Calibration constant for the curve-fitted communication volume.
+COMM_CONSTANT = 0.75
+#: Below this theta, octopole moments are used instead of reducing
+#: theta further (Section 6.2).
+THETA_FLOOR = 0.5
+
+
+class BarnesHutModel(ApplicationModel):
+    """Section-6 formulas for one (n, theta, p) problem instance.
+
+    Args:
+        n: Number of particles.  Default: the paper's realistic 64K
+            particle baseline.
+        theta: Accuracy parameter.
+        num_processors: Machine size.
+    """
+
+    name = "Barnes-Hut"
+    metric = "read_miss_rate"
+    #: Particles per processor; the paper judges 4500/processor easily
+    #: balanced and ~280/processor the point where "load balancing may
+    #: become a problem".
+    load_model = LoadBalanceModel(
+        unit_name="particles", good_threshold=1000, poor_threshold=64
+    )
+
+    def __init__(
+        self, n: int = 65536, theta: float = 1.0, num_processors: int = 64
+    ) -> None:
+        if n < 2:
+            raise ValueError("need at least two particles")
+        if not 0.1 <= theta <= 2.0:
+            raise ValueError("theta outside the physically used range")
+        self.n = n
+        self.theta = theta
+        self.num_processors = num_processors
+
+    @classmethod
+    def for_dataset(
+        cls, dataset_bytes: float, theta: float = 1.0, num_processors: int = 1024
+    ) -> "BarnesHutModel":
+        """The problem with ~dataset_bytes of particle + tree data
+        (230 bytes/particle); 1 GB -> ~4.5M particles."""
+        n = int(dataset_bytes / BYTES_PER_PARTICLE)
+        return cls(n=n, theta=theta, num_processors=num_processors)
+
+    # -- problem shape --------------------------------------------------------
+
+    @property
+    def dataset_bytes(self) -> float:
+        return self.n * BYTES_PER_PARTICLE
+
+    def concurrency(self) -> float:
+        """Independent force computations (Table 1: ~ n particles)."""
+        return float(self.n)
+
+    def interactions_per_particle(self) -> float:
+        """``~ (1/theta^2) log2 n`` (Hernquist 1988), with an O(1)
+        constant calibrated against our trace measurements."""
+        return 4.0 / self.theta**2 * math.log2(self.n)
+
+    def work_instructions(self) -> float:
+        """Force-phase instructions per time-step."""
+        return (
+            self.n
+            * self.interactions_per_particle()
+            * INSTRUCTIONS_PER_INTERACTION
+        )
+
+    # -- working sets (Section 6.2) ---------------------------------------------
+
+    def lev1_bytes(self) -> float:
+        """Interaction scratch: ~0.7 KB, invariant."""
+        return 0.7 * KB
+
+    def lev2_bytes(self) -> float:
+        """``~6 KB * (1/theta^2) * log10(n)`` — 32 KB at (64K, 1.0)."""
+        return LEV2_CONSTANT_BYTES / self.theta**2 * math.log10(self.n)
+
+    def lev3_bytes(self) -> float:
+        """Roughly max(partition size, data the partition's forces touch)."""
+        partition = self.dataset_bytes / self.num_processors
+        touched = 1.5 * partition + self.lev2_bytes()
+        return max(partition, touched)
+
+    def communication_miss_rate(self) -> float:
+        """Read miss rate with an infinite cache (~0.2% for the paper's
+        1024-particle, 4-processor Figure 6 problem)."""
+        ratio = self.comm_to_comp_ratio(self.n, self.num_processors, self.theta)
+        # Misses per read: one communication unit is 3 double words out
+        # of ~55 reads per interaction's ~80 instructions.
+        reads_per_interaction = 55.0
+        return min(
+            1.0,
+            ratio * DOUBLEWORDS_PER_COMM_UNIT / reads_per_interaction
+        )
+
+    def miss_rate_model(self, cache_bytes: float) -> float:
+        """Read-miss-rate plateaus for the Figure 6 shape."""
+        floor = max(self.communication_miss_rate(), 0.002)
+        if cache_bytes >= self.lev3_bytes():
+            return floor
+        if cache_bytes >= self.lev2_bytes():
+            return max(0.01, floor)
+        if cache_bytes >= self.lev1_bytes():
+            return 0.20
+        return 1.0
+
+    def working_sets(self) -> WorkingSetHierarchy:
+        hierarchy = WorkingSetHierarchy(
+            application=self.name,
+            problem=(
+                f"n={self.n}, theta={self.theta}, P={self.num_processors},"
+                " quadrupole moments"
+            ),
+            dataset_bytes=self.dataset_bytes,
+            per_processor_bytes=self.dataset_bytes / self.num_processors,
+        )
+        hierarchy.add(
+            WorkingSet(
+                level=1,
+                name="interaction scratch storage",
+                size_bytes=self.lev1_bytes(),
+                miss_rate_after=0.20,
+                scaling="const",
+            )
+        )
+        hierarchy.add(
+            WorkingSet(
+                level=2,
+                name="tree data to compute the force on one particle",
+                size_bytes=self.lev2_bytes(),
+                miss_rate_after=max(0.01, self.communication_miss_rate()),
+                important=True,
+                scaling="(1/theta^2) log n",
+            )
+        )
+        hierarchy.add(
+            WorkingSet(
+                level=3,
+                name="max(partition data, data the partition's forces need)",
+                size_bytes=self.lev3_bytes(),
+                miss_rate_after=max(self.communication_miss_rate(), 0.002),
+                scaling="n/p",
+            )
+        )
+        return hierarchy
+
+    # -- scaling (Section 6.2) -----------------------------------------------------
+
+    def scaled_theta(self, scale: float) -> float:
+        """``theta * s^(-1/8)``, clamped at the octopole floor."""
+        return max(THETA_FLOOR, self.theta * scale ** (-1.0 / 8.0))
+
+    def mc_scaled(self, num_processors: int) -> "BarnesHutModel":
+        """Memory-constrained scaling: n grows linearly with p; theta
+        follows the error-balanced rule."""
+        scale = num_processors / self.num_processors
+        return BarnesHutModel(
+            n=int(self.n * scale),
+            theta=self.scaled_theta(scale),
+            num_processors=num_processors,
+        )
+
+    def tc_scaled(self, num_processors: int) -> "BarnesHutModel":
+        """Time-constrained scaling: solve for the particle-count scale
+        ``s`` that keeps the per-step force time constant, given
+        ``theta ~ s^(-1/8)`` and ``dt ~ s^(-1/2)`` (more steps per unit
+        physical time)."""
+        p_ratio = num_processors / self.num_processors
+
+        def time_growth(scale: float) -> float:
+            theta = self.scaled_theta(scale)
+            work = (
+                (self.theta / theta) ** 2
+                * scale
+                * math.log2(scale * self.n)
+                / math.log2(self.n)
+            )
+            steps = math.sqrt(scale)
+            return work * steps
+
+        scale = solve_monotone(time_growth, p_ratio, lo=1.0, hi=2.0)
+        return BarnesHutModel(
+            n=int(self.n * scale),
+            theta=self.scaled_theta(scale),
+            num_processors=num_processors,
+        )
+
+    # -- grain size (Section 6.3) -------------------------------------------------
+
+    @staticmethod
+    def comm_to_comp_ratio(n: float, p: float, theta: float) -> float:
+        """Communication units per computation unit:
+        ``theta (p/n)^(2/3) log^(4/3)p / log n`` (curve fit from Salmon
+        1990 and the authors')."""
+        if p <= 1:
+            return 0.0
+        return (
+            COMM_CONSTANT
+            * theta
+            * (p / n) ** (2.0 / 3.0)
+            * math.log2(p) ** (4.0 / 3.0)
+            / math.log2(n)
+        )
+
+    def flops_per_word(self, config: GrainConfig) -> float:
+        """Instructions per double word of communication (the paper
+        treats instructions and FLOPs interchangeably here)."""
+        n = config.total_data_bytes / BYTES_PER_PARTICLE
+        ratio = self.comm_to_comp_ratio(n, config.num_processors, self.theta)
+        if ratio == 0.0:
+            return float("inf")
+        return INSTRUCTIONS_PER_INTERACTION / (
+            ratio * DOUBLEWORDS_PER_COMM_UNIT
+        )
+
+    def units_per_processor(self, config: GrainConfig) -> float:
+        n = config.total_data_bytes / BYTES_PER_PARTICLE
+        return n / config.num_processors
+
+    def grain_notes(self, config: GrainConfig) -> str:
+        if config.num_processors >= 4096:
+            return (
+                "tree build and moment phases scale worse than the force"
+                " phase and may bound very fine grains (Section 6.4)"
+            )
+        return ""

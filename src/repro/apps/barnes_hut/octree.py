@@ -1,0 +1,196 @@
+"""The Barnes-Hut octree.
+
+The root cell is a cube containing all bodies; internal cells are
+recursively subdivided space cells; leaves hold individual bodies.
+After construction, :meth:`Octree.compute_moments` fills every cell's
+total mass, center of mass and (optionally) traceless quadrupole
+moment, bottom-up — the paper assumes quadrupole moments are used
+(Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.apps.barnes_hut.bodies import BodySet
+
+
+@dataclass
+class Cell:
+    """One octree cell.
+
+    Attributes:
+        center: Geometric center of the cube.
+        half_size: Half the cube's side length.
+        body_index: The single body held, for leaf cells; -1 otherwise.
+        children: Eight child slots (None where empty), for internal
+            cells; empty list for leaves.
+        mass: Total mass beneath this cell (after compute_moments).
+        com: Center of mass (after compute_moments).
+        quad: 3x3 traceless quadrupole tensor about the center of mass.
+        count: Number of bodies beneath this cell.
+        index: Stable id assigned in construction order (used by the
+            trace generator for addressing).
+    """
+
+    center: np.ndarray
+    half_size: float
+    body_index: int = -1
+    children: List[Optional["Cell"]] = field(default_factory=list)
+    mass: float = 0.0
+    com: np.ndarray = None  # type: ignore[assignment]
+    quad: np.ndarray = None  # type: ignore[assignment]
+    count: int = 0
+    index: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def side(self) -> float:
+        return 2.0 * self.half_size
+
+    def octant_of(self, position: np.ndarray) -> int:
+        """Which of the eight children would hold ``position``."""
+        octant = 0
+        for axis in range(3):
+            if position[axis] >= self.center[axis]:
+                octant |= 1 << axis
+        return octant
+
+    def child_center(self, octant: int) -> np.ndarray:
+        offset = np.array(
+            [
+                self.half_size / 2 if (octant >> axis) & 1 else -self.half_size / 2
+                for axis in range(3)
+            ]
+        )
+        return self.center + offset
+
+
+class Octree:
+    """A Barnes-Hut octree over a :class:`BodySet`.
+
+    Args:
+        bodies: The body set to index.
+        max_depth: Safety bound against coincident bodies.
+    """
+
+    def __init__(self, bodies: BodySet, max_depth: int = 64) -> None:
+        self.bodies = bodies
+        self.max_depth = max_depth
+        center, half = bodies.bounding_cube()
+        self._cells: List[Cell] = []
+        #: Per body, the cell indices visited while inserting it —
+        #: consumed by the tree-build trace generator.
+        self.insertion_paths: List[List[int]] = [[] for _ in range(len(bodies))]
+        self.root = self._new_cell(np.asarray(center, dtype=float), float(half))
+        for i in range(len(bodies)):
+            self._insert(self.root, i, depth=0)
+        self.moments_ready = False
+
+    def _new_cell(self, center: np.ndarray, half_size: float) -> Cell:
+        cell = Cell(center=center, half_size=half_size, index=len(self._cells))
+        self._cells.append(cell)
+        return cell
+
+    @property
+    def num_cells(self) -> int:
+        return len(self._cells)
+
+    @property
+    def cells(self) -> List[Cell]:
+        return self._cells
+
+    def _insert(self, cell: Cell, body_index: int, depth: int) -> None:
+        if depth > self.max_depth:
+            raise RuntimeError(
+                "octree too deep; coincident bodies or degenerate input"
+            )
+        self.insertion_paths[body_index].append(cell.index)
+        position = self.bodies.positions[body_index]
+        if cell.is_leaf and cell.body_index < 0 and cell.count == 0:
+            cell.body_index = body_index
+            cell.count = 1
+            return
+        if cell.is_leaf:
+            # Split: push the resident body down.
+            resident = cell.body_index
+            cell.body_index = -1
+            cell.children = [None] * 8
+            self._insert_into_child(cell, resident, depth)
+        self._insert_into_child(cell, body_index, depth)
+        cell.count += 1
+
+    def _insert_into_child(self, cell: Cell, body_index: int, depth: int) -> None:
+        position = self.bodies.positions[body_index]
+        octant = cell.octant_of(position)
+        child = cell.children[octant]
+        if child is None:
+            child = self._new_cell(cell.child_center(octant), cell.half_size / 2)
+            cell.children[octant] = child
+        self._insert(child, body_index, depth + 1)
+
+    def compute_moments(self, quadrupole: bool = True) -> None:
+        """Fill mass, center of mass and quadrupole for every cell."""
+        self._compute_moments(self.root, quadrupole)
+        self.moments_ready = True
+
+    def _compute_moments(self, cell: Cell, quadrupole: bool) -> None:
+        if cell.is_leaf:
+            if cell.body_index >= 0:
+                cell.mass = float(self.bodies.masses[cell.body_index])
+                cell.com = self.bodies.positions[cell.body_index].copy()
+            else:
+                cell.mass = 0.0
+                cell.com = cell.center.copy()
+            cell.quad = np.zeros((3, 3))
+            return
+        mass = 0.0
+        weighted = np.zeros(3)
+        for child in cell.children:
+            if child is None:
+                continue
+            self._compute_moments(child, quadrupole)
+            mass += child.mass
+            weighted += child.mass * child.com
+        cell.mass = mass
+        cell.com = weighted / mass if mass > 0 else cell.center.copy()
+        cell.quad = np.zeros((3, 3))
+        if quadrupole and mass > 0:
+            for child in cell.children:
+                if child is None or child.mass == 0:
+                    continue
+                # Parallel-axis accumulation of the traceless quadrupole.
+                d = child.com - cell.com
+                r2 = float(d @ d)
+                cell.quad += child.quad + child.mass * (
+                    3.0 * np.outer(d, d) - r2 * np.eye(3)
+                )
+        cell.count = sum(c.count for c in cell.children if c is not None)
+
+    def walk(self) -> Iterator[Cell]:
+        """Pre-order traversal of all cells."""
+        stack = [self.root]
+        while stack:
+            cell = stack.pop()
+            yield cell
+            for child in cell.children:
+                if child is not None:
+                    stack.append(child)
+
+    def depth(self) -> int:
+        """Maximum depth of the tree."""
+        best = 0
+        stack = [(self.root, 0)]
+        while stack:
+            cell, d = stack.pop()
+            best = max(best, d)
+            for child in cell.children:
+                if child is not None:
+                    stack.append((child, d + 1))
+        return best

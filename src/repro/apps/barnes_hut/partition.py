@@ -1,0 +1,86 @@
+"""Partitioning bodies among processors.
+
+The paper notes that "if the partitioning of particles among processors
+is done appropriately, most of these data will be reused in computing
+the forces on successive particles" (Section 6.2).  We use Morton
+(Z-order) curve partitioning: sort bodies along a space-filling curve
+and give each processor a contiguous range — a practical approximation
+of the costzones scheme of Singh et al. that preserves the spatial
+locality the lev2WS measurement depends on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.apps.barnes_hut.bodies import BodySet
+
+
+def morton_key(position: np.ndarray, lo: np.ndarray, inv_extent: np.ndarray, bits: int = 10) -> int:
+    """Interleaved-bits Morton key of one 3-D position."""
+    scale = (1 << bits) - 1
+    coords = np.clip(((position - lo) * inv_extent * scale).astype(np.int64), 0, scale)
+    key = 0
+    for bit in range(bits):
+        for axis in range(3):
+            key |= ((int(coords[axis]) >> bit) & 1) << (3 * bit + axis)
+    return key
+
+
+def morton_order(bodies: BodySet, bits: int = 10) -> np.ndarray:
+    """Body indices sorted along the Morton curve."""
+    lo = bodies.positions.min(axis=0)
+    hi = bodies.positions.max(axis=0)
+    extent = np.maximum(hi - lo, 1e-12)
+    inv_extent = 1.0 / extent
+    keys = np.array(
+        [morton_key(p, lo, inv_extent, bits) for p in bodies.positions],
+        dtype=np.int64,
+    )
+    return np.argsort(keys, kind="stable")
+
+
+def morton_partition(bodies: BodySet, num_processors: int) -> List[np.ndarray]:
+    """Split bodies into ``num_processors`` equal contiguous Morton
+    ranges.  Returns one index array per processor."""
+    if num_processors < 1:
+        raise ValueError("need at least one processor")
+    order = morton_order(bodies)
+    return [np.asarray(chunk) for chunk in np.array_split(order, num_processors)]
+
+
+def costzone_partition(
+    bodies: BodySet, costs: np.ndarray, num_processors: int
+) -> List[np.ndarray]:
+    """Costzones partitioning (Singh et al.): split the Morton order by
+    *cumulative work* rather than body count.
+
+    ``costs`` is the per-body work estimate — in Barnes-Hut, the
+    interaction count of the previous time-step, which the costzones
+    scheme exploits because the distribution changes slowly between
+    steps.  Each processor receives a contiguous Morton range of
+    approximately equal total cost, preserving both balance and the
+    spatial locality the lev2WS measurement relies on.
+    """
+    if num_processors < 1:
+        raise ValueError("need at least one processor")
+    costs = np.asarray(costs, dtype=float)
+    if costs.shape != (len(bodies),):
+        raise ValueError("need one cost per body")
+    if np.any(costs < 0):
+        raise ValueError("costs must be non-negative")
+    order = morton_order(bodies)
+    cumulative = np.cumsum(costs[order])
+    total = float(cumulative[-1]) if len(cumulative) else 0.0
+    if total == 0.0:
+        return morton_partition(bodies, num_processors)
+    boundaries = [
+        int(np.searchsorted(cumulative, total * k / num_processors))
+        for k in range(1, num_processors)
+    ]
+    return [
+        np.asarray(chunk)
+        for chunk in np.split(order, boundaries)
+    ]

@@ -1,0 +1,250 @@
+"""Memory-reference trace generator for the Barnes-Hut force phase.
+
+Emits one processor's double-word reference stream while it computes
+forces on its (Morton-contiguous) partition of bodies.  The traced data
+structures:
+
+- **body records**: position (3 dw), velocity (3 dw), mass (1 dw),
+  acceleration (3 dw) — 80 bytes per body;
+- **cell records**: center of mass (3 dw), mass (1 dw), quadrupole
+  (6 dw), child pointers (4 dw), geometry (2 dw) — 128 bytes per cell;
+- **interaction scratch**: a ~0.6 KB temporary region read and written
+  by every particle-particle / particle-cell interaction.  This is the
+  paper's lev1WS ("the amount of temporary storage used to compute an
+  interaction ... about 0.7 Kbytes"); caching it takes the read miss
+  rate from ~100% to ~20%, with the remaining misses going to tree
+  data that only the lev2WS captures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.apps.barnes_hut.bodies import BodySet
+from repro.apps.barnes_hut.force import WalkStats, accelerate_body
+from repro.apps.barnes_hut.octree import Cell, Octree
+from repro.apps.barnes_hut.partition import morton_partition
+from repro.mem.address import AddressSpace
+from repro.mem.trace import Trace, TraceBuilder
+from repro.units import DOUBLE_WORD
+
+#: Double words per body record (pos 3 + vel 3 + mass 1 + acc 3).
+BODY_DOUBLEWORDS = 10
+#: Double words per cell record (com 3 + mass 1 + quad 6 + children 4 + misc 2).
+CELL_DOUBLEWORDS = 16
+#: Double words of interaction scratch (the lev1WS; ~0.6 KB).
+SCRATCH_DOUBLEWORDS = 48
+
+
+class BarnesHutTraceGenerator:
+    """Trace generator for one force-computation phase.
+
+    Args:
+        bodies: The body set (tree is built once at construction).
+        theta: Opening-angle parameter.
+        num_processors: Machine size (bodies are Morton-partitioned).
+        quadrupole: Trace quadrupole reads for accepted cells.
+    """
+
+    def __init__(
+        self,
+        bodies: BodySet,
+        theta: float = 1.0,
+        num_processors: int = 4,
+        quadrupole: bool = True,
+    ) -> None:
+        self.bodies = bodies
+        self.theta = theta
+        self.num_processors = num_processors
+        self.quadrupole = quadrupole
+        self.tree = Octree(bodies)
+        self.tree.compute_moments(quadrupole=quadrupole)
+        self.partitions = morton_partition(bodies, num_processors)
+        self.space = AddressSpace()
+        self.body_region = self.space.allocate_array(
+            "bodies", len(bodies) * BODY_DOUBLEWORDS
+        )
+        self.cell_region = self.space.allocate_array(
+            "cells", self.tree.num_cells * CELL_DOUBLEWORDS
+        )
+        # One private scratch buffer per processor: interaction
+        # temporaries are thread-local state, never shared.
+        self.scratch_regions = [
+            self.space.allocate_array(
+                f"interaction scratch p{pid}", SCRATCH_DOUBLEWORDS
+            )
+            for pid in range(num_processors)
+        ]
+        self.scratch = self.scratch_regions[0]
+        self.stats = WalkStats()
+
+    # -- addressing ---------------------------------------------------------
+
+    def _body_addr(self, body: int, field_offset: int) -> int:
+        return self.body_region.element(body * BODY_DOUBLEWORDS + field_offset)
+
+    def _cell_addr(self, cell: Cell, field_offset: int) -> int:
+        return self.cell_region.element(cell.index * CELL_DOUBLEWORDS + field_offset)
+
+    # -- emission helpers -----------------------------------------------------
+
+    def _read_body_position(self, tb: TraceBuilder, body: int) -> None:
+        for offset in range(3):
+            tb.read(self._body_addr(body, offset))
+
+    def _read_cell_com_mass(self, tb: TraceBuilder, cell: Cell) -> None:
+        for offset in range(4):
+            tb.read(self._cell_addr(cell, offset))
+
+    def _read_cell_quad(self, tb: TraceBuilder, cell: Cell) -> None:
+        for offset in range(4, 10):
+            tb.read(self._cell_addr(cell, offset))
+
+    def _read_cell_children(self, tb: TraceBuilder, cell: Cell) -> None:
+        for offset in range(10, 14):
+            tb.read(self._cell_addr(cell, offset))
+
+    def _interaction_scratch(self, tb: TraceBuilder) -> None:
+        """Every interaction churns the scratch buffer: read the whole
+        region, write half of it back."""
+        for i in range(SCRATCH_DOUBLEWORDS):
+            tb.read(self.scratch.element(i))
+        for i in range(0, SCRATCH_DOUBLEWORDS, 2):
+            tb.write(self.scratch.element(i))
+
+    # -- trace ---------------------------------------------------------------
+
+    def trace_for_processor(self, pid: int) -> Trace:
+        """Trace processor ``pid`` computing forces on its partition."""
+        if not 0 <= pid < self.num_processors:
+            raise IndexError("processor id out of range")
+        tb = TraceBuilder()
+        self.stats = WalkStats()
+        self.scratch = self.scratch_regions[pid]
+
+        def visit(cell: Cell, event: str) -> None:
+            if event == "open":
+                self._read_cell_com_mass(tb, cell)
+                self._read_cell_children(tb, cell)
+            elif event == "accept":
+                self._read_cell_com_mass(tb, cell)
+                if self.quadrupole:
+                    self._read_cell_quad(tb, cell)
+                self._interaction_scratch(tb)
+            else:  # body-body
+                self._read_body_position(tb, cell.body_index)
+                tb.read(self._body_addr(cell.body_index, 6))  # mass
+                self._interaction_scratch(tb)
+
+        for body in self.partitions[pid]:
+            body = int(body)
+            self._read_body_position(tb, body)
+            accelerate_body(
+                self.tree,
+                body,
+                self.theta,
+                quadrupole=self.quadrupole,
+                stats=self.stats,
+                visit=visit,
+            )
+            for offset in range(7, 10):  # acceleration write-back
+                tb.write(self._body_addr(body, offset))
+        return tb.build()
+
+    # -- other phases (Section 6.4) ---------------------------------------
+
+    def _body_owner(self, body: int) -> int:
+        if not hasattr(self, "_owner_of_body"):
+            owners = {}
+            for pid, part in enumerate(self.partitions):
+                for b in part:
+                    owners[int(b)] = pid
+            self._owner_of_body = owners
+        return self._owner_of_body[body]
+
+    def cell_owner(self, cell: Cell) -> int:
+        """The processor responsible for a cell in the parallel build:
+        the owner of the first body beneath it (leaves: the resident
+        body's owner)."""
+        node = cell
+        while not node.is_leaf:
+            node = next(c for c in node.children if c is not None)
+        if node.body_index >= 0:
+            return self._body_owner(node.body_index)
+        return 0
+
+    def build_trace_for_processor(self, pid: int) -> Trace:
+        """Trace of the tree-build phase: processor ``pid`` inserts its
+        bodies, walking root-to-leaf and updating child pointers.
+
+        The upper tree cells are traversed (and, near the root, written)
+        by every processor — the contention the paper cites when noting
+        that "building the octree ... do[es] not yield quite as good
+        speedups" (Section 6.4).
+        """
+        tb = TraceBuilder()
+        cells = self.tree.cells
+        for body in self.partitions[pid]:
+            body = int(body)
+            self._read_body_position(tb, body)
+            path = self.tree.insertion_paths[body]
+            for step, cell_index in enumerate(path):
+                cell = cells[cell_index]
+                self._read_cell_children(tb, cell)
+                # Every traversed cell's body count is read-modify-
+                # written (as in the sequential algorithm) — the shared
+                # upper-tree updates behind the phase's poor scaling.
+                tb.read(self._cell_addr(cell, 14))
+                tb.write(self._cell_addr(cell, 14))
+                if step == len(path) - 1:
+                    # Install the body / split the leaf: update pointers.
+                    for offset in range(10, 14):
+                        tb.write(self._cell_addr(cell, offset))
+        return tb.build()
+
+    def moments_trace_for_processor(self, pid: int) -> Trace:
+        """Trace of the moment-computation phase: processor ``pid``
+        computes mass/center-of-mass/quadrupole for the cells it owns,
+        reading its children's records (which other processors wrote)."""
+        tb = TraceBuilder()
+        for cell in self.tree.cells:
+            if self.cell_owner(cell) != pid:
+                continue
+            if cell.is_leaf:
+                if cell.body_index >= 0:
+                    self._read_body_position(tb, cell.body_index)
+                    tb.read(self._body_addr(cell.body_index, 6))  # mass
+            else:
+                for child in cell.children:
+                    if child is None:
+                        continue
+                    self._read_cell_com_mass(tb, child)
+                    self._read_cell_quad(tb, child)
+            # Write own moment fields.
+            for offset in range(10):
+                tb.write(self._cell_addr(cell, offset))
+        return tb.build()
+
+    # -- summary quantities ---------------------------------------------------
+
+    def interactions_per_body(self, pid: int = 0) -> float:
+        """Average interactions per body in the partition (available
+        after :meth:`trace_for_processor`)."""
+        bodies = len(self.partitions[pid])
+        if bodies == 0 or self.stats.interactions == 0:
+            return 0.0
+        return self.stats.interactions / bodies
+
+    @property
+    def dataset_bytes(self) -> int:
+        return (
+            len(self.bodies) * BODY_DOUBLEWORDS
+            + self.tree.num_cells * CELL_DOUBLEWORDS
+        ) * DOUBLE_WORD
+
+    def bytes_per_body(self) -> float:
+        """Total data per particle — the paper reports ~230 bytes with
+        quadrupole moments."""
+        return self.dataset_bytes / len(self.bodies)

@@ -1,0 +1,23 @@
+"""Iterative sparse solvers: conjugate gradient on regular grids
+(paper Section 4).
+
+Each CG iteration performs one sparse matrix-vector multiply (the
+dominant computation), three vector additions and two dot products.
+The sparse matrix is viewed as a graph — here 2-D (5-point) and 3-D
+(7-point) regular grid Laplacians — partitioned into square/cubic
+subgrids among processors.
+"""
+
+from repro.apps.cg.grid import Grid2D, Grid3D, GridPartition
+from repro.apps.cg.model import CGModel
+from repro.apps.cg.solver import conjugate_gradient
+from repro.apps.cg.trace import CGTraceGenerator
+
+__all__ = [
+    "CGModel",
+    "CGTraceGenerator",
+    "conjugate_gradient",
+    "Grid2D",
+    "Grid3D",
+    "GridPartition",
+]

@@ -1,0 +1,133 @@
+"""Regular-grid graphs and their processor partitions.
+
+The paper's iterative-solver analysis (Section 4) uses an ``n x n``
+2-D grid (5-point stencil) and an ``n x n x n`` 3-D grid (7-point
+stencil) as the graph representation of the sparse matrix, partitioned
+into square (respectively cubic) subgrids among processors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Grid2D:
+    """An ``n x n`` 2-D grid with 5-point stencil connectivity."""
+
+    n: int
+
+    @property
+    def num_points(self) -> int:
+        return self.n * self.n
+
+    @property
+    def stencil_size(self) -> int:
+        return 5
+
+    def index(self, i: int, j: int) -> int:
+        """Linear (row-major) index of point (i, j)."""
+        return i * self.n + j
+
+    def neighbors(self, i: int, j: int) -> Iterator[Tuple[int, int]]:
+        """Interior-stencil neighbours, clipped at the boundary."""
+        if i > 0:
+            yield (i - 1, j)
+        if i < self.n - 1:
+            yield (i + 1, j)
+        if j > 0:
+            yield (i, j - 1)
+        if j < self.n - 1:
+            yield (i, j + 1)
+
+    def laplacian_matvec(self, x: np.ndarray) -> np.ndarray:
+        """``y = A x`` for the 5-point Laplacian (Dirichlet boundary):
+        ``A = 4I - shifts``.  Vectorized ground truth for the solver."""
+        grid = x.reshape(self.n, self.n)
+        y = 4.0 * grid
+        y[1:, :] -= grid[:-1, :]
+        y[:-1, :] -= grid[1:, :]
+        y[:, 1:] -= grid[:, :-1]
+        y[:, :-1] -= grid[:, 1:]
+        return y.reshape(-1)
+
+
+@dataclass(frozen=True)
+class Grid3D:
+    """An ``n x n x n`` 3-D grid with 7-point stencil connectivity."""
+
+    n: int
+
+    @property
+    def num_points(self) -> int:
+        return self.n**3
+
+    @property
+    def stencil_size(self) -> int:
+        return 7
+
+    def index(self, i: int, j: int, k: int) -> int:
+        return (i * self.n + j) * self.n + k
+
+    def laplacian_matvec(self, x: np.ndarray) -> np.ndarray:
+        """``y = A x`` for the 7-point Laplacian (Dirichlet boundary)."""
+        grid = x.reshape(self.n, self.n, self.n)
+        y = 6.0 * grid
+        y[1:, :, :] -= grid[:-1, :, :]
+        y[:-1, :, :] -= grid[1:, :, :]
+        y[:, 1:, :] -= grid[:, :-1, :]
+        y[:, :-1, :] -= grid[:, 1:, :]
+        y[:, :, 1:] -= grid[:, :, :-1]
+        y[:, :, :-1] -= grid[:, :, 1:]
+        return y.reshape(-1)
+
+
+@dataclass(frozen=True)
+class GridPartition:
+    """Assignment of a square 2-D grid to a ``sqrt(P) x sqrt(P)``
+    processor grid (Figure 3)."""
+
+    grid: Grid2D
+    num_processors: int
+
+    def __post_init__(self) -> None:
+        side = int(round(math.sqrt(self.num_processors)))
+        if side * side != self.num_processors:
+            raise ValueError("partition needs a square processor count")
+        if self.grid.n % side != 0:
+            raise ValueError("grid side must divide evenly among processors")
+
+    @property
+    def proc_side(self) -> int:
+        return int(round(math.sqrt(self.num_processors)))
+
+    @property
+    def points_per_side(self) -> int:
+        """Subgrid side length, ``n / sqrt(P)``."""
+        return self.grid.n // self.proc_side
+
+    def owner(self, i: int, j: int) -> int:
+        s = self.points_per_side
+        return (i // s) * self.proc_side + (j // s)
+
+    def local_rows(self, pid: int) -> range:
+        s = self.points_per_side
+        r = pid // self.proc_side
+        return range(r * s, (r + 1) * s)
+
+    def local_cols(self, pid: int) -> range:
+        s = self.points_per_side
+        c = pid % self.proc_side
+        return range(c * s, (c + 1) * s)
+
+    def boundary_points(self, pid: int) -> int:
+        """Points on the partition perimeter (communicated each
+        iteration): ``~4 n / sqrt(P)``."""
+        s = self.points_per_side
+        if s == 1:
+            return 1
+        return 4 * s - 4

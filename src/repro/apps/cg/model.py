@@ -1,0 +1,200 @@
+"""Analytical model for iterative solvers / CG (paper Section 4).
+
+Working sets (Section 4.2) for an ``n x n`` 2-D grid on P processors:
+
+- lev1WS: x values of three adjacent subrows, ``3 n/sqrt(P)`` double
+  words (~5 KB for the prototypical 4000x4000 grid on 1024 processors
+  once per-point state is included).  Significant but the miss rate
+  stays high — the coefficient stream cannot be cached.
+- lev2WS: the processor's entire partition.  Fitting it leaves only the
+  communication miss rate, but "it is generally unreasonable to expect
+  this set of entries to fit in cache".
+
+For 3-D grids, lev1WS becomes two/three 2-D cross-sections of the local
+subcube, ``~3 (n/cbrt(P))^2`` double words (5 KB -> 18 KB prototypical).
+
+Grain size (Section 4.3): one 2-D iteration costs ~``10 n^2`` FLOPs and
+communicates the ``4 n/sqrt(P)`` perimeter points per processor, giving
+``5n/(2 sqrt(P))`` FLOPs/word; in 3-D, ``7n/(3 cbrt(P))``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.analysis import ApplicationModel
+from repro.core.grain import GrainConfig, LoadBalanceModel
+from repro.core.working_set import WorkingSet, WorkingSetHierarchy
+from repro.units import DOUBLE_WORD
+
+
+class CGModel(ApplicationModel):
+    """Section-4 formulas for one (n, P, dims) problem instance.
+
+    Args:
+        n: Grid side length.  Defaults to the prototypical 4000x4000
+            2-D grid (1 Gbyte at ~9 doubles/point).
+        num_processors: Machine size P.
+        dims: 2 or 3.
+    """
+
+    name = "CG"
+    metric = "misses_per_flop"
+    #: Grid points per processor.  Regularity makes balancing easy; only
+    #: truly starved processors (a few points each) lose performance.
+    load_model = LoadBalanceModel(
+        unit_name="grid points", good_threshold=256, poor_threshold=16
+    )
+
+    #: Double words of state per grid point: p, q, x, r + stencil
+    #: coefficients.
+    POINT_DOUBLEWORDS_2D = 9
+    POINT_DOUBLEWORDS_3D = 11
+
+    def __init__(
+        self, n: int = 4000, num_processors: int = 1024, dims: int = 2
+    ) -> None:
+        if dims not in (2, 3):
+            raise ValueError("dims must be 2 or 3")
+        self.n = n
+        self.num_processors = num_processors
+        self.dims = dims
+
+    @classmethod
+    def for_dataset(
+        cls, dataset_bytes: float, num_processors: int = 1024, dims: int = 2
+    ) -> "CGModel":
+        per_point = (
+            cls.POINT_DOUBLEWORDS_2D if dims == 2 else cls.POINT_DOUBLEWORDS_3D
+        ) * DOUBLE_WORD
+        n = int(round((dataset_bytes / per_point) ** (1.0 / dims)))
+        return cls(n=n, num_processors=num_processors, dims=dims)
+
+    # -- problem shape ------------------------------------------------------
+
+    @property
+    def point_doublewords(self) -> int:
+        return (
+            self.POINT_DOUBLEWORDS_2D if self.dims == 2 else self.POINT_DOUBLEWORDS_3D
+        )
+
+    @property
+    def dataset_bytes(self) -> float:
+        return float(self.n**self.dims) * self.point_doublewords * DOUBLE_WORD
+
+    @property
+    def proc_root(self) -> float:
+        """sqrt(P) in 2-D, cbrt(P) in 3-D."""
+        return self.num_processors ** (1.0 / self.dims)
+
+    @property
+    def sub_side(self) -> float:
+        """Local subgrid side, ``n / P^(1/dims)``."""
+        return self.n / self.proc_root
+
+    def concurrency(self) -> float:
+        """Independent grid points per iteration (Table 1: ~ n^2)."""
+        return float(self.n**self.dims)
+
+    def flops_per_iteration(self) -> float:
+        """~10 n^2 in 2-D (Section 4.3); ~14 n^3 in 3-D."""
+        if self.dims == 2:
+            return 10.0 * self.n**2
+        return 14.0 * self.n**3
+
+    # -- working sets (Section 4.2) -------------------------------------------
+
+    def lev1_bytes(self) -> float:
+        """Three adjacent subrows (2-D) or ~3 cross-sections (3-D) of
+        per-point sweep state."""
+        if self.dims == 2:
+            return 3.0 * self.sub_side * DOUBLE_WORD * 2
+        return 3.0 * self.sub_side**2 * DOUBLE_WORD
+
+    def lev2_bytes(self) -> float:
+        """The entire local partition."""
+        return self.dataset_bytes / self.num_processors
+
+    def communication_miss_rate(self) -> float:
+        """Misses per FLOP with the whole partition cached: the boundary
+        exchange only."""
+        boundary_points = 2.0 * self.dims * self.sub_side ** (self.dims - 1)
+        flops_local = self.flops_per_iteration() / self.num_processors
+        return boundary_points / flops_local
+
+    def miss_rate_model(self, cache_bytes: float) -> float:
+        """Analytical misses-per-FLOP curve (Figure 4 shape).
+
+        Plateaus: ~0.7 below lev1WS (only register-level reuse of the
+        sweep's running point survives); ~0.55 between lev1WS and
+        lev2WS (the coefficient stream and CG vectors still miss every
+        sweep — "the miss rate remains high even after this working set
+        fits in the cache"); the communication rate beyond lev2WS.
+        """
+        floor = self.communication_miss_rate()
+        if cache_bytes >= self.lev2_bytes():
+            return floor
+        if cache_bytes >= self.lev1_bytes():
+            return 0.55
+        return 0.7
+
+    def working_sets(self) -> WorkingSetHierarchy:
+        hierarchy = WorkingSetHierarchy(
+            application=self.name,
+            problem=f"{self.dims}-D grid, n={self.n}, P={self.num_processors}",
+            dataset_bytes=self.dataset_bytes,
+            per_processor_bytes=self.lev2_bytes(),
+        )
+        lev1_name = (
+            "x values of three adjacent subrows"
+            if self.dims == 2
+            else "x values of adjacent 2-D cross-sections"
+        )
+        hierarchy.add(
+            WorkingSet(
+                level=1,
+                name=lev1_name,
+                size_bytes=self.lev1_bytes(),
+                miss_rate_after=0.55,
+                important=True,
+                scaling=(
+                    "n/sqrt(P); const with blocking"
+                    if self.dims == 2
+                    else "(n/cbrt(P))^2; const with blocking"
+                ),
+            )
+        )
+        hierarchy.add(
+            WorkingSet(
+                level=2,
+                name="the processor's entire partition",
+                size_bytes=self.lev2_bytes(),
+                miss_rate_after=self.communication_miss_rate(),
+                scaling="n^%d/P" % self.dims,
+            )
+        )
+        return hierarchy
+
+    # -- grain size (Section 4.3) -----------------------------------------------
+
+    def _n_for_config(self, config: GrainConfig) -> float:
+        per_point = self.point_doublewords * DOUBLE_WORD
+        return (config.total_data_bytes / per_point) ** (1.0 / self.dims)
+
+    def flops_per_word(self, config: GrainConfig) -> float:
+        """2-D: ``5n/(2 sqrt(P))``;  3-D: ``7n/(3 cbrt(P))`` — functions
+        of the grain size alone."""
+        n = self._n_for_config(config)
+        root = config.num_processors ** (1.0 / self.dims)
+        if self.dims == 2:
+            return 5.0 * n / (2.0 * root)
+        return 7.0 * n / (3.0 * root)
+
+    def units_per_processor(self, config: GrainConfig) -> float:
+        n = self._n_for_config(config)
+        return n**self.dims / config.num_processors
+
+    def grain_notes(self, config: GrainConfig) -> str:
+        if self.dims == 3:
+            return "3-D grids halve the sustainable margin relative to 2-D"
+        return ""

@@ -1,0 +1,211 @@
+"""Memory-reference trace generator for conjugate gradient.
+
+Emits a processor's double-word reference stream over CG iterations on
+an ``n x n`` 2-D grid (5-point stencil) or an ``n^3`` 3-D grid (7-point
+stencil).  The matrix-vector multiply sweeps the processor's subgrid in
+row-major order reading the stencil neighbours of the ``p`` vector —
+the origin of the paper's lev1WS of "the x values from three adjacent
+sub-rows" — plus the streaming coefficient reads that keep the miss
+rate high until the lev2WS (the entire local partition) fits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.mem.address import AddressSpace
+from repro.mem.trace import Trace, TraceBuilder
+from repro.units import DOUBLE_WORD
+
+
+class CGTraceGenerator:
+    """Trace generator for CG on regular grids.
+
+    Args:
+        n: Grid side length.
+        num_processors: P; square for 2-D grids, cube for 3-D.
+        dims: 2 or 3.
+    """
+
+    def __init__(self, n: int, num_processors: int, dims: int = 2) -> None:
+        if dims not in (2, 3):
+            raise ValueError("dims must be 2 or 3")
+        root = round(num_processors ** (1.0 / dims))
+        if root**dims != num_processors:
+            raise ValueError(
+                f"num_processors must be a perfect {'square' if dims == 2 else 'cube'}"
+            )
+        if n % root != 0:
+            raise ValueError("grid side must divide evenly among processors")
+        self.n = n
+        self.dims = dims
+        self.num_processors = num_processors
+        self.proc_side = root
+        self.sub = n // root
+        num_points = n**dims
+        self.stencil = 5 if dims == 2 else 7
+        self.space = AddressSpace()
+        # Shared vectors, indexed by global point id.
+        self.p_vec = self.space.allocate_array("p", num_points)
+        self.q_vec = self.space.allocate_array("q", num_points)
+        self.x_vec = self.space.allocate_array("x", num_points)
+        self.r_vec = self.space.allocate_array("r", num_points)
+        # Coefficients: stencil_size doubles per point.
+        self.coeffs = self.space.allocate_array("A", num_points * self.stencil)
+        self.flops = 0.0
+
+    # -- addressing -------------------------------------------------------
+
+    def _point_index(self, coords) -> int:
+        index = 0
+        for c in coords:
+            index = index * self.n + c
+        return index
+
+    def _vec_addr(self, region, coords) -> int:
+        return region.element(self._point_index(coords))
+
+    # -- local geometry ---------------------------------------------------
+
+    def _local_ranges(self, pid: int) -> List[range]:
+        """The subgrid coordinate ranges owned by ``pid``."""
+        ranges = []
+        remaining = pid
+        for axis in range(self.dims):
+            stride = self.proc_side ** (self.dims - 1 - axis)
+            block = remaining // stride
+            remaining %= stride
+            ranges.append(range(block * self.sub, (block + 1) * self.sub))
+        return ranges
+
+    def _neighbors(self, coords) -> List[tuple]:
+        out = []
+        for axis in range(self.dims):
+            for delta in (-1, 1):
+                moved = list(coords)
+                moved[axis] += delta
+                if 0 <= moved[axis] < self.n:
+                    out.append(tuple(moved))
+        return out
+
+    def _local_points(self, pid: int):
+        ranges = self._local_ranges(pid)
+        if self.dims == 2:
+            for i in ranges[0]:
+                for j in ranges[1]:
+                    yield (i, j)
+        else:
+            for i in ranges[0]:
+                for j in ranges[1]:
+                    for k in ranges[2]:
+                        yield (i, j, k)
+
+    # -- trace emission -----------------------------------------------------
+
+    def _matvec_point(self, tb: TraceBuilder, coords) -> None:
+        """One grid point of ``q = A p``."""
+        stencil = self.stencil
+        base = self._point_index(coords) * stencil
+        for s in range(stencil):
+            tb.read(self.coeffs.element(base + s))
+        tb.read(self._vec_addr(self.p_vec, coords))
+        for neighbor in self._neighbors(coords):
+            tb.read(self._vec_addr(self.p_vec, neighbor))
+        tb.write(self._vec_addr(self.q_vec, coords))
+        self.flops += 2 * stencil
+
+    def _trace_matvec(self, tb: TraceBuilder, pid: int) -> None:
+        """``q = A p`` over the local subgrid (row-major sweep)."""
+        for coords in self._local_points(pid):
+            self._matvec_point(tb, coords)
+
+    def _trace_matvec_blocked(
+        self, tb: TraceBuilder, pid: int, tile: int
+    ) -> None:
+        """``q = A p`` with the sweep blocked into ``tile``-wide column
+        strips (2-D only).
+
+        Section 4.2: "the size of lev1WS can actually be kept constant
+        through the use of blocking techniques" — the stencil's
+        row-to-row reuse distance becomes ~3 tile-rows of sweep state
+        instead of 3 full subrows, independent of n/sqrt(P).
+        """
+        if self.dims != 2:
+            raise ValueError("blocked sweep implemented for 2-D grids only")
+        if tile < 1:
+            raise ValueError("tile must be >= 1")
+        rows, cols = self._local_ranges(pid)
+        for col_start in range(cols.start, cols.stop, tile):
+            col_stop = min(col_start + tile, cols.stop)
+            for i in rows:
+                for j in range(col_start, col_stop):
+                    self._matvec_point(tb, (i, j))
+
+    def _trace_vector_ops(self, tb: TraceBuilder, pid: int) -> None:
+        """The dots and axpys of one CG iteration:
+        ``alpha = (r.r)/(p.q)``, ``x += alpha p``, ``r -= alpha q``,
+        ``p = r + beta p``."""
+        for coords in self._local_points(pid):
+            p_addr = self._vec_addr(self.p_vec, coords)
+            q_addr = self._vec_addr(self.q_vec, coords)
+            x_addr = self._vec_addr(self.x_vec, coords)
+            r_addr = self._vec_addr(self.r_vec, coords)
+            # dot p.q
+            tb.read(p_addr)
+            tb.read(q_addr)
+            # x += alpha p
+            tb.read(x_addr)
+            tb.write(x_addr)
+            # r -= alpha q  (q still live)
+            tb.read(r_addr)
+            tb.write(r_addr)
+            # dot r.r folded into the same sweep
+            # p = r + beta p
+            tb.write(p_addr)
+            self.flops += 10
+
+    def trace_for_processor(
+        self, pid: int, iterations: int = 2, tile: Optional[int] = None
+    ) -> Trace:
+        """Trace ``iterations`` full CG iterations for one processor.
+
+        Args:
+            pid: Processor id.
+            iterations: CG iterations to trace.
+            tile: When given (2-D only), block the matrix-vector sweep
+                into ``tile``-wide column strips — the Section 4.2
+                blocking that pins the lev1WS to a constant size.
+
+        Use the profiler's ``warmup`` to exclude the first iteration's
+        cold misses, per the paper's methodology.
+        """
+        self.flops = 0.0
+        tb = TraceBuilder()
+        for _ in range(iterations):
+            if tile is None:
+                self._trace_matvec(tb, pid)
+            else:
+                self._trace_matvec_blocked(tb, pid, tile)
+            self._trace_vector_ops(tb, pid)
+        return tb.build()
+
+    def refs_per_iteration(self, pid: int = 0) -> int:
+        """Reference count of a single iteration (for warmup sizing)."""
+        local = self.sub**self.dims
+        matvec = local * (self.stencil + 1 + 2 * self.dims_clipped_avg() + 1)
+        return int(matvec) + local * 7
+
+    def dims_clipped_avg(self) -> float:
+        """Average neighbours per point divided by 2 (boundary clipping
+        makes this slightly less than ``dims``)."""
+        return self.dims * (1.0 - 1.0 / self.n)
+
+    @property
+    def dataset_bytes(self) -> int:
+        per_point = (4 + self.stencil) * DOUBLE_WORD  # p,q,x,r + coefficients
+        return self.n**self.dims * per_point
+
+    @property
+    def local_bytes(self) -> int:
+        return self.dataset_bytes // self.num_processors

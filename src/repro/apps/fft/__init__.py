@@ -1,0 +1,14 @@
+"""Transform methods: the 1-D complex FFT (paper Section 5).
+
+The efficient parallel FFT the paper analyzes performs the ``log N``
+butterfly stages in groups: radix-``D`` stages (``D = N/P`` points per
+processor) separated by all-to-all communication, each radix-D stage
+internally blocked with a smaller *internal radix* (8, 32, ...) to make
+good use of the cache.
+"""
+
+from repro.apps.fft.transform import fft, ifft, four_step_fft
+from repro.apps.fft.model import FFTModel
+from repro.apps.fft.trace import FFTTraceGenerator
+
+__all__ = ["FFTModel", "FFTTraceGenerator", "fft", "four_step_fft", "ifft"]

@@ -1,0 +1,210 @@
+"""Analytical model for the parallel 1-D FFT (paper Section 5).
+
+Working sets (Section 5.2):
+
+- lev1WS: the points and twiddles of a single internal-radix-r
+  butterfly — ``r`` complex points plus ``r-1`` complex twiddles,
+  ``~32r`` bytes.  Fitting it yields ~0.6 / ~0.25 / ~0.15 read misses
+  per operation for r = 2 / 8 / 32.
+- lev2WS: the entire per-processor data set (``2 N/P`` double words of
+  points), not expected to fit.
+
+Grain size (Section 5.3): a radix-D stage performs ``5 D log2 D``
+operations then communicates all ``2D`` double words, giving the
+optimistic ratio ``(5/2) log2(N/P)``; the exact ratio accounts for
+stage quantization — ``5 N log2 N`` operations against two all-to-all
+exchanges of ``2N`` words each, a ratio of 33 for the prototypical
+64M-point transform.  Raising the ratio to R requires ``N/P = 2^(2R/5)``
+points per processor: exponential, hence hopeless (18 TB/processor for
+R=100).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.analysis import ApplicationModel
+from repro.core.grain import GrainConfig, LoadBalanceModel
+from repro.core.working_set import WorkingSet, WorkingSetHierarchy
+from repro.units import DOUBLE_WORD
+
+
+class FFTModel(ApplicationModel):
+    """Section-5 formulas for one (N, P, r) problem instance.
+
+    Args:
+        n: Transform length (power of two).  Defaults to the
+            prototypical 64M-point transform.
+        num_processors: Machine size P.
+        internal_radix: Cache-blocking radix r.
+    """
+
+    name = "FFT"
+    metric = "misses_per_flop"
+    #: Butterfly groups per processor; the FFT has "more than enough
+    #: available concurrency", so thresholds are token.
+    load_model = LoadBalanceModel(
+        unit_name="butterfly groups", good_threshold=64, poor_threshold=4
+    )
+
+    def __init__(
+        self,
+        n: int = 2**26,
+        num_processors: int = 1024,
+        internal_radix: int = 8,
+    ) -> None:
+        for value, label in ((n, "n"), (num_processors, "num_processors")):
+            if value < 1 or (value & (value - 1)) != 0:
+                raise ValueError(f"{label} must be a power of two")
+        self.n = n
+        self.num_processors = num_processors
+        self.radix = internal_radix
+
+    @classmethod
+    def for_dataset(
+        cls, dataset_bytes: float, num_processors: int = 1024, internal_radix: int = 8
+    ) -> "FFTModel":
+        """The largest power-of-two transform fitting ``dataset_bytes``
+        of complex points (16 bytes each)."""
+        n = 1 << int(math.floor(math.log2(dataset_bytes / (2 * DOUBLE_WORD))))
+        return cls(n=n, num_processors=num_processors, internal_radix=internal_radix)
+
+    # -- problem shape ------------------------------------------------------
+
+    @property
+    def dataset_bytes(self) -> float:
+        return 2.0 * self.n * DOUBLE_WORD
+
+    @property
+    def points_per_processor(self) -> int:
+        return self.n // self.num_processors
+
+    def flops(self) -> float:
+        return 5.0 * self.n * math.log2(self.n)
+
+    def concurrency(self) -> float:
+        """Independent butterflies per stage (Table 1: ~ n)."""
+        return float(self.n) / 2.0
+
+    def num_exchange_phases(self) -> int:
+        """All-to-all communication phases: one between consecutive
+        radix-D stages."""
+        levels = math.log2(self.n)
+        levels_per_stage = max(1.0, math.log2(self.points_per_processor))
+        return max(0, math.ceil(levels / levels_per_stage) - 1)
+
+    # -- working sets (Section 5.2) -------------------------------------------
+
+    def lev1_bytes(self, radix: int = 0) -> float:
+        """One butterfly: r complex points + (r-1) complex twiddles."""
+        r = radix or self.radix
+        return (2 * r + 2 * (r - 1)) * DOUBLE_WORD
+
+    def lev2_bytes(self) -> float:
+        """The processor's local points (complex)."""
+        return 2.0 * self.points_per_processor * DOUBLE_WORD
+
+    def plateau_after_lev1(self, radix: int = 0) -> float:
+        """Read misses per op once the butterfly fits: each point's two
+        double words plus its twiddle share per pass, over ``5 log2 r``
+        flops per point per pass: ``(2 + 2(r-1)/r) / (5 log2 r)``.
+
+        Evaluates to 0.60 / 0.25 / 0.157 for r = 2 / 8 / 32 — the
+        paper's Figure 5 plateaus.
+        """
+        r = radix or self.radix
+        return (2.0 + 2.0 * (r - 1) / r) / (5.0 * math.log2(r))
+
+    def miss_rate_model(self, cache_bytes: float, radix: int = 0) -> float:
+        """Analytical read-misses-per-FLOP at a cache size (Figure 5)."""
+        r = radix or self.radix
+        if cache_bytes >= self.lev2_bytes():
+            # Only the per-stage exchange traffic remains.
+            stages = self.num_exchange_phases() + 1
+            return max(
+                2.0 * self.n * stages / self.flops(),
+                0.0,
+            )
+        if cache_bytes >= self.lev1_bytes(r):
+            return self.plateau_after_lev1(r)
+        # Below lev1 the r-point butterfly re-reads its r inputs (2r
+        # double words) for every one of its r outputs.
+        return (2.0 * r + 2.0 * (r - 1) / r) / (5.0 * math.log2(r))
+
+    def working_sets(self) -> WorkingSetHierarchy:
+        hierarchy = WorkingSetHierarchy(
+            application=self.name,
+            problem=(
+                f"N=2^{int(math.log2(self.n))}, P={self.num_processors}, "
+                f"internal radix {self.radix}"
+            ),
+            dataset_bytes=self.dataset_bytes,
+            per_processor_bytes=self.lev2_bytes(),
+        )
+        hierarchy.add(
+            WorkingSet(
+                level=1,
+                name=f"one radix-{self.radix} butterfly (points + twiddles)",
+                size_bytes=self.lev1_bytes(),
+                miss_rate_after=self.plateau_after_lev1(),
+                important=True,
+                scaling="const (radix only)",
+            )
+        )
+        hierarchy.add(
+            WorkingSet(
+                level=2,
+                name="the processor's local points",
+                size_bytes=self.lev2_bytes(),
+                miss_rate_after=2.0
+                * self.n
+                * (self.num_exchange_phases() + 1)
+                / self.flops(),
+                scaling="N/P",
+            )
+        )
+        return hierarchy
+
+    # -- grain size (Section 5.3) -----------------------------------------------
+
+    def optimistic_ratio(self, points_per_processor: float) -> float:
+        """``(5/2) log2(N/P)`` — FLOPs per double word ignoring stage
+        quantization."""
+        if points_per_processor < 2:
+            return 0.0
+        return 2.5 * math.log2(points_per_processor)
+
+    def exact_ratio(self, n: int, num_processors: int) -> float:
+        """Quantization-corrected ratio: ``5 N log2 N`` operations over
+        ``2N`` double words moved once per radix-D stage (the paper's
+        "communicates the 2N words of data twice" for the two-stage
+        prototypical problem, giving a ratio of 33)."""
+        d = max(2, n // num_processors)
+        levels = math.log2(n)
+        stages = max(1, math.ceil(levels / math.log2(d)))
+        return 5.0 * n * levels / (2.0 * n * stages)
+
+    def grain_for_ratio(self, flops_per_word: float) -> float:
+        """Bytes per processor needed to sustain a target ratio:
+        ``N/P = 2^(2R/5)`` complex points (Section 5.3).
+
+        The prototypical consequences: R=60 needs ~270 MB/processor,
+        R=100 needs ~18 TB/processor.
+        """
+        points = 2.0 ** (2.0 * flops_per_word / 5.0)
+        return points * 2 * DOUBLE_WORD
+
+    def flops_per_word(self, config: GrainConfig) -> float:
+        points = config.total_data_bytes / (2 * DOUBLE_WORD)
+        n = 1 << max(1, int(round(math.log2(points))))
+        return self.exact_ratio(n, config.num_processors)
+
+    def units_per_processor(self, config: GrainConfig) -> float:
+        points = config.total_data_bytes / (2 * DOUBLE_WORD)
+        return points / config.num_processors / self.radix
+
+    def grain_notes(self, config: GrainConfig) -> str:
+        return (
+            "communication exhibits little locality on non-hypercube"
+            " topologies; the ratio is hard to sustain at any realistic grain"
+        )

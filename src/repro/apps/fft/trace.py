@@ -1,0 +1,163 @@
+"""Memory-reference trace generator for the parallel blocked FFT.
+
+Emits one processor's double-word reference stream through the radix-D
+parallel FFT of Section 5.1: each radix-D stage sweeps the local D
+points in internal-radix-r passes; between radix-D stages all local
+points are exchanged with other processors.
+
+A radix-r butterfly reads its r complex points (2r double words), the
+r-1 complex twiddle factors for the group (2(r-1) double words, stored
+in access order as high-radix kernels lay them out for streaming — van
+Loan 1992), and writes the r results back.  The level-1 working set is
+therefore one butterfly's points-plus-twiddles, and the measured
+plateau reproduces the paper's ~0.6 / ~0.25 / ~0.15 read misses per
+operation for internal radices 2 / 8 / 32 (Figure 5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.apps.fft.transform import stage_structure
+from repro.mem.address import AddressSpace
+from repro.mem.trace import Trace, TraceBuilder
+from repro.units import DOUBLE_WORD
+
+
+class FFTTraceGenerator:
+    """Trace generator for the parallel 1-D complex FFT.
+
+    Args:
+        n: Transform length N (power of two).
+        num_processors: P (power of two dividing N).
+        internal_radix: The cache-blocking radix r (power of two >= 2).
+    """
+
+    def __init__(self, n: int, num_processors: int, internal_radix: int = 8) -> None:
+        for value, label in ((n, "n"), (num_processors, "num_processors"), (internal_radix, "internal_radix")):
+            if value < 1 or (value & (value - 1)) != 0:
+                raise ValueError(f"{label} must be a power of two")
+        if internal_radix < 2:
+            raise ValueError("internal_radix must be at least 2")
+        if n % num_processors != 0 or n // num_processors < internal_radix:
+            raise ValueError("each processor needs at least one radix group")
+        self.n = n
+        self.num_processors = num_processors
+        self.radix = internal_radix
+        self.points_local = n // num_processors
+        self.space = AddressSpace()
+        # Complex data: 2 double words per point; double-buffered for the
+        # inter-stage exchange.
+        self.data = self.space.allocate_array("points", 2 * n)
+        self.exchange = self.space.allocate_array("exchange buffer", 2 * n)
+        # Twiddle table: D complex entries per processor, laid out in
+        # access order and reused across passes (van Loan 1992).  Within
+        # one pass every butterfly reads fresh entries (no reuse); across
+        # passes the table is swept again from the start.
+        twiddle_count = 2 * self.points_local
+        self.twiddles = self.space.allocate_array("twiddles", twiddle_count)
+        self.flops = 0.0
+        self._twiddle_cursor = 0
+
+    def _point_addrs(self, region, index: int):
+        """The two double words of complex point ``index``."""
+        return (region.element(2 * index), region.element(2 * index + 1))
+
+    def _read_twiddle(self, tb: TraceBuilder) -> None:
+        limit = self.twiddles.size // DOUBLE_WORD
+        tb.read(self.twiddles.element(self._twiddle_cursor % limit))
+        self._twiddle_cursor += 1
+        tb.read(self.twiddles.element(self._twiddle_cursor % limit))
+        self._twiddle_cursor += 1
+
+    def _trace_butterfly(self, tb: TraceBuilder, region, indices) -> None:
+        """One radix-r butterfly over the given point indices.
+
+        Emitted output-by-output: every output value combines all r
+        inputs, so each output re-reads the input points.  With a cache
+        of at least one butterfly (the lev1WS) the re-reads hit; below
+        it the miss rate blows up toward ``2r`` double words per point —
+        the left side of the Figure 5 knees.
+        """
+        r = len(indices)
+        for output_index, _ in enumerate(indices):
+            for index in indices:
+                for addr in self._point_addrs(region, index):
+                    tb.read(addr)
+            if output_index > 0:
+                self._read_twiddle(tb)
+        for index in indices:
+            for addr in self._point_addrs(region, index):
+                tb.write(addr)
+        # 5 flops per point per radix-2 level; a radix-r butterfly
+        # performs log2(r) levels on r points.
+        self.flops += 5.0 * r * math.log2(r)
+
+    def _trace_local_pass(
+        self, tb: TraceBuilder, base: int, span: int, stride: int
+    ) -> None:
+        """One internal-radix pass over ``span`` local points.
+
+        ``stride`` is the butterfly distance of the pass within the
+        local data.
+        """
+        r = self.radix
+        group_span = r * stride
+        self._twiddle_cursor = 0  # the table is re-swept every pass
+        for group_base in range(base, base + span, group_span):
+            for offset in range(stride):
+                indices = [group_base + offset + k * stride for k in range(r)]
+                self._trace_butterfly(tb, self.data, indices)
+
+    def _trace_exchange(self, tb: TraceBuilder, base: int) -> None:
+        """The all-to-all: read every local point, write it to the
+        (strided) exchange buffer where its next-stage owner expects it."""
+        d = self.points_local
+        p = self.num_processors
+        for local in range(d):
+            for addr in self._point_addrs(self.data, base + local):
+                tb.read(addr)
+            # Destination index under the transpose-style redistribution.
+            dest = (local % p) * d + (local // p)
+            for addr in self._point_addrs(self.exchange, dest % self.n):
+                tb.write(addr)
+
+    def trace_for_processor(self, pid: int = 0) -> Trace:
+        """Trace one processor through all radix-D stages of the FFT."""
+        self.flops = 0.0
+        self._twiddle_cursor = 0
+        tb = TraceBuilder()
+        base = pid * self.points_local
+        num_stages, stages = stage_structure(self.n, self.points_local)
+        levels_per_pass = int(math.log2(self.radix))
+        for stage_index, levels in enumerate(stages):
+            # Internal passes covering `levels` butterfly levels.
+            done = 0
+            stride = 1
+            while done < levels:
+                step = min(levels_per_pass, levels - done)
+                if step == levels_per_pass:
+                    self._trace_local_pass(tb, base, self.points_local, stride)
+                    stride *= self.radix
+                else:
+                    # Remainder pass with a smaller effective radix.
+                    small = 2**step
+                    saved = self.radix
+                    self.radix = small
+                    self._trace_local_pass(tb, base, self.points_local, stride)
+                    self.radix = saved
+                    stride *= small
+                done += step
+            if stage_index != num_stages - 1:
+                self._trace_exchange(tb, base)
+        return tb.build()
+
+    @property
+    def dataset_bytes(self) -> int:
+        """The complex input vector: 16 bytes per point."""
+        return 2 * self.n * DOUBLE_WORD
+
+    def total_flops(self) -> float:
+        """``5 N log2 N`` for the whole machine."""
+        return 5.0 * self.n * math.log2(self.n)

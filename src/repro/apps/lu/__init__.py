@@ -1,0 +1,30 @@
+"""Dense blocked LU factorization (paper Section 3).
+
+The most common source of large dense LU problems is radar
+cross-section computation; the analysis also covers dense QR/Cholesky
+and, in many respects, sparse Cholesky.
+
+Key structure: the ``n x n`` matrix is an ``N x N`` array of ``B x B``
+blocks assigned to a ``sqrt(P) x sqrt(P)`` processor grid by 2-D scatter
+decomposition; the dominant operation is the rank-B block update
+``A[I,J] -= A[I,K] @ A[K,J]`` performed by the owner of ``A[I,J]``.
+"""
+
+from repro.apps.lu.cholesky import blocked_cholesky, random_spd
+from repro.apps.lu.cholesky_trace import CholeskyTraceGenerator
+from repro.apps.lu.factor import blocked_lu, reconstruct
+from repro.apps.lu.model import LUModel
+from repro.apps.lu.qr import householder_qr
+from repro.apps.lu.trace import LUTraceGenerator, ScatterDecomposition
+
+__all__ = [
+    "CholeskyTraceGenerator",
+    "LUModel",
+    "LUTraceGenerator",
+    "ScatterDecomposition",
+    "blocked_cholesky",
+    "blocked_lu",
+    "householder_qr",
+    "random_spd",
+    "reconstruct",
+]

@@ -1,0 +1,103 @@
+"""Blocked dense LU factorization kernel (without pivoting).
+
+This is the numerical ground truth for the traced computation: the same
+block algorithm as the paper's pseudo-code (Section 3.1),
+
+    1. for K = 0 to N:
+    2.     factor block A[K,K]
+    3.     compute values for all blocks in column K and row K
+    4.     for J = K+1 to N:
+    5.         for I = K+1 to N:
+    6.             A[I,J] <- A[I,J] - A[I,K] @ A[K,J]
+
+No pivoting is performed (the radar cross-section systems the paper
+cites are solved unpivoted); callers must supply matrices for which
+unpivoted LU is stable, e.g. diagonally dominant ones.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _factor_diagonal_block(block: np.ndarray) -> None:
+    """In-place unpivoted LU of one dense block (L unit-diagonal)."""
+    b = block.shape[0]
+    for k in range(b):
+        pivot = block[k, k]
+        if pivot == 0.0:
+            raise ZeroDivisionError(
+                "zero pivot in unpivoted LU; matrix not factorable without pivoting"
+            )
+        block[k + 1 :, k] /= pivot
+        block[k + 1 :, k + 1 :] -= np.outer(block[k + 1 :, k], block[k, k + 1 :])
+
+
+def blocked_lu(a: np.ndarray, block_size: int) -> np.ndarray:
+    """Factor ``a`` in place into ``L\\U`` (packed: unit-lower L below the
+    diagonal, U on and above it), using ``block_size x block_size``
+    blocks.  Returns the packed factor array (same object as ``a``).
+
+    Args:
+        a: Square float64 matrix whose order is a multiple of
+            ``block_size``.
+        block_size: The block dimension B.
+    """
+    n = a.shape[0]
+    if a.shape[0] != a.shape[1]:
+        raise ValueError("matrix must be square")
+    if n % block_size != 0:
+        raise ValueError("matrix order must be a multiple of block_size")
+    nb = n // block_size
+
+    def blk(i: int, j: int) -> np.ndarray:
+        return a[
+            i * block_size : (i + 1) * block_size,
+            j * block_size : (j + 1) * block_size,
+        ]
+
+    for k in range(nb):
+        akk = blk(k, k)
+        _factor_diagonal_block(akk)
+        lower = np.tril(akk, -1) + np.eye(block_size)
+        upper = np.triu(akk)
+        # Column K: A[I,K] <- A[I,K] @ inv(U_kk)
+        for i in range(k + 1, nb):
+            blk(i, k)[:] = np.linalg.solve(upper.T, blk(i, k).T).T
+        # Row K: A[K,J] <- inv(L_kk) @ A[K,J]
+        for j in range(k + 1, nb):
+            blk(k, j)[:] = np.linalg.solve(lower, blk(k, j))
+        # Trailing update: A[I,J] -= A[I,K] @ A[K,J]
+        for j in range(k + 1, nb):
+            for i in range(k + 1, nb):
+                blk(i, j)[:] -= blk(i, k) @ blk(k, j)
+    return a
+
+
+def unpack(packed: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Split a packed ``L\\U`` factor into (L, U)."""
+    lower = np.tril(packed, -1) + np.eye(packed.shape[0])
+    upper = np.triu(packed)
+    return lower, upper
+
+
+def reconstruct(packed: np.ndarray) -> np.ndarray:
+    """Multiply the packed factors back: returns ``L @ U``."""
+    lower, upper = unpack(packed)
+    return lower @ upper
+
+
+def flop_count(n: int) -> float:
+    """Floating-point operations in an ``n x n`` LU factorization,
+    ``~ 2n^3/3`` (Section 3.3)."""
+    return 2.0 * n**3 / 3.0
+
+
+def random_diagonally_dominant(n: int, seed: int = 0) -> np.ndarray:
+    """A random matrix safe for unpivoted LU (strict diagonal dominance)."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    a += np.diag(np.abs(a).sum(axis=1) + 1.0)
+    return a

@@ -1,0 +1,201 @@
+"""Analytical model for blocked dense LU (paper Section 3).
+
+Working-set hierarchy (Section 3.2), for block size B on P processors
+factoring an ``n x n`` matrix:
+
+- lev1WS: two block columns, ``2 * B`` double words (~260 bytes at
+  B=16).  Fitting it roughly halves the miss rate.
+- lev2WS: one ``B x B`` block (~2200 bytes at B=16).  Fitting it drops
+  the miss rate to roughly ``1/B`` misses per FLOP.
+- lev3WS: all pivot row/column blocks a processor uses in one K
+  iteration, ``2nB/sqrt(P)`` double words (~80 KB for the prototypical
+  problem).  Fitting it halves the rate again, to ``1/(2B)``.
+- lev4WS: the processor's whole partition, ``n^2/P`` double words.
+  Fitting it leaves only the communication miss rate.
+
+Grain size (Section 3.3): LU performs ``2n^3/3`` FLOPs and communicates
+``n^2 sqrt(P)`` double words, so the computation-to-communication ratio
+is ``2n/(3 sqrt(P))`` — a function of the grain size ``n^2/P`` only.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.analysis import ApplicationModel
+from repro.core.grain import GrainConfig, LoadBalanceModel
+from repro.core.working_set import WorkingSet, WorkingSetHierarchy
+from repro.units import DOUBLE_WORD, GB
+
+
+class LUModel(ApplicationModel):
+    """Section-3 formulas for one (n, B, P) problem instance.
+
+    Args:
+        n: Matrix order.  Defaults to the prototypical ~1-Gbyte matrix.
+        block_size: Block dimension B (the paper recommends 8-16).
+        num_processors: Machine size P (perfect square).
+    """
+
+    name = "LU"
+    metric = "misses_per_flop"
+    #: Blocks per processor: 380 is the paper's comfortable figure; at 25
+    #: "load balancing problems" reduce performance (Section 3.3).
+    load_model = LoadBalanceModel(
+        unit_name="matrix blocks", good_threshold=100, poor_threshold=10
+    )
+
+    def __init__(
+        self,
+        n: int = 10_000,
+        block_size: int = 16,
+        num_processors: int = 1024,
+    ) -> None:
+        if block_size < 2:
+            raise ValueError("block size must be at least 2")
+        if num_processors < 1:
+            raise ValueError("need at least one processor")
+        self.n = n
+        self.block_size = block_size
+        self.num_processors = num_processors
+
+    # -- problem shape ---------------------------------------------------
+
+    @classmethod
+    def for_dataset(
+        cls, dataset_bytes: float, block_size: int = 16, num_processors: int = 1024
+    ) -> "LUModel":
+        """The LU problem whose matrix occupies ``dataset_bytes``."""
+        n = int(round(math.sqrt(dataset_bytes / DOUBLE_WORD)))
+        return cls(n=n, block_size=block_size, num_processors=num_processors)
+
+    @property
+    def dataset_bytes(self) -> float:
+        return float(self.n) ** 2 * DOUBLE_WORD
+
+    def flops(self) -> float:
+        """Total work, ``2n^3/3``."""
+        return 2.0 * self.n**3 / 3.0
+
+    def concurrency(self) -> float:
+        """Independent work items: the ~n^2 block updates available per
+        K iteration (Table 1: concurrency ~ n^2)."""
+        return float(self.n) ** 2 / self.block_size**2
+
+    def communication_doublewords(self) -> float:
+        """Total communication volume: every block travels to a row or
+        column of sqrt(P) processors -> ``n^2 sqrt(P)`` double words."""
+        return float(self.n) ** 2 * math.sqrt(self.num_processors)
+
+    # -- working sets (Section 3.2) ---------------------------------------
+
+    def lev1_bytes(self) -> float:
+        """Two block columns."""
+        return 2 * self.block_size * DOUBLE_WORD
+
+    def lev2_bytes(self) -> float:
+        """One B x B block (plus the two live columns)."""
+        return (self.block_size**2 + 2 * self.block_size) * DOUBLE_WORD
+
+    def lev3_bytes(self) -> float:
+        """Pivot row/column blocks used in one K iteration:
+        ``2 n B / sqrt(P)`` double words."""
+        return 2.0 * self.n * self.block_size / math.sqrt(self.num_processors) * DOUBLE_WORD
+
+    def lev4_bytes(self) -> float:
+        """The processor's whole partition, ``n^2/P`` double words."""
+        return float(self.n) ** 2 / self.num_processors * DOUBLE_WORD
+
+    def communication_miss_rate(self) -> float:
+        """Misses per FLOP with an infinite cache: total communication
+        volume over total work, ``3 sqrt(P) / (2n)``."""
+        return self.communication_doublewords() / self.flops()
+
+    def miss_rate_model(self, cache_bytes: float) -> float:
+        """Analytical misses-per-FLOP at a given fully associative cache
+        size — the Figure 2 curve.
+
+        Plateaus: ~1.0 below lev1WS, ~0.5 between lev1 and lev2, ~1.5/B
+        between lev2 and lev3, ~1/(2B) between lev3 and lev4, and the
+        communication rate beyond lev4.
+        """
+        b = self.block_size
+        floor = self.communication_miss_rate()
+        if cache_bytes >= self.lev4_bytes():
+            return floor
+        if cache_bytes >= self.lev3_bytes():
+            return max(1.0 / (2 * b), floor)
+        if cache_bytes >= self.lev2_bytes():
+            return max(1.5 / b, floor)
+        if cache_bytes >= self.lev1_bytes():
+            return 0.5
+        return 1.0
+
+    def working_sets(self) -> WorkingSetHierarchy:
+        hierarchy = WorkingSetHierarchy(
+            application=self.name,
+            problem=(
+                f"n={self.n}, B={self.block_size}, P={self.num_processors}"
+            ),
+            dataset_bytes=self.dataset_bytes,
+            per_processor_bytes=self.lev4_bytes(),
+        )
+        hierarchy.add(
+            WorkingSet(
+                level=1,
+                name="two block columns",
+                size_bytes=self.lev1_bytes(),
+                miss_rate_after=0.5,
+                scaling="const (B only)",
+            )
+        )
+        hierarchy.add(
+            WorkingSet(
+                level=2,
+                name="one BxB block",
+                size_bytes=self.lev2_bytes(),
+                miss_rate_after=1.5 / self.block_size,
+                important=True,
+                scaling="const (B only)",
+            )
+        )
+        hierarchy.add(
+            WorkingSet(
+                level=3,
+                name="pivot row/column blocks for one K iteration",
+                size_bytes=self.lev3_bytes(),
+                miss_rate_after=1.0 / (2 * self.block_size),
+                scaling="2nB/sqrt(P)",
+            )
+        )
+        hierarchy.add(
+            WorkingSet(
+                level=4,
+                name="all blocks owned by the processor",
+                size_bytes=self.lev4_bytes(),
+                miss_rate_after=self.communication_miss_rate(),
+                scaling="n^2/P",
+            )
+        )
+        return hierarchy
+
+    # -- grain size (Section 3.3) -----------------------------------------
+
+    def flops_per_word(self, config: GrainConfig) -> float:
+        """``2n/(3 sqrt(P))`` — depends only on the grain size n^2/P."""
+        n = math.sqrt(config.total_data_bytes / DOUBLE_WORD)
+        return 2.0 * n / (3.0 * math.sqrt(config.num_processors))
+
+    def units_per_processor(self, config: GrainConfig) -> float:
+        """Matrix blocks per processor, ``(n/B)^2 / P``."""
+        n = math.sqrt(config.total_data_bytes / DOUBLE_WORD)
+        return (n / self.block_size) ** 2 / config.num_processors
+
+    def grain_notes(self, config: GrainConfig) -> str:
+        if config.memory_per_processor < 256 * 1024:
+            return (
+                "smaller blocks would improve balance at the cost of higher"
+                " cache miss rates (Section 3.3)"
+            )
+        return ""

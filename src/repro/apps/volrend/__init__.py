@@ -1,0 +1,28 @@
+"""Volume rendering by optimized ray casting (paper Section 7).
+
+A parallel version of Levoy's algorithm (Nieh & Levoy 1992): for each
+frame, rays are cast through every pixel of the image plane into a
+read-only voxel cube; samples along each ray are trilinearly
+interpolated, composited front-to-back, terminated early at high
+opacity, and accelerated by an octree that skips transparent regions.
+"""
+
+from repro.apps.volrend.model import VolrendModel
+from repro.apps.volrend.octree import MinMaxOctree
+from repro.apps.volrend.partition import ImagePartition, simulate_ray_stealing
+from repro.apps.volrend.render import Camera, RayCaster, render_frame
+from repro.apps.volrend.trace import VolrendTraceGenerator
+from repro.apps.volrend.volume import Volume, synthetic_head
+
+__all__ = [
+    "Camera",
+    "ImagePartition",
+    "MinMaxOctree",
+    "RayCaster",
+    "VolrendModel",
+    "VolrendTraceGenerator",
+    "Volume",
+    "render_frame",
+    "simulate_ray_stealing",
+    "synthetic_head",
+]

@@ -1,0 +1,186 @@
+"""Analytical model for volume rendering (paper Section 7).
+
+Working sets (Section 7.2), for a volume with ``n`` voxels per side on
+``p`` processors:
+
+- lev1WS: voxel and octree data reused across neighbouring samples
+  along a ray, ~0.4 KB; fitting it leaves a ~15% read miss rate.
+- lev2WS: the data used by one ray and reused by the next ray of the
+  processor's contiguous pixel block: ``~4000 + 110 n`` bytes (the
+  paper's explicit formula).  Fitting it reduces the read miss rate to
+  ~2%.  **The important working set**, growing as the cube root of the
+  data-set size.
+- lev3WS: the voxels a processor references in a whole frame, reused
+  across frames when the viewing angle changes gradually (~700 KB for
+  the paper's head data set); brings the miss rate to the ~0.1%
+  communication rate.
+
+Grain size (Section 7.3): a frame executes more than ``300 n^3``
+instructions and communicates ``~2 n^3`` bytes of voxel data, so the
+computation-to-communication ratio is ~600 instructions per (4-byte)
+word, independent of n and p.  Concurrency is the ``~3 n^2`` rays of
+the diagonal image plane.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.analysis import ApplicationModel
+from repro.core.grain import GrainConfig, LoadBalanceModel
+from repro.core.working_set import WorkingSet, WorkingSetHierarchy
+from repro.units import KB
+
+#: Bytes of data set per voxel ("the data set ... is roughly 4 n^3
+#: bytes", Section 7.2 — voxels plus octree and auxiliary structures).
+BYTES_PER_VOXEL_TOTAL = 4.0
+#: The paper's lev2WS formula constants (Section 7.2).
+LEV2_BASE_BYTES = 4000.0
+LEV2_SLOPE_BYTES = 110.0
+#: Instructions per frame per voxel (Section 7.3: "more than 300 n^3").
+INSTRUCTIONS_PER_VOXEL = 300.0
+#: Ratio of instructions to communicated words (Section 7.3).
+INSTRUCTIONS_PER_WORD = 600.0
+
+
+class VolrendModel(ApplicationModel):
+    """Section-7 formulas for one (n, p) problem instance.
+
+    Args:
+        n: Voxels per side of the (cubic) volume.  The prototypical
+            1-Gbyte problem is 600x600x600 on 1024 processors.
+        num_processors: Machine size.
+    """
+
+    name = "Volume Rendering"
+    metric = "read_miss_rate"
+    #: Rays per processor: 1000 is comfortable; 66 (the 16K-processor
+    #: variant) is "likely to be too few for good load balancing
+    #: without excessive stealing".
+    load_model = LoadBalanceModel(
+        unit_name="rays", good_threshold=500, poor_threshold=100
+    )
+
+    def __init__(self, n: int = 600, num_processors: int = 1024) -> None:
+        if n < 2:
+            raise ValueError("volume side must be at least 2 voxels")
+        self.n = n
+        self.num_processors = num_processors
+
+    @classmethod
+    def for_dataset(
+        cls, dataset_bytes: float, num_processors: int = 1024
+    ) -> "VolrendModel":
+        n = int(round((dataset_bytes / BYTES_PER_VOXEL_TOTAL) ** (1.0 / 3.0)))
+        return cls(n=n, num_processors=num_processors)
+
+    # -- problem shape --------------------------------------------------------
+
+    @property
+    def dataset_bytes(self) -> float:
+        return BYTES_PER_VOXEL_TOTAL * self.n**3
+
+    def concurrency(self) -> float:
+        """Independent rays (Table 1: ~ n^2 pixels)."""
+        return self.rays_total()
+
+    def rays_total(self) -> float:
+        """One ray per pixel of the diagonal image plane: ``~3 n^2``."""
+        return 3.0 * self.n**2
+
+    def instructions_per_frame(self) -> float:
+        return INSTRUCTIONS_PER_VOXEL * self.n**3
+
+    # -- working sets (Section 7.2) ---------------------------------------------
+
+    def lev1_bytes(self) -> float:
+        """Sample-to-sample reuse along a ray: ~0.4 KB, invariant."""
+        return 0.4 * KB
+
+    def lev2_bytes(self) -> float:
+        """Ray-to-ray reuse: ``4000 + 110 n`` bytes (the paper's fit)."""
+        return LEV2_BASE_BYTES + LEV2_SLOPE_BYTES * self.n
+
+    def lev3_bytes(self) -> float:
+        """Frame-to-frame reuse: the voxels a processor references in a
+        frame — a fraction of its share of the volume plus overlap with
+        neighbouring blocks."""
+        voxel_bytes = 2.0 * self.n**3
+        return 1.5 * voxel_bytes / self.num_processors
+
+    def communication_miss_rate(self) -> float:
+        """The ~0.1% floor the paper measures with very large caches."""
+        return 0.001
+
+    def miss_rate_model(self, cache_bytes: float) -> float:
+        """Read-miss-rate plateaus for the Figure 7 shape."""
+        if cache_bytes >= self.lev3_bytes():
+            return self.communication_miss_rate()
+        if cache_bytes >= self.lev2_bytes():
+            return 0.02
+        if cache_bytes >= self.lev1_bytes():
+            return 0.15
+        return 1.0
+
+    def working_sets(self) -> WorkingSetHierarchy:
+        hierarchy = WorkingSetHierarchy(
+            application=self.name,
+            problem=f"{self.n}^3 voxels, P={self.num_processors}",
+            dataset_bytes=self.dataset_bytes,
+            per_processor_bytes=self.dataset_bytes / self.num_processors,
+        )
+        hierarchy.add(
+            WorkingSet(
+                level=1,
+                name="voxel/octree data reused across samples along a ray",
+                size_bytes=self.lev1_bytes(),
+                miss_rate_after=0.15,
+                scaling="const",
+            )
+        )
+        hierarchy.add(
+            WorkingSet(
+                level=2,
+                name="data reused between successive rays",
+                size_bytes=self.lev2_bytes(),
+                miss_rate_after=0.02,
+                important=True,
+                scaling="n = cbrt(DS)",
+            )
+        )
+        hierarchy.add(
+            WorkingSet(
+                level=3,
+                name="voxels referenced by the processor in one frame",
+                size_bytes=self.lev3_bytes(),
+                miss_rate_after=self.communication_miss_rate(),
+                scaling="n^3/p",
+            )
+        )
+        return hierarchy
+
+    # -- grain size (Section 7.3) -------------------------------------------------
+
+    def flops_per_word(self, config: GrainConfig) -> float:
+        """~600 instructions per word, independent of n and p."""
+        return INSTRUCTIONS_PER_WORD
+
+    def units_per_processor(self, config: GrainConfig) -> float:
+        """Rays per processor, ``~3 n^2 / p``."""
+        n = (config.total_data_bytes / BYTES_PER_VOXEL_TOTAL) ** (1.0 / 3.0)
+        return 3.0 * n**2 / config.num_processors
+
+    def grain_notes(self, config: GrainConfig) -> str:
+        rays = self.units_per_processor(config)
+        if rays < self.load_model.poor_threshold:
+            return "too few rays per processor: excessive ray stealing"
+        return ""
+
+    # -- scaling (Section 7.3) ------------------------------------------------------
+
+    def grain_for_scaled_dataset(self, scale_factor: float) -> float:
+        """Memory per processor needed to keep rays/processor constant
+        when the data set grows by ``scale_factor``: grows as the cube
+        root of the factor."""
+        base_grain = self.dataset_bytes / self.num_processors
+        return base_grain * scale_factor ** (1.0 / 3.0)

@@ -1,0 +1,149 @@
+"""Memory-reference trace generator for the volume renderer.
+
+Emits one processor's reference stream while it renders its image block
+over one or more frames (successive frames rotate the viewing angle
+gradually, as in the paper's lev3WS measurement).  Traced structures:
+
+- **voxels**: 2 bytes each (Section 7.3), 4 voxels per 8-byte cache
+  block, read 8-at-a-time by trilinear samples;
+- **octree nodes**: 2 double words each, read along the root-to-leaf
+  path consulted per sample;
+- **ray scratch**: the per-sample temporary state (the lev1WS of
+  ~0.4 KB together with the sample's voxel/octree neighbourhood);
+- **pixels**: 1 double word each, written once per ray.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.volrend.octree import MinMaxOctree
+from repro.apps.volrend.partition import ImagePartition
+from repro.apps.volrend.render import Camera, RayCaster
+from repro.apps.volrend.volume import VOXEL_BYTES, Volume
+from repro.mem.address import AddressSpace
+from repro.mem.trace import Trace, TraceBuilder
+from repro.units import DOUBLE_WORD
+
+#: Double words of per-ray scratch state.
+SCRATCH_DOUBLEWORDS = 24
+#: Double words per octree node record.
+NODE_DOUBLEWORDS = 2
+
+
+class VolrendTraceGenerator:
+    """Trace generator for the parallel ray caster.
+
+    Args:
+        volume: The voxel data.
+        num_processors: Perfect square; the image is partitioned into
+            contiguous rectangular blocks.
+        image_size: Image plane side in pixels (defaults to the volume
+            side).
+        step: Ray sampling interval in voxels.
+    """
+
+    def __init__(
+        self,
+        volume: Volume,
+        num_processors: int = 4,
+        image_size: Optional[int] = None,
+        step: float = 1.0,
+    ) -> None:
+        self.volume = volume
+        self.num_processors = num_processors
+        self.image_size = image_size or volume.shape[0]
+        self.step = step
+        self.octree = MinMaxOctree(volume)
+        self.partition = ImagePartition(self.image_size, num_processors)
+        self.space = AddressSpace()
+        self.voxel_region = self.space.allocate(
+            "voxels", volume.num_voxels * VOXEL_BYTES
+        )
+        self.node_region = self.space.allocate_array(
+            "octree nodes", self.octree.num_nodes * NODE_DOUBLEWORDS
+        )
+        self.scratch = self.space.allocate_array("ray scratch", SCRATCH_DOUBLEWORDS)
+        self.pixel_region = self.space.allocate_array(
+            "pixels", self.image_size * self.image_size
+        )
+        self.rays_cast = 0
+        self.samples = 0
+
+    # -- addressing ---------------------------------------------------------
+
+    def _voxel_addr(self, i: int, j: int, k: int) -> int:
+        return self.voxel_region.addr(
+            self.volume.voxel_index(i, j, k) * VOXEL_BYTES
+        )
+
+    def _node_addr(self, node_index: int, offset: int = 0) -> int:
+        return self.node_region.element(node_index * NODE_DOUBLEWORDS + offset)
+
+    # -- trace ---------------------------------------------------------------
+
+    def trace_for_processor(
+        self,
+        pid: int,
+        frames: int = 1,
+        angle_start: float = 0.3,
+        angle_step: float = 0.05,
+    ) -> Trace:
+        """Trace processor ``pid`` rendering its block over ``frames``
+        frames with a gradually changing viewing angle."""
+        if not 0 <= pid < self.num_processors:
+            raise IndexError("processor id out of range")
+        tb = TraceBuilder()
+        rows, cols = self.partition.block(pid)
+        self.rays_cast = 0
+        self.samples = 0
+
+        def sample_hook(x: float, y: float, z: float) -> None:
+            self.samples += 1
+            for (i, j, k) in self.volume.corner_voxels(x, y, z):
+                tb.read(self._voxel_addr(i, j, k))
+            # Sample-state churn in the ray scratch buffer.
+            for s in range(0, SCRATCH_DOUBLEWORDS, 2):
+                tb.read(self.scratch.element(s))
+            for s in range(0, SCRATCH_DOUBLEWORDS, 4):
+                tb.write(self.scratch.element(s))
+
+        def skip_hook(x: float, y: float, z: float) -> None:
+            for node in self.octree.path_to(x, y, z):
+                tb.read(self._node_addr(node.index))
+                tb.read(self._node_addr(node.index, 1))
+
+        for frame in range(frames):
+            camera = Camera(
+                angle=angle_start + frame * angle_step,
+                image_size=self.image_size,
+                step=self.step,
+            )
+            caster = RayCaster(self.volume, self.octree)
+            for py in rows:
+                for px in cols:
+                    origin, direction = camera.ray(self.volume.shape, px, py)
+                    # Per-ray setup: scratch init.
+                    for s in range(SCRATCH_DOUBLEWORDS):
+                        tb.write(self.scratch.element(s))
+                    caster.cast(
+                        origin,
+                        direction,
+                        sample_hook=sample_hook,
+                        skip_hook=skip_hook,
+                        step=self.step,
+                    )
+                    tb.write(self.pixel_region.element(py * self.image_size + px))
+                    self.rays_cast += 1
+        return tb.build()
+
+    @property
+    def dataset_bytes(self) -> int:
+        return self.voxel_region.size + self.node_region.size
+
+    def samples_per_ray(self) -> float:
+        if self.rays_cast == 0:
+            return 0.0
+        return self.samples / self.rays_cast

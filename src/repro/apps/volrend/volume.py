@@ -1,0 +1,132 @@
+"""Voxel volumes and the synthetic head phantom.
+
+The paper renders a 256x256x113 CT scan of a human head.  That data set
+is not redistributable, so we substitute a deterministic synthetic
+phantom with the same *occupancy structure* that drives the working-set
+behaviour: a mostly transparent surround, a high-opacity shell (the
+"skull"), and a semi-transparent interior (the "brain").  Two bytes are
+read per voxel during rendering (Section 7.3), so a voxel record is two
+bytes in the traced address space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+#: Bytes read per voxel during rendering (Section 7.3).
+VOXEL_BYTES = 2
+
+
+@dataclass
+class Volume:
+    """A voxel cube (or box) of opacities in [0, 1].
+
+    Attributes:
+        opacities: (nx, ny, nz) float array of per-voxel opacity.
+    """
+
+    opacities: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.opacities.ndim != 3:
+            raise ValueError("opacities must be a 3-D array")
+        if float(self.opacities.min()) < 0 or float(self.opacities.max()) > 1:
+            raise ValueError("opacities must lie in [0, 1]")
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return self.opacities.shape  # type: ignore[return-value]
+
+    @property
+    def num_voxels(self) -> int:
+        return int(np.prod(self.opacities.shape))
+
+    @property
+    def data_bytes(self) -> int:
+        return self.num_voxels * VOXEL_BYTES
+
+    def voxel_index(self, i: int, j: int, k: int) -> int:
+        """Linear index of voxel (i, j, k), row-major."""
+        _, ny, nz = self.shape
+        return (i * ny + j) * nz + k
+
+    def trilinear(self, x: float, y: float, z: float) -> float:
+        """Trilinearly interpolated opacity at a continuous position.
+
+        Positions outside the volume return 0 (fully transparent).
+        """
+        nx, ny, nz = self.shape
+        if not (0 <= x <= nx - 1 and 0 <= y <= ny - 1 and 0 <= z <= nz - 1):
+            return 0.0
+        i0, j0, k0 = int(x), int(y), int(z)
+        i1, j1, k1 = min(i0 + 1, nx - 1), min(j0 + 1, ny - 1), min(k0 + 1, nz - 1)
+        fx, fy, fz = x - i0, y - j0, z - k0
+        v = self.opacities
+        c00 = v[i0, j0, k0] * (1 - fx) + v[i1, j0, k0] * fx
+        c01 = v[i0, j0, k1] * (1 - fx) + v[i1, j0, k1] * fx
+        c10 = v[i0, j1, k0] * (1 - fx) + v[i1, j1, k0] * fx
+        c11 = v[i0, j1, k1] * (1 - fx) + v[i1, j1, k1] * fx
+        c0 = c00 * (1 - fy) + c10 * fy
+        c1 = c01 * (1 - fy) + c11 * fy
+        return float(c0 * (1 - fz) + c1 * fz)
+
+    def corner_voxels(self, x: float, y: float, z: float):
+        """The 8 voxel coordinates a trilinear sample at (x,y,z) reads."""
+        nx, ny, nz = self.shape
+        i0, j0, k0 = int(x), int(y), int(z)
+        i1, j1, k1 = min(i0 + 1, nx - 1), min(j0 + 1, ny - 1), min(k0 + 1, nz - 1)
+        return [
+            (i, j, k)
+            for i in (i0, i1)
+            for j in (j0, j1)
+            for k in (k0, k1)
+        ]
+
+
+def synthetic_head(n: int, depth: int = 0, seed: int = 0) -> Volume:
+    """A head-like phantom of ``n x n x depth`` voxels (depth defaults
+    to ``n``, mirroring the flattened 256x256x113 head when smaller).
+
+    Structure: transparent air, an ellipsoidal high-opacity shell, a
+    mildly opaque interior with smooth lumpy texture.
+    """
+    depth = depth or n
+    i, j, k = np.meshgrid(
+        np.linspace(-1, 1, n),
+        np.linspace(-1, 1, n),
+        np.linspace(-1, 1, depth),
+        indexing="ij",
+    )
+    # Ellipsoidal radius (head slightly elongated along i).
+    r = np.sqrt((i / 0.9) ** 2 + (j / 0.75) ** 2 + (k / 0.8) ** 2)
+    opacity = np.zeros_like(r)
+    shell = (r > 0.82) & (r <= 0.95)
+    interior = r <= 0.82
+    # Semi-transparent shell: a clinically useful transfer function lets
+    # rays penetrate the "skull" and sample the interior before early
+    # termination, as the paper's head renderings do.
+    opacity[shell] = 0.25
+    rng = np.random.default_rng(seed)
+    texture = rng.uniform(0.0, 1.0, size=(8, 8, 8))
+    # Smooth lumpy interior via low-resolution noise, trilinear-upsampled.
+    fi = (i + 1) / 2 * 7
+    fj = (j + 1) / 2 * 7
+    fk = (k + 1) / 2 * 7
+    lump = texture[
+        fi.astype(int).clip(0, 7), fj.astype(int).clip(0, 7), fk.astype(int).clip(0, 7)
+    ]
+    opacity[interior] = 0.02 + 0.06 * lump[interior]
+    return Volume(opacities=opacity)
+
+
+def transparent_volume(n: int) -> Volume:
+    """A fully transparent cube (for octree-skipping tests)."""
+    return Volume(opacities=np.zeros((n, n, n)))
+
+
+def opaque_volume(n: int, opacity: float = 1.0) -> Volume:
+    """A fully opaque cube (for early-termination tests)."""
+    return Volume(opacities=np.full((n, n, n), float(opacity)))

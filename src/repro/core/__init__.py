@@ -1,0 +1,74 @@
+"""Core methodology of the paper: working-set hierarchies, knee
+detection on miss-rate curves, problem-scaling models, and node
+granularity analysis.
+
+The paper's contribution is not a new system but a *characterization
+methodology* (Section 2):
+
+1. Simulate fully associative LRU caches of many sizes over an
+   application's reference stream; knees in the miss-rate-versus-size
+   curve identify the application's **working-set hierarchy**
+   (:mod:`repro.core.curves`, :mod:`repro.core.knee`,
+   :mod:`repro.core.working_set`).
+2. Scale the problem under **memory-constrained** and
+   **time-constrained** models and track how each working set grows
+   (:mod:`repro.core.scaling`).
+3. Combine communication-to-computation ratios, load balance and
+   concurrency into a **desirable grain size** judgement against the
+   sustainable bandwidth of real machines
+   (:mod:`repro.core.machine`, :mod:`repro.core.grain`).
+"""
+
+from repro.core.curves import MissRateCurve
+from repro.core.grain import (
+    GrainConfig,
+    GrainAssessment,
+    GrainVerdict,
+    LoadBalanceModel,
+    prototypical_configs,
+)
+from repro.core.knee import Knee, find_knees
+from repro.core.machine import (
+    CommunicationPattern,
+    MachineSpec,
+    SustainabilityBand,
+    classify_ratio,
+    CM5,
+    PARAGON,
+)
+from repro.core.speedup import SpeedupPoint, project_speedup, utilization_summary
+from repro.core.scaling import (
+    MemoryConstrainedScaling,
+    ProblemScaler,
+    ScaledProblem,
+    TimeConstrainedScaling,
+    solve_monotone,
+)
+from repro.core.working_set import WorkingSet, WorkingSetHierarchy
+
+__all__ = [
+    "CM5",
+    "CommunicationPattern",
+    "GrainAssessment",
+    "GrainConfig",
+    "GrainVerdict",
+    "Knee",
+    "LoadBalanceModel",
+    "MachineSpec",
+    "MemoryConstrainedScaling",
+    "MissRateCurve",
+    "PARAGON",
+    "ProblemScaler",
+    "ScaledProblem",
+    "SpeedupPoint",
+    "SustainabilityBand",
+    "TimeConstrainedScaling",
+    "WorkingSet",
+    "WorkingSetHierarchy",
+    "classify_ratio",
+    "find_knees",
+    "project_speedup",
+    "prototypical_configs",
+    "solve_monotone",
+    "utilization_summary",
+]

@@ -1,0 +1,104 @@
+"""Application characterization: the two-part treatment the paper
+applies to each application (working sets, then grain size).
+
+Every application package in :mod:`repro.apps` exposes a model class
+implementing :class:`ApplicationModel`; :func:`characterize` runs the
+paper's full per-application analysis over it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.grain import (
+    GrainAssessment,
+    GrainConfig,
+    LoadBalanceModel,
+    assess_grain,
+    desirable_grain_size,
+    prototypical_configs,
+)
+from repro.core.working_set import WorkingSetHierarchy
+
+
+class ApplicationModel(abc.ABC):
+    """The per-application analytical model interface.
+
+    Concrete subclasses live in ``repro.apps.<app>.model`` and encode the
+    paper's Section 3-7 formulas for one application class.
+    """
+
+    #: Application name as used in the paper's tables.
+    name: str = ""
+    #: Miss-rate metric: "misses_per_flop" or "read_miss_rate".
+    metric: str = "miss_rate"
+    #: Load-balance thresholds for the grain analysis.
+    load_model: LoadBalanceModel
+
+    @abc.abstractmethod
+    def working_sets(self) -> WorkingSetHierarchy:
+        """The working-set hierarchy for this model's problem instance."""
+
+    @abc.abstractmethod
+    def flops_per_word(self, config: GrainConfig) -> float:
+        """Computation-to-communication ratio at a machine configuration."""
+
+    @abc.abstractmethod
+    def units_per_processor(self, config: GrainConfig) -> float:
+        """Schedulable work units (blocks/rays/particles/points) per
+        processor at a configuration."""
+
+    def grain_notes(self, config: GrainConfig) -> str:
+        """Optional free-form commentary for a configuration."""
+        return ""
+
+    def grain_assessments(
+        self, configs: Optional[Sequence[GrainConfig]] = None
+    ) -> List[GrainAssessment]:
+        """Assess all configurations (defaults to the paper's three)."""
+        if configs is None:
+            configs = prototypical_configs()
+        return [
+            assess_grain(
+                config,
+                self.flops_per_word(config),
+                self.units_per_processor(config),
+                self.load_model,
+                notes=self.grain_notes(config),
+            )
+            for config in configs
+        ]
+
+
+@dataclass
+class Characterization:
+    """The complete per-application result, mirroring one paper section."""
+
+    model_name: str
+    working_sets: WorkingSetHierarchy
+    assessments: List[GrainAssessment] = field(default_factory=list)
+
+    @property
+    def desirable_grain(self) -> GrainConfig:
+        return desirable_grain_size(self.assessments)
+
+    def describe(self) -> str:
+        lines = [f"=== {self.model_name} ===", self.working_sets.describe(), ""]
+        lines.extend(str(a) for a in self.assessments)
+        grain = self.desirable_grain
+        lines.append(f"desirable grain: {grain}")
+        return "\n".join(lines)
+
+
+def characterize(
+    model: ApplicationModel,
+    configs: Optional[Sequence[GrainConfig]] = None,
+) -> Characterization:
+    """Run the paper's full two-part analysis for one application."""
+    return Characterization(
+        model_name=model.name,
+        working_sets=model.working_sets(),
+        assessments=model.grain_assessments(configs),
+    )

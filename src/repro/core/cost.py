@@ -1,0 +1,201 @@
+"""Cost-performance exploration of node designs (paper Section 8).
+
+The discussion section speculates: "it may turn out that designs that
+split the cost equally between processors and memory will be the most
+competitive, in that they will be within a small constant factor of the
+optimal design for any given application."  This module makes that
+conjecture testable: given component prices and an application's
+characterization (working sets, grain requirements), it searches node
+designs (processor count, cache size, memory size) under a fixed budget
+and scores them with a simple execution-time model.
+
+The performance model is deliberately the paper's own coarse one:
+
+- per-processor compute time ~ work / P;
+- memory-stall time ~ miss rate(cache) x miss penalty per operation;
+- communication time ~ comm volume at the sustainable node bandwidth;
+- an efficiency factor from the load-balance verdict.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.analysis import ApplicationModel
+from repro.core.grain import GrainConfig, GrainVerdict
+from repro.units import GB, KB, MB
+
+
+@dataclass(frozen=True)
+class ComponentPrices:
+    """Early-1990s-flavoured component prices (arbitrary units).
+
+    Attributes:
+        processor: Cost of one processor (the paper's example: a $1000
+            node should not carry $50 of memory).
+        dram_per_mb: Main-memory cost per MB.
+        sram_per_kb: Cache (SRAM) cost per KB — an order of magnitude
+            pricier per byte than DRAM.
+    """
+
+    processor: float = 1000.0
+    dram_per_mb: float = 40.0
+    sram_per_kb: float = 1.0
+
+    def node_cost(self, cache_bytes: float, memory_bytes: float) -> float:
+        return (
+            self.processor
+            + self.sram_per_kb * cache_bytes / KB
+            + self.dram_per_mb * memory_bytes / MB
+        )
+
+
+@dataclass(frozen=True)
+class NodeDesign:
+    """One candidate machine design.
+
+    Attributes:
+        num_processors: P.
+        cache_bytes: Cache per node.
+        memory_bytes: DRAM per node.
+    """
+
+    num_processors: int
+    cache_bytes: float
+    memory_bytes: float
+
+    def total_cost(self, prices: ComponentPrices) -> float:
+        return self.num_processors * prices.node_cost(
+            self.cache_bytes, self.memory_bytes
+        )
+
+    def memory_cost_fraction(self, prices: ComponentPrices) -> float:
+        """Fraction of the machine's cost spent on memory (DRAM+SRAM)."""
+        node = prices.node_cost(self.cache_bytes, self.memory_bytes)
+        memory = node - prices.processor
+        return memory / node
+
+
+@dataclass
+class DesignEvaluation:
+    """A scored design.
+
+    Attributes:
+        design: The candidate.
+        time_units: Modeled execution time (lower is better).
+        feasible: Whether the problem fits in total memory.
+        notes: Diagnostic commentary.
+    """
+
+    design: NodeDesign
+    time_units: float
+    feasible: bool
+    notes: str = ""
+
+
+#: Miss penalty in operation-equivalents per miss (a remote/local mix
+#: typical of the era's large-scale machines).
+MISS_PENALTY_OPS = 30.0
+#: Efficiency multipliers per load-balance verdict.
+BALANCE_EFFICIENCY = {
+    GrainVerdict.GOOD: 1.0,
+    GrainVerdict.MARGINAL: 0.7,
+    GrainVerdict.POOR: 0.35,
+}
+
+
+def evaluate_design(
+    model: ApplicationModel,
+    design: NodeDesign,
+    total_data_bytes: float,
+    work_ops: float,
+    miss_rate_fn: Callable[[float], float],
+    comm_words: Optional[float] = None,
+) -> DesignEvaluation:
+    """Score one design for one application.
+
+    Args:
+        model: The application's analytical model (supplies the
+            load-balance judgement and communication ratio).
+        design: The candidate node design.
+        total_data_bytes: Problem size.
+        work_ops: Total operation count of the problem.
+        miss_rate_fn: Misses per operation as a function of cache bytes
+            (the application's ``miss_rate_model``).
+        comm_words: Total communicated double words (None: derive from
+            the model's FLOPs/word at this configuration).
+
+    Returns:
+        A :class:`DesignEvaluation`.
+    """
+    total_memory = design.num_processors * design.memory_bytes
+    feasible = total_memory >= total_data_bytes
+    config = GrainConfig(total_data_bytes, design.num_processors)
+    if comm_words is None:
+        ratio = model.flops_per_word(config)
+        comm_words = work_ops / ratio if ratio > 0 else 0.0
+    compute = work_ops / design.num_processors
+    stalls = (
+        miss_rate_fn(design.cache_bytes)
+        * MISS_PENALTY_OPS
+        * work_ops
+        / design.num_processors
+    )
+    # Communication at ~1 word per operation-equivalent of network time.
+    comm = comm_words / design.num_processors
+    verdict = model.load_model.assess(model.units_per_processor(config))
+    efficiency = BALANCE_EFFICIENCY[verdict]
+    time_units = (compute + stalls + comm) / efficiency
+    notes = "" if feasible else "problem does not fit in memory"
+    return DesignEvaluation(
+        design=design,
+        time_units=time_units if feasible else math.inf,
+        feasible=feasible,
+        notes=notes,
+    )
+
+
+def enumerate_designs(
+    budget: float,
+    total_data_bytes: float,
+    prices: ComponentPrices = ComponentPrices(),
+    cache_choices: Sequence[float] = (4 * KB, 64 * KB, 256 * KB, 1 * MB),
+    processor_counts: Sequence[int] = (64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384),
+) -> List[NodeDesign]:
+    """All designs that spend the budget: for each (P, cache) choice,
+    the remaining money buys DRAM, split evenly across nodes.
+
+    Designs whose memory cannot hold the problem are still returned
+    (the evaluator marks them infeasible) so studies can show the
+    feasibility frontier.
+    """
+    designs = []
+    for num_processors in processor_counts:
+        for cache_bytes in cache_choices:
+            fixed = num_processors * (
+                prices.processor + prices.sram_per_kb * cache_bytes / KB
+            )
+            remaining = budget - fixed
+            if remaining <= 0:
+                continue
+            memory_bytes = remaining / num_processors / prices.dram_per_mb * MB
+            designs.append(
+                NodeDesign(
+                    num_processors=num_processors,
+                    cache_bytes=cache_bytes,
+                    memory_bytes=memory_bytes,
+                )
+            )
+    return designs
+
+
+def best_design(
+    evaluations: Sequence[DesignEvaluation],
+) -> DesignEvaluation:
+    """The feasible evaluation with the lowest modeled time."""
+    feasible = [e for e in evaluations if e.feasible]
+    if not feasible:
+        raise ValueError("no feasible design under this budget")
+    return min(feasible, key=lambda e: e.time_units)

@@ -1,0 +1,131 @@
+"""Miss-rate-versus-cache-size curves.
+
+The central empirical object of the paper: for each application the
+authors plot miss rate (misses per FLOP, or read miss rate) against
+fully associative cache size on a log axis and read the working-set
+hierarchy off the knees (Figures 2, 4, 5, 6, 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.mem.stack_distance import StackDistanceProfile
+from repro.units import format_size
+
+
+@dataclass
+class MissRateCurve:
+    """A sampled miss-rate curve.
+
+    Attributes:
+        capacities: Cache sizes in bytes, strictly increasing.
+        miss_rates: Miss rate at each capacity.  Units depend on
+            ``metric``.
+        metric: ``"misses_per_flop"`` (LU/CG/FFT) or
+            ``"read_miss_rate"`` (Barnes-Hut / volume rendering) or
+            ``"miss_rate"``.
+        label: Series label (e.g. ``"B=16"`` or ``"radix-8"``).
+    """
+
+    capacities: np.ndarray
+    miss_rates: np.ndarray
+    metric: str = "miss_rate"
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.capacities = np.asarray(self.capacities, dtype=np.int64)
+        self.miss_rates = np.asarray(self.miss_rates, dtype=float)
+        if self.capacities.shape != self.miss_rates.shape:
+            raise ValueError("capacities and miss_rates must align")
+        if len(self.capacities) and np.any(np.diff(self.capacities) <= 0):
+            raise ValueError("capacities must be strictly increasing")
+
+    @classmethod
+    def from_profile(
+        cls,
+        profile: StackDistanceProfile,
+        capacities: Sequence[int],
+        metric: str = "miss_rate",
+        label: str = "",
+        flops: Optional[float] = None,
+    ) -> "MissRateCurve":
+        """Build a curve from a stack-distance profile.
+
+        When ``metric == "misses_per_flop"``, ``flops`` must give the
+        floating-point operation count of the traced computation.
+        """
+        caps = np.asarray(sorted(set(int(c) for c in capacities)), dtype=np.int64)
+        if metric == "misses_per_flop":
+            if flops is None:
+                raise ValueError("flops required for misses_per_flop metric")
+            rates = profile.misses_per_op(caps, flops)
+        else:
+            rates = profile.miss_rates(caps)
+        return cls(caps, rates, metric=metric, label=label)
+
+    @classmethod
+    def from_model(
+        cls,
+        model: Callable[[float], float],
+        capacities: Sequence[int],
+        metric: str = "miss_rate",
+        label: str = "",
+    ) -> "MissRateCurve":
+        """Sample an analytical miss-rate model at the given capacities."""
+        caps = np.asarray(sorted(set(int(c) for c in capacities)), dtype=np.int64)
+        rates = np.array([model(float(c)) for c in caps], dtype=float)
+        return cls(caps, rates, metric=metric, label=label)
+
+    def value_at(self, capacity_bytes: float) -> float:
+        """Miss rate at ``capacity_bytes`` (step interpolation: the rate
+        of the largest sampled capacity not exceeding it)."""
+        index = int(np.searchsorted(self.capacities, capacity_bytes, side="right")) - 1
+        if index < 0:
+            return float(self.miss_rates[0])
+        return float(self.miss_rates[index])
+
+    @property
+    def floor(self) -> float:
+        """Miss rate with the largest simulated cache (≈ communication
+        plus cold floor)."""
+        return float(self.miss_rates[-1])
+
+    @property
+    def ceiling(self) -> float:
+        """Miss rate with the smallest simulated cache."""
+        return float(self.miss_rates[0])
+
+    def drop_factor(self) -> float:
+        """Ratio of worst to best miss rate across the sweep."""
+        if self.floor == 0:
+            return float("inf")
+        return self.ceiling / self.floor
+
+    def knees(self, **kwargs) -> List["Knee"]:
+        """Detect knees (working-set boundaries); see
+        :func:`repro.core.knee.find_knees`."""
+        from repro.core.knee import find_knees
+
+        return find_knees(self, **kwargs)
+
+    def render_ascii(self, width: int = 64, height: int = 16) -> str:
+        """A terminal plot of the curve (log-x), used by the experiment
+        drivers to mirror the paper's figures."""
+        if len(self.capacities) < 2:
+            return "(curve too short to plot)"
+        xs = np.log2(self.capacities.astype(float))
+        ys = self.miss_rates
+        y_max = float(ys.max()) or 1.0
+        grid = [[" "] * width for _ in range(height)]
+        for x, y in zip(xs, ys):
+            col = int((x - xs[0]) / (xs[-1] - xs[0]) * (width - 1))
+            row = height - 1 - int(y / y_max * (height - 1))
+            grid[row][col] = "*"
+        lines = ["".join(row) for row in grid]
+        header = f"{self.label or self.metric}  (y: 0..{y_max:.3g}, x: " \
+                 f"{format_size(self.capacities[0])}..{format_size(self.capacities[-1])} log2)"
+        return "\n".join([header] + lines)

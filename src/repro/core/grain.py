@@ -1,0 +1,181 @@
+"""Node granularity (grain size) analysis.
+
+Section 2.3: the grain size of a machine is "the amount of main memory
+and cache per processor".  For each application the paper assesses a
+prototypical 1-Gbyte problem at three granularities —
+
+- coarse: 64 processors x 16 Mbytes,
+- prototypical: 1024 processors x 1 Mbyte,
+- fine: 16K processors x 64 Kbytes,
+
+— combining the computation-to-communication ratio (against the
+sustainability bands of :mod:`repro.core.machine`) with load balance and
+concurrency checks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.machine import SustainabilityBand, classify_ratio
+from repro.units import GB, KB, MB, format_size
+
+
+@dataclass(frozen=True)
+class GrainConfig:
+    """One machine configuration for a fixed total problem size.
+
+    Attributes:
+        total_data_bytes: Total problem data-set size.
+        num_processors: Processor count.
+        label: Optional human-readable tag.
+    """
+
+    total_data_bytes: float
+    num_processors: int
+    label: str = ""
+
+    @property
+    def memory_per_processor(self) -> float:
+        """The grain size, in bytes."""
+        return self.total_data_bytes / self.num_processors
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label or 'config'}: P={self.num_processors}, "
+            f"{format_size(self.memory_per_processor)}/processor"
+        )
+
+
+def prototypical_configs(total_data_bytes: float = GB) -> List[GrainConfig]:
+    """The paper's three granularity variants for a 1-Gbyte problem."""
+    return [
+        GrainConfig(total_data_bytes, 64, "coarse (16 MB/node)"),
+        GrainConfig(total_data_bytes, 1024, "prototypical (1 MB/node)"),
+        GrainConfig(total_data_bytes, 16384, "fine (64 KB/node)"),
+    ]
+
+
+class GrainVerdict(enum.Enum):
+    """Overall judgement for one configuration."""
+
+    GOOD = "good parallel performance expected"
+    MARGINAL = "sustainable but with some performance loss"
+    POOR = "communication or load imbalance dominates"
+
+
+@dataclass(frozen=True)
+class LoadBalanceModel:
+    """A simple work-units-per-processor load-balance criterion.
+
+    The paper reasons about "blocks per processor" (LU: 380 good, 25
+    marginal), "rays per processor" (volume rendering: 1000 good, 66 too
+    few), and "particles per processor" (Barnes-Hut).  We formalize this
+    as thresholds on units per processor.
+
+    Attributes:
+        unit_name: What a unit of schedulable work is.
+        good_threshold: Units/processor at or above which imbalance is
+            negligible.
+        poor_threshold: Units/processor below which imbalance dominates.
+    """
+
+    unit_name: str
+    good_threshold: float
+    poor_threshold: float
+
+    def assess(self, units_per_processor: float) -> GrainVerdict:
+        if units_per_processor >= self.good_threshold:
+            return GrainVerdict.GOOD
+        if units_per_processor >= self.poor_threshold:
+            return GrainVerdict.MARGINAL
+        return GrainVerdict.POOR
+
+
+@dataclass
+class GrainAssessment:
+    """The grain-size judgement for one application at one configuration.
+
+    Attributes:
+        config: The machine configuration assessed.
+        flops_per_word: Computation-to-communication ratio.
+        band: Sustainability band for the ratio.
+        units_per_processor: Schedulable work units per processor.
+        load_balance: Load-balance verdict.
+        verdict: Combined judgement.
+        notes: Free-form explanation mirroring the paper's reasoning.
+    """
+
+    config: GrainConfig
+    flops_per_word: float
+    band: SustainabilityBand
+    units_per_processor: float
+    load_balance: GrainVerdict
+    verdict: GrainVerdict
+    notes: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"{self.config}\n"
+            f"  comp/comm: {self.flops_per_word:.1f} FLOPs/word [{self.band.value}]\n"
+            f"  work: {self.units_per_processor:.0f} units/processor "
+            f"[{self.load_balance.value}]\n"
+            f"  verdict: {self.verdict.value}"
+            + (f"\n  note: {self.notes}" if self.notes else "")
+        )
+
+
+def combine_verdicts(
+    band: SustainabilityBand, load_balance: GrainVerdict
+) -> GrainVerdict:
+    """Combine communication and load-balance judgements.
+
+    The worse of the two wins: an easy ratio cannot rescue a starved
+    load balance, and vice versa.
+    """
+    comm_verdict = {
+        SustainabilityBand.EASY: GrainVerdict.GOOD,
+        SustainabilityBand.SUSTAINABLE: GrainVerdict.MARGINAL,
+        SustainabilityBand.EXTREMELY_DIFFICULT: GrainVerdict.POOR,
+    }[band]
+    order = [GrainVerdict.GOOD, GrainVerdict.MARGINAL, GrainVerdict.POOR]
+    return max(comm_verdict, load_balance, key=order.index)
+
+
+def assess_grain(
+    config: GrainConfig,
+    flops_per_word: float,
+    units_per_processor: float,
+    load_model: LoadBalanceModel,
+    notes: str = "",
+) -> GrainAssessment:
+    """Build a :class:`GrainAssessment` from the model outputs."""
+    band = classify_ratio(flops_per_word)
+    lb = load_model.assess(units_per_processor)
+    return GrainAssessment(
+        config=config,
+        flops_per_word=flops_per_word,
+        band=band,
+        units_per_processor=units_per_processor,
+        load_balance=lb,
+        verdict=combine_verdicts(band, lb),
+        notes=notes,
+    )
+
+
+def desirable_grain_size(assessments: Sequence[GrainAssessment]) -> GrainConfig:
+    """The finest configuration with a GOOD verdict; when none is GOOD,
+    the finest MARGINAL one.
+
+    This mirrors the paper's judgements: for LU "a 1 Mbyte grain size is
+    easy to sustain ... a 64 Kbyte grain size is not so easy", so the
+    desirable grain is the 1 MB point even though 64 KB is survivable.
+    """
+    for wanted in (GrainVerdict.GOOD, GrainVerdict.MARGINAL):
+        candidates = [a for a in assessments if a.verdict is wanted]
+        if candidates:
+            finest = min(candidates, key=lambda a: a.config.memory_per_processor)
+            return finest.config
+    raise ValueError("no configuration is even marginally acceptable")

@@ -1,0 +1,146 @@
+"""Knee detection on miss-rate-versus-cache-size curves.
+
+The paper identifies working sets as "knees in the resulting performance
+(or miss rate) versus cache size curve" (Section 2.2).  A knee is a
+capacity at which the miss rate drops sharply and then plateaus.  We
+detect knees by segmenting the curve into plateaus: walk the capacities
+in increasing order and emit a knee wherever the rate falls by more than
+a relative threshold of the current plateau level (plus a small absolute
+floor to suppress noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+from repro.units import format_size
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.curves import MissRateCurve
+
+
+@dataclass(frozen=True)
+class Knee:
+    """One detected knee.
+
+    Attributes:
+        capacity_bytes: The smallest sampled capacity at which the
+            post-drop plateau is reached — i.e. the measured working-set
+            size.
+        miss_rate_before: Plateau level left of the knee.
+        miss_rate_after: Plateau level right of the knee.
+    """
+
+    capacity_bytes: int
+    miss_rate_before: float
+    miss_rate_after: float
+
+    @property
+    def drop(self) -> float:
+        return self.miss_rate_before - self.miss_rate_after
+
+    @property
+    def drop_ratio(self) -> float:
+        if self.miss_rate_after == 0:
+            return float("inf")
+        return self.miss_rate_before / self.miss_rate_after
+
+    def __str__(self) -> str:
+        return (
+            f"knee @ {format_size(self.capacity_bytes)}: "
+            f"{self.miss_rate_before:.4g} -> {self.miss_rate_after:.4g}"
+        )
+
+
+def find_knees(
+    curve: "MissRateCurve",
+    rel_threshold: float = 0.25,
+    abs_threshold: float = 0.0,
+    merge_adjacent: bool = True,
+) -> List[Knee]:
+    """Locate the knees of ``curve``.
+
+    Args:
+        curve: The sampled miss-rate curve (capacities increasing).
+        rel_threshold: Minimum fractional drop, relative to the level at
+            the left of the step, for a step to count as (part of) a
+            knee.  0.25 means the miss rate must fall by at least 25%.
+        abs_threshold: Minimum absolute drop; guards against declaring
+            knees in the noise floor.
+        merge_adjacent: Consecutive steep steps are merged into one knee
+            (a physical working set often spans 2-3 grid points).
+
+    Returns:
+        Knees ordered by capacity.  The reported ``capacity_bytes`` is
+        the capacity at which the drop completes, i.e. where the working
+        set first fits.
+    """
+    capacities = curve.capacities
+    rates = curve.miss_rates
+    if len(capacities) < 2:
+        return []
+
+    knees: List[Knee] = []
+    i = 0
+    n = len(capacities)
+    while i < n - 1:
+        level = rates[i]
+        step = level - rates[i + 1]
+        is_steep = step > abs_threshold and (
+            level > 0 and step / level >= rel_threshold
+        )
+        if not is_steep:
+            i += 1
+            continue
+        # Extend across consecutive steep steps.
+        j = i + 1
+        if merge_adjacent:
+            while j < n - 1:
+                nxt = rates[j] - rates[j + 1]
+                if rates[j] > 0 and nxt > abs_threshold and nxt / rates[j] >= rel_threshold:
+                    j += 1
+                else:
+                    break
+        knees.append(
+            Knee(
+                capacity_bytes=int(capacities[j]),
+                miss_rate_before=float(rates[i]),
+                miss_rate_after=float(rates[j]),
+            )
+        )
+        i = j
+    return knees
+
+
+def match_knee(
+    knees: List[Knee], expected_bytes: float, tolerance_factor: float = 4.0
+) -> Knee:
+    """Find the knee nearest ``expected_bytes`` within a multiplicative
+    tolerance; raises ``LookupError`` if none qualifies.
+
+    Used by tests and experiments to tie measured knees back to the
+    paper's predicted working-set sizes.
+    """
+    if not knees:
+        raise LookupError("no knees to match against")
+    best = min(
+        knees,
+        key=lambda k: abs(
+            _log_ratio(k.capacity_bytes, expected_bytes)
+        ),
+    )
+    if max(best.capacity_bytes / expected_bytes, expected_bytes / best.capacity_bytes) > tolerance_factor:
+        raise LookupError(
+            f"no knee within {tolerance_factor}x of {expected_bytes:.0f} bytes "
+            f"(closest at {best.capacity_bytes})"
+        )
+    return best
+
+
+def _log_ratio(a: float, b: float) -> float:
+    import math
+
+    if a <= 0 or b <= 0:
+        return float("inf")
+    return abs(math.log(a / b))

@@ -1,0 +1,131 @@
+"""Machine models and communication sustainability bands.
+
+Section 2.3 calibrates what computation-to-communication ratios are
+sustainable using the Intel Paragon and Thinking Machines CM-5 as
+reference points, then adopts coarse bands:
+
+- 1-15 FLOPs/word: *extremely difficult* to sustain,
+- 15-75 FLOPs/word: *sustainable but not easy*,
+- above 75 FLOPs/word: *quite easy* to sustain.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.units import DOUBLE_WORD
+
+
+class CommunicationPattern(enum.Enum):
+    """Locality class of an application's traffic (Section 2.3)."""
+
+    NEAREST_NEIGHBOR = "nearest-neighbor"
+    GENERAL = "general"  # random; bisection-limited
+
+
+class SustainabilityBand(enum.Enum):
+    """The paper's coarse sustainability judgement for a ratio."""
+
+    EXTREMELY_DIFFICULT = "extremely difficult (1-15 FLOPs/word)"
+    SUSTAINABLE = "sustainable but not easy (15-75 FLOPs/word)"
+    EASY = "quite easy (>75 FLOPs/word)"
+
+
+#: Band boundaries in FLOPs per word (Section 2.3).
+DIFFICULT_BELOW = 15.0
+EASY_ABOVE = 75.0
+
+
+def classify_ratio(flops_per_word: float) -> SustainabilityBand:
+    """Classify a computation-to-communication ratio into the paper's
+    sustainability bands."""
+    if flops_per_word < 0:
+        raise ValueError("ratio must be non-negative")
+    if flops_per_word < DIFFICULT_BELOW:
+        return SustainabilityBand.EXTREMELY_DIFFICULT
+    if flops_per_word <= EASY_ABOVE:
+        return SustainabilityBand.SUSTAINABLE
+    return SustainabilityBand.EASY
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A large-scale multiprocessor's node and network parameters.
+
+    Attributes:
+        name: Machine name.
+        mflops_per_node: Peak node floating-point rate (MFLOPS).
+        nn_bandwidth_mbps: Per-node nearest-neighbor channel bandwidth
+            (Mbytes/second).
+        general_bandwidth_mbps: Per-node sustainable bandwidth for
+            random traffic.  ``None`` means derive it from the mesh
+            bisection (:meth:`bisection_limited_bandwidth`).
+        mesh_side: For mesh networks, processors per side (used in the
+            bisection computation).
+    """
+
+    name: str
+    mflops_per_node: float
+    nn_bandwidth_mbps: float
+    general_bandwidth_mbps: float = None  # type: ignore[assignment]
+    mesh_side: int = 0
+
+    def bisection_limited_bandwidth(self, num_processors: int) -> float:
+        """Per-node bandwidth when half of all random messages cross a
+        mesh bisector (Section 2.3's Paragon argument).
+
+        For a ``sqrt(P) x sqrt(P)`` mesh the paper counts ``2*sqrt(P)``
+        links across a bisector (one per direction): "For a 32x32 (1024)
+        node Paragon, the number of network links across a bisector is
+        64."  With half of all random messages crossing, each processor
+        can generate ``links / (P/2)`` as much traffic as in the
+        nearest-neighbor case — 64/512 = 1/8 for the 1024-node Paragon.
+        """
+        side = int(round(math.sqrt(num_processors)))
+        if side * side != num_processors:
+            raise ValueError("bisection model expects a square mesh")
+        links_across = 2 * side
+        per_processor_share = links_across / (num_processors / 2)
+        return self.nn_bandwidth_mbps * per_processor_share
+
+    def sustainable_ratio(
+        self,
+        pattern: CommunicationPattern,
+        num_processors: int = 1024,
+    ) -> float:
+        """FLOPs per double word sustainable at full node speed.
+
+        Reproduces the paper's Paragon arithmetic: 200 MFLOPS node with a
+        200 MB/s channel gives 200 / (200/8) = 8 FLOPs per double word
+        nearest-neighbor, and 64 FLOPs/word for random traffic at 1024
+        nodes.
+        """
+        if pattern is CommunicationPattern.NEAREST_NEIGHBOR:
+            bandwidth = self.nn_bandwidth_mbps
+        elif self.general_bandwidth_mbps is not None:
+            bandwidth = self.general_bandwidth_mbps
+        else:
+            bandwidth = self.bisection_limited_bandwidth(num_processors)
+        words_per_second = bandwidth / (DOUBLE_WORD / 1e6) / 1e6  # Mwords/s
+        return self.mflops_per_node / words_per_second
+
+
+#: Intel Paragon: 4 x 50-MFLOPS processors per node, 200 MB/s channels,
+#: 2-D mesh (Section 2.3).
+PARAGON = MachineSpec(
+    name="Intel Paragon",
+    mflops_per_node=200.0,
+    nn_bandwidth_mbps=200.0,
+    mesh_side=32,
+)
+
+#: Thinking Machines CM-5: 128-MFLOPS vector nodes, 20 MB/s
+#: nearest-neighbor, 5 MB/s general bandwidth (Section 2.3).
+CM5 = MachineSpec(
+    name="Thinking Machines CM-5",
+    mflops_per_node=128.0,
+    nn_bandwidth_mbps=20.0,
+    general_bandwidth_mbps=5.0,
+)

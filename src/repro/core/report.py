@@ -1,0 +1,59 @@
+"""Plain-text rendering of tables and figure series.
+
+The experiment drivers print the same rows/series the paper reports;
+these helpers keep the formatting consistent across experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.core.curves import MissRateCurve
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an ASCII table with column alignment.
+
+    >>> print(format_table(["a", "b"], [[1, "x"], [22, "yy"]]))
+    a  | b
+    ---+---
+    1  | x
+    22 | yy
+    """
+    materialized: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [fmt_row(list(headers)), sep]
+    lines.extend(fmt_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def format_curve_series(curves: Sequence[MissRateCurve]) -> str:
+    """Tabulate several miss-rate curves side by side, one row per
+    cache size (the union of sampled capacities)."""
+    from repro.units import format_size
+
+    capacities = sorted(
+        {int(c) for curve in curves for c in curve.capacities}
+    )
+    headers = ["cache size"] + [curve.label or f"series{i}" for i, curve in enumerate(curves)]
+    rows = []
+    for cap in capacities:
+        row: List[object] = [format_size(cap)]
+        for curve in curves:
+            row.append(f"{curve.value_at(cap):.4g}")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def banner(title: str, width: int = 72) -> str:
+    """A section banner for experiment output."""
+    pad = max(0, width - len(title) - 2)
+    left = pad // 2
+    right = pad - left
+    return f"{'=' * left} {title} {'=' * right}"

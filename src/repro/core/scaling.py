@@ -1,0 +1,159 @@
+"""Problem-scaling models: memory-constrained (MC) and time-constrained
+(TC) scaling.
+
+Section 2.2 of the paper: "Given a larger machine, the MC scaling model
+assumes that a user will scale the problem to fill the available main
+memory on the machine, regardless of the effect this has on execution
+time.  The TC scaling model ... assumes that the user will increase the
+problem size so that the new problem takes as much time to solve on the
+new machine as the old problem took on the old machine."  (Following
+Singh, Hennessy & Gupta 1993.)
+
+Both models are expressed against a :class:`ProblemScaler`, which an
+application supplies: monotone functions giving data-set size and
+sequential work as a function of a scalar problem parameter ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+def solve_monotone(
+    f: Callable[[float], float],
+    target: float,
+    lo: float,
+    hi: float,
+    tol: float = 1e-9,
+    max_iter: int = 200,
+) -> float:
+    """Solve ``f(x) == target`` for monotonically increasing ``f`` by
+    bisection, expanding ``hi`` geometrically until it brackets.
+
+    Raises ``ValueError`` if the target is below ``f(lo)``.
+    """
+    if f(lo) > target * (1 + 1e-12):
+        raise ValueError(
+            f"target {target} below f(lo)={f(lo)}; cannot shrink past lo"
+        )
+    expansions = 0
+    while f(hi) < target:
+        hi *= 2.0
+        expansions += 1
+        if expansions > 200:
+            raise ValueError("could not bracket target; f may not reach it")
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        if f(mid) < target:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= tol * max(1.0, abs(hi)):
+            break
+    return 0.5 * (lo + hi)
+
+
+@dataclass(frozen=True)
+class ProblemScaler:
+    """Application-supplied growth laws for scaling analysis.
+
+    Attributes:
+        name: Application name.
+        data_bytes: Data-set size in bytes as a function of ``n``.
+        work_ops: Sequential operation count as a function of ``n``.
+        n0: Baseline problem parameter.
+        p0: Baseline processor count.
+    """
+
+    name: str
+    data_bytes: Callable[[float], float]
+    work_ops: Callable[[float], float]
+    n0: float
+    p0: int
+
+
+@dataclass(frozen=True)
+class ScaledProblem:
+    """Result of applying a scaling model.
+
+    Attributes:
+        n: Scaled problem parameter.
+        p: Scaled processor count.
+        data_bytes: Scaled data-set size.
+        work_ops: Scaled total work.
+        time_units: Parallel time proxy, ``work_ops / p`` (the paper's
+            model with fixed per-processor speed).
+        memory_per_processor: ``data_bytes / p`` — the grain size.
+    """
+
+    n: float
+    p: int
+    data_bytes: float
+    work_ops: float
+
+    @property
+    def time_units(self) -> float:
+        return self.work_ops / self.p
+
+    @property
+    def memory_per_processor(self) -> float:
+        return self.data_bytes / self.p
+
+
+class MemoryConstrainedScaling:
+    """MC scaling: grow the problem to keep memory per processor fixed."""
+
+    name = "memory-constrained"
+
+    def scale(self, scaler: ProblemScaler, p: int) -> ScaledProblem:
+        """Problem that fills ``p`` processors at the baseline grain size."""
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        base_data = scaler.data_bytes(scaler.n0)
+        grain = base_data / scaler.p0
+        target_data = grain * p
+        n = solve_monotone(
+            scaler.data_bytes, target_data, lo=1.0, hi=max(2.0, scaler.n0)
+        )
+        return ScaledProblem(
+            n=n, p=p, data_bytes=scaler.data_bytes(n), work_ops=scaler.work_ops(n)
+        )
+
+
+class TimeConstrainedScaling:
+    """TC scaling: grow the problem to keep parallel execution time fixed."""
+
+    name = "time-constrained"
+
+    def scale(self, scaler: ProblemScaler, p: int) -> ScaledProblem:
+        """Problem whose parallel time on ``p`` processors matches the
+        baseline problem's time on ``p0`` processors."""
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        base_time = scaler.work_ops(scaler.n0) / scaler.p0
+        target_work = base_time * p
+        n = solve_monotone(
+            scaler.work_ops, target_work, lo=1.0, hi=max(2.0, scaler.n0)
+        )
+        return ScaledProblem(
+            n=n, p=p, data_bytes=scaler.data_bytes(n), work_ops=scaler.work_ops(n)
+        )
+
+
+def growth_exponent(
+    f: Callable[[float], float], n: float, factor: float = 2.0
+) -> float:
+    """Finite-difference estimate of the local power-law exponent of
+    ``f`` at ``n``: ``d log f / d log n``.
+
+    Used by the Table-1 experiment to verify the paper's symbolic growth
+    rates numerically (e.g. LU ops ~ n^3 -> exponent 3.0).
+    """
+    import math
+
+    f1 = f(n)
+    f2 = f(n * factor)
+    if f1 <= 0 or f2 <= 0:
+        raise ValueError("f must be positive to estimate a growth exponent")
+    return math.log(f2 / f1) / math.log(factor)

@@ -1,0 +1,136 @@
+"""Parallel-performance projection.
+
+Turns the paper's per-application characterization into speedup-versus-
+processors curves using its own coarse model (Section 2.3/2.4
+assumptions): fixed per-processor speed, communication costed against
+the machine's sustainable bandwidth, load imbalance from the
+units-per-processor verdict, and an optional unparallelized fraction
+(e.g. the CG global sum at O(log P), or a partitioning step).
+
+This is the machinery behind statements like "a 1024-processor machine
+with 1 Mbyte of data per processor would produce good processor
+utilization" — it makes the implied utilization number explicit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.analysis import ApplicationModel
+from repro.core.grain import GrainConfig, GrainVerdict
+from repro.core.machine import (
+    CommunicationPattern,
+    MachineSpec,
+    PARAGON,
+)
+
+#: Load-balance efficiency per verdict (same constants as core.cost).
+BALANCE_EFFICIENCY = {
+    GrainVerdict.GOOD: 1.0,
+    GrainVerdict.MARGINAL: 0.7,
+    GrainVerdict.POOR: 0.35,
+}
+
+
+@dataclass
+class SpeedupPoint:
+    """Projected performance at one machine size.
+
+    Attributes:
+        num_processors: P.
+        speedup: Projected speedup over one processor.
+        efficiency: speedup / P.
+        comm_fraction: Fraction of time spent waiting on communication.
+    """
+
+    num_processors: int
+    speedup: float
+    comm_fraction: float
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / self.num_processors
+
+
+def project_speedup(
+    model: ApplicationModel,
+    total_data_bytes: float,
+    processor_counts: Sequence[int],
+    machine: MachineSpec = PARAGON,
+    pattern: CommunicationPattern = CommunicationPattern.NEAREST_NEIGHBOR,
+    serial_fraction: Callable[[int], float] = lambda p: 0.0,
+) -> List[SpeedupPoint]:
+    """Project speedup at each machine size for a fixed problem.
+
+    The model: per-processor time = compute/P x (1 + comm overhead) /
+    balance efficiency, plus a serial term.  Communication overhead is
+    the ratio of the machine's sustainable FLOPs/word to the
+    application's FLOPs/word (when the application communicates more
+    intensively than the network sustains, processors wait).
+
+    Args:
+        model: The application model.
+        total_data_bytes: Problem size (fixed-problem speedup).
+        processor_counts: Machine sizes to project.
+        machine: Network/node parameters for sustainability.
+        pattern: Traffic locality class.
+        serial_fraction: Unparallelized fraction of the work as a
+            function of P (e.g. ``lambda p: 1e-4 * math.log2(p)`` for a
+            global-sum term).
+
+    Returns:
+        One :class:`SpeedupPoint` per processor count.
+    """
+    points = []
+    for p in processor_counts:
+        config = GrainConfig(total_data_bytes, p)
+        app_ratio = model.flops_per_word(config)
+        if p == 1:
+            sustainable = float("inf")
+        else:
+            try:
+                sustainable = machine.sustainable_ratio(pattern, p)
+            except ValueError:
+                sustainable = machine.sustainable_ratio(pattern, _square_below(p))
+        comm_overhead = (
+            sustainable / app_ratio if math.isfinite(sustainable) and app_ratio > 0
+            else 0.0
+        )
+        verdict = model.load_model.assess(model.units_per_processor(config))
+        efficiency = BALANCE_EFFICIENCY[verdict]
+        serial = max(0.0, min(1.0, serial_fraction(p)))
+        parallel_time = (1.0 - serial) / p * (1.0 + comm_overhead) / efficiency
+        time = serial + parallel_time
+        speedup = 1.0 / time
+        comm_fraction = (
+            parallel_time
+            * comm_overhead
+            / (1.0 + comm_overhead)
+            / time
+        )
+        points.append(
+            SpeedupPoint(
+                num_processors=p, speedup=speedup, comm_fraction=comm_fraction
+            )
+        )
+    return points
+
+
+def _square_below(p: int) -> int:
+    """The largest perfect square not exceeding p (for mesh bisection)."""
+    side = int(math.isqrt(p))
+    return max(1, side * side)
+
+
+def utilization_summary(points: Sequence[SpeedupPoint]) -> str:
+    """One-line-per-size rendering of a projection."""
+    lines = []
+    for point in points:
+        lines.append(
+            f"P={point.num_processors:>6}: speedup {point.speedup:>9.1f}"
+            f" (efficiency {point.efficiency:.0%},"
+            f" comm wait {point.comm_fraction:.0%})"
+        )
+    return "\n".join(lines)

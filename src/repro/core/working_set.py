@@ -1,0 +1,121 @@
+"""Working-set hierarchy representation.
+
+The paper finds that every studied application has "a hierarchy of
+well-defined per-processor working sets" (abstract): a few small sets
+(lev1WS, lev2WS, ...) and one large one that usually comprises the
+processor's entire partition of the data.  Each working set is a knee in
+the miss-rate-versus-cache-size curve; the *important* working set is the
+one whose accommodation brings the miss rate near the inherent
+communication floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.units import format_size
+
+
+@dataclass(frozen=True)
+class WorkingSet:
+    """One level of an application's working-set hierarchy.
+
+    Attributes:
+        level: 1 for lev1WS, 2 for lev2WS, and so on.
+        name: Algorithmic identity, e.g. ``"two block columns"`` for LU's
+            lev1WS.
+        size_bytes: Size of the working set for the problem instance at
+            hand.
+        miss_rate_after: Approximate miss rate once a cache accommodates
+            this working set (the plateau to the right of the knee).
+            Units follow the application's metric (misses/FLOP or read
+            miss rate).
+        important: True for the working set the paper identifies as
+            critical to performance.
+        scaling: Human-readable growth law, e.g. ``"const"``,
+            ``"(1/theta^2) log n"``.
+    """
+
+    level: int
+    name: str
+    size_bytes: float
+    miss_rate_after: float
+    important: bool = False
+    scaling: str = "const"
+
+    def __str__(self) -> str:
+        star = " *" if self.important else ""
+        return (
+            f"lev{self.level}WS{star}: {self.name} — {format_size(self.size_bytes)}"
+            f" (miss rate after: {self.miss_rate_after:.4g}, scales as {self.scaling})"
+        )
+
+
+@dataclass
+class WorkingSetHierarchy:
+    """The full hierarchy for one application and problem instance.
+
+    Attributes:
+        application: Application name (``"LU"``, ``"Barnes-Hut"`` ...).
+        problem: Human-readable problem description.
+        levels: Working sets ordered by level.
+        dataset_bytes: Total data-set size of the problem.
+        per_processor_bytes: The processor's partition (the large,
+            bimodal working set the paper contrasts the small ones with).
+    """
+
+    application: str
+    problem: str
+    levels: List[WorkingSet] = field(default_factory=list)
+    dataset_bytes: float = 0.0
+    per_processor_bytes: float = 0.0
+
+    def add(self, working_set: WorkingSet) -> None:
+        self.levels.append(working_set)
+        self.levels.sort(key=lambda ws: ws.level)
+
+    def level(self, level: int) -> WorkingSet:
+        for ws in self.levels:
+            if ws.level == level:
+                return ws
+        raise KeyError(f"no level-{level} working set in {self.application}")
+
+    @property
+    def important_working_set(self) -> WorkingSet:
+        """The working set the paper flags as critical to performance."""
+        for ws in self.levels:
+            if ws.important:
+                return ws
+        raise ValueError(
+            f"{self.application}: no working set marked important"
+        )
+
+    def cache_size_recommendation(self, slack: float = 2.0) -> float:
+        """Bytes of fully associative cache needed for good performance.
+
+        ``slack`` inflates the important working set to absorb imperfect
+        LRU behaviour; the paper notes measured sizes are "aggressive
+        estimates of desirable cache size".
+        """
+        if slack < 1.0:
+            raise ValueError("slack must be >= 1")
+        return self.important_working_set.size_bytes * slack
+
+    def is_bimodal(self, gap_factor: float = 8.0) -> bool:
+        """True when the hierarchy matches the paper's bimodality claim:
+        the largest working set dwarfs all the others by ``gap_factor``.
+        """
+        if len(self.levels) < 2:
+            return False
+        sizes = sorted(ws.size_bytes for ws in self.levels)
+        return sizes[-1] >= gap_factor * sizes[-2]
+
+    def describe(self) -> str:
+        lines = [f"{self.application}: {self.problem}"]
+        lines.extend(f"  {ws}" for ws in self.levels)
+        lines.append(
+            f"  data set: {format_size(self.dataset_bytes)}, "
+            f"per-processor partition: {format_size(self.per_processor_bytes)}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Run every experiment and print the consolidated reproduction report.
+
+Usage::
+
+    python -m repro.experiments            # everything (minutes)
+    python -m repro.experiments fig2 table2 ...   # a subset
+    python -m repro.experiments --quick    # reduced trace sizes (~1 min)
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    all_cache,
+    assoc_study,
+    bh_phases,
+    cg_blocking,
+    cg_unstructured,
+    cost_model,
+    fig2_lu,
+    fig4_cg,
+    fig5_fft,
+    fig6_barneshut,
+    fig7_volrend,
+    grain_sweep,
+    hierarchy_design,
+    line_size_study,
+    prefetch_study,
+    scaling_study,
+    table1,
+    table2,
+    volrend_stealing,
+)
+
+#: id -> kwargs overriding the defaults for a fast smoke run.
+QUICK_OVERRIDES = {
+    "fig2": {"validate_n": 64},
+    "fig4": {"validate_n": 64},
+    "fig5": {"validate_n": 2**10},
+    "fig6": {"n": 256},
+    "fig7": {"n": 32, "slope_sizes": (24, 40)},
+    "assoc": {"n": 128, "capacities": [1 << k for k in range(8, 16)]},
+    "bh-phases": {"n": 256},
+    "cg-unstructured": {"side": 32, "num_parts": 8},
+    "volrend-stealing": {"n": 32, "processor_counts": (4, 16, 64)},
+}
+
+#: id -> (module, kwargs for a full-quality run)
+EXPERIMENTS = {
+    "fig2": (fig2_lu, {}),
+    "fig4": (fig4_cg, {}),
+    "fig5": (fig5_fft, {}),
+    "fig6": (fig6_barneshut, {}),
+    "fig7": (fig7_volrend, {}),
+    "table1": (table1, {}),
+    "table2": (table2, {}),
+    "grain": (grain_sweep, {}),
+    "all-cache": (all_cache, {}),
+    "assoc": (assoc_study, {}),
+    "bh-phases": (bh_phases, {}),
+    "prefetch": (prefetch_study, {}),
+    "hierarchy": (hierarchy_design, {}),
+    "line-size": (line_size_study, {}),
+    "cost": (cost_model, {}),
+    "scaling": (scaling_study, {}),
+    "cg-blocking": (cg_blocking, {}),
+    "cg-unstructured": (cg_unstructured, {}),
+    "volrend-stealing": (volrend_stealing, {}),
+}
+
+
+def main(argv: list) -> int:
+    quick = "--quick" in argv
+    argv = [a for a in argv if a != "--quick"]
+    wanted = argv or list(EXPERIMENTS)
+    unknown = [name for name in wanted if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; choices: {list(EXPERIMENTS)}")
+        return 2
+    for name in wanted:
+        module, kwargs = EXPERIMENTS[name]
+        if quick:
+            kwargs = {**kwargs, **QUICK_OVERRIDES.get(name, {})}
+        started = time.time()
+        result = module.run(**kwargs)
+        elapsed = time.time() - started
+        print(result.render())
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+def cli() -> int:
+    """Console-script entry point (``repro-experiments``)."""
+    return main(sys.argv[1:])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,142 @@
+"""The all-cache machine design point (paper Section 4.2 aside).
+
+"Particularly under time-constrained scaling, the data set per
+processor may not be very large on large-scale machines, so that it may
+make sense to build larger caches and fit the lev2WS in the cache.
+This amounts to fitting the entire data set in cache memory, so that
+there is no need for DRAM memory.  While this may be an interesting
+design point for very large-scale machines, we restrict ourselves here
+to a more conservative model ..."
+
+We make the trade-off concrete for CG: compare a conventional node
+(small cache + DRAM, paying miss stalls every sweep) against an
+all-SRAM node (cache holds the whole partition; only communication
+misses remain) across partition sizes, in both time and cost-adjusted
+time.  SRAM's ~25x per-byte premium means the all-cache node wins only
+when the partition is small — exactly the TC-scaling regime the paper
+points at.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.apps.cg.model import CGModel
+from repro.core.cost import ComponentPrices, MISS_PENALTY_OPS
+from repro.core.report import format_table
+from repro.experiments.runner import ExperimentResult, SeriesComparison
+from repro.units import DOUBLE_WORD, KB, MB, format_size
+
+
+#: Fraction of CG's misses a stride prefetcher hides (measured by the
+#: prefetch_study experiment: ~78%).
+CG_PREFETCH_COVERAGE = 0.78
+
+
+def node_times_and_costs(
+    partition_bytes: float,
+    conventional_cache: float = 64 * KB,
+    prices: ComponentPrices = ComponentPrices(),
+    prefetch_coverage: float = CG_PREFETCH_COVERAGE,
+) -> dict:
+    """Per-iteration time (op-equivalents per point) and node cost for
+    the two design points at one partition size."""
+    points = partition_bytes / (CGModel.POINT_DOUBLEWORDS_2D * DOUBLE_WORD)
+    # Use a CG model sized so one processor's partition matches.
+    side = max(4, int(points**0.5))
+    model = CGModel(n=side, num_processors=1)
+    flops_per_point = 20.0  # matvec + vector ops
+    # Conventional node: the sweep misses at the post-lev1 plateau, but
+    # CG's streams are largely prefetchable, hiding most stalls.
+    conventional_rate = model.miss_rate_model(conventional_cache)
+    conventional_time = flops_per_point * (
+        1.0 + conventional_rate * MISS_PENALTY_OPS * (1.0 - prefetch_coverage)
+    )
+    conventional_cost = prices.node_cost(conventional_cache, partition_bytes)
+    # All-cache node: the whole partition in SRAM, only boundary misses
+    # remain (equally prefetchable — CG's exchanges are regular).
+    all_cache_rate = model.communication_miss_rate()
+    all_cache_time = flops_per_point * (
+        1.0 + all_cache_rate * MISS_PENALTY_OPS * (1.0 - prefetch_coverage)
+    )
+    all_cache_cost = prices.node_cost(partition_bytes * 1.25, 0.0)
+    return {
+        "conventional_time": conventional_time,
+        "conventional_cost": conventional_cost,
+        "all_cache_time": all_cache_time,
+        "all_cache_cost": all_cache_cost,
+    }
+
+
+def run(
+    partition_sizes: Sequence[float] = (
+        16 * KB, 64 * KB, 256 * KB, 1 * MB, 4 * MB, 16 * MB,
+    ),
+) -> ExperimentResult:
+    """Sweep partition sizes; find where the all-cache node stops being
+    cost-effective."""
+    result = ExperimentResult(
+        experiment_id="all-cache",
+        title="All-cache (no-DRAM) node design point for CG (Section 4.2)",
+    )
+    rows: List[List[object]] = []
+    crossover = None
+    for partition in partition_sizes:
+        numbers = node_times_and_costs(partition)
+        speedup = numbers["conventional_time"] / numbers["all_cache_time"]
+        cost_ratio = numbers["all_cache_cost"] / numbers["conventional_cost"]
+        value = speedup / cost_ratio  # performance per cost
+        if value >= 1.0:
+            crossover = partition
+        rows.append(
+            [
+                format_size(partition),
+                f"{speedup:.2f}x",
+                f"{cost_ratio:.2f}x",
+                f"{value:.2f}",
+                "all-cache" if value >= 1.0 else "conventional",
+            ]
+        )
+    result.tables["design-point comparison"] = format_table(
+        [
+            "Partition/node",
+            "All-cache speedup",
+            "All-cache cost",
+            "Perf/cost vs conventional",
+            "Winner (perf/cost)",
+        ],
+        rows,
+    )
+    sample = node_times_and_costs(256 * KB)
+    result.comparisons.extend(
+        [
+            SeriesComparison(
+                "all-cache speedup at 256 KB partitions",
+                None,
+                sample["conventional_time"] / sample["all_cache_time"],
+                "x",
+                note="sweep miss stalls eliminated",
+            ),
+            SeriesComparison(
+                "largest cost-effective all-cache partition",
+                None,
+                float(crossover) if crossover else 0.0,
+                "bytes",
+                note="'an interesting design point for very large-scale"
+                " machines' — i.e. small TC-scaled partitions",
+            ),
+        ]
+    )
+    result.notes.append(
+        "prices: DRAM 40/MB, SRAM 1/KB (25.6x per byte); all-cache node"
+        " carries 25% SRAM headroom over the partition"
+    )
+    return result
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

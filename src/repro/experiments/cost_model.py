@@ -1,0 +1,144 @@
+"""Cost-performance study of the Section 8 conjecture.
+
+"Overall, it may turn out that designs that split the cost equally
+between processors and memory will be the most competitive, in that
+they will be within a small constant factor of the optimal design for
+any given application."
+
+We enumerate node designs under a fixed budget (each design spends the
+remainder of the budget on DRAM after buying processors and cache),
+score every design for every application with the paper's coarse
+execution-time model, and compare (a) each application's optimum with
+(b) the best *equal-split* design (30-70% of cost in memory).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.core.cost import (
+    ComponentPrices,
+    DesignEvaluation,
+    NodeDesign,
+    best_design,
+    enumerate_designs,
+    evaluate_design,
+)
+from repro.core.report import format_table
+from repro.experiments.runner import ExperimentResult, SeriesComparison
+from repro.experiments.table2 import prototypical_models
+from repro.units import GB, format_size
+
+
+def _work_ops(model) -> float:
+    """Total operation count of each prototypical problem."""
+    name = model.name
+    if name == "LU":
+        return model.flops()
+    if name == "CG":
+        return 100 * model.flops_per_iteration()  # 100 iterations
+    if name == "FFT":
+        return model.flops()
+    if name == "Barnes-Hut":
+        return model.work_instructions()
+    if name == "Volume Rendering":
+        return 30 * model.instructions_per_frame()  # one second of frames
+    raise KeyError(name)
+
+
+def run(
+    budget: float = 3_000_000.0,
+    total_data_bytes: float = GB,
+    prices: ComponentPrices = ComponentPrices(),
+) -> ExperimentResult:
+    """Score all designs for all applications under one budget."""
+    result = ExperimentResult(
+        experiment_id="cost",
+        title=f"Node-design cost study, budget {budget:,.0f} units, "
+        f"{format_size(total_data_bytes)} problem",
+    )
+    designs = enumerate_designs(budget, total_data_bytes, prices)
+    rows = []
+    equal_split_penalties = []
+    for model in prototypical_models():
+        work = _work_ops(model)
+        evaluations: List[DesignEvaluation] = [
+            evaluate_design(
+                model,
+                design,
+                total_data_bytes,
+                work,
+                model.miss_rate_model,
+            )
+            for design in designs
+        ]
+        optimum = best_design(evaluations)
+        # Best among near-equal-split designs (30-70% of cost in memory;
+        # power-of-two machines cannot hit 50% exactly).
+        split = [
+            e
+            for e in evaluations
+            if e.feasible
+            and 0.3 <= e.design.memory_cost_fraction(prices) <= 0.7
+        ]
+        rows.append(
+            [
+                model.name,
+                optimum.design.num_processors,
+                format_size(optimum.design.cache_bytes),
+                format_size(optimum.design.memory_bytes),
+                f"{optimum.design.memory_cost_fraction(prices):.0%}",
+                f"{min(e.time_units for e in split) / optimum.time_units:.2f}x"
+                if split
+                else "n/a",
+            ]
+        )
+        if split:
+            penalty = min(e.time_units for e in split) / optimum.time_units
+            equal_split_penalties.append(penalty)
+            result.comparisons.append(
+                SeriesComparison(
+                    f"{model.name}: equal-split penalty",
+                    None,
+                    penalty,
+                    "x optimal time",
+                    note="1.0 = the equal split IS optimal",
+                )
+            )
+    result.tables["per-application optimal designs"] = format_table(
+        [
+            "Application",
+            "P*",
+            "cache*",
+            "memory/node*",
+            "memory cost share",
+            "equal-split penalty",
+        ],
+        rows,
+    )
+    if equal_split_penalties:
+        worst = max(equal_split_penalties)
+        result.comparisons.append(
+            SeriesComparison(
+                "worst equal-split penalty across applications",
+                None,
+                worst,
+                "x optimal time",
+                note="the Section 8 conjecture holds if this is a small"
+                " constant",
+            )
+        )
+    result.notes.append(
+        "model: time = (work/P)(1 + miss_rate x 30) / balance_efficiency"
+        " + comm/P; prices: processor 1000, DRAM 40/MB, SRAM 1/KB"
+    )
+    return result
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,150 @@
+"""Figure 2: miss rates for dense LU factorization, n=10,000, P=1024.
+
+Reproduces the analytical curves at full scale for block sizes B = 4,
+16, 64 (exactly the paper's method — Section 3.2 derives the curve
+analytically) and validates the model with a trace-driven simulation of
+a reduced problem, just as the paper "use[s] simulation to confirm our
+estimates for some examples".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.lu.model import LUModel
+from repro.apps.lu.trace import LUTraceGenerator
+from repro.core.curves import MissRateCurve
+from repro.core.knee import match_knee
+from repro.experiments.runner import ExperimentResult, SeriesComparison
+from repro.mem.stack_distance import default_capacity_grid, profile_trace
+from repro.units import KB
+
+#: Paper-reported working-set sizes for B=16 (Section 3.2).
+PAPER_LEV1_BYTES = 260.0
+PAPER_LEV2_BYTES = 2200.0
+PAPER_LEV3_BYTES = 80.0 * KB
+
+
+def run(
+    n: int = 10_000,
+    num_processors: int = 1024,
+    block_sizes: tuple = (4, 16, 64),
+    validate_n: Optional[int] = 96,
+    validate_block: int = 8,
+    validate_processors: int = 4,
+) -> ExperimentResult:
+    """Regenerate Figure 2 (and the trace validation).
+
+    Args:
+        n, num_processors, block_sizes: The full-scale analytical sweep.
+        validate_n: Reduced matrix order for trace validation (None
+            skips the simulation).
+        validate_block, validate_processors: Reduced-problem shape.
+    """
+    result = ExperimentResult(
+        experiment_id="fig2",
+        title=f"LU miss rates, n={n}, PE={num_processors}",
+    )
+    grid = default_capacity_grid(min_bytes=64, max_bytes=4 * 1024 * 1024)
+    for block in block_sizes:
+        model = LUModel(n=n, block_size=block, num_processors=num_processors)
+        result.curves.append(
+            MissRateCurve.from_model(
+                model.miss_rate_model,
+                grid,
+                metric="misses_per_flop",
+                label=f"B={block}",
+            )
+        )
+
+    model16 = LUModel(n=n, block_size=16, num_processors=num_processors)
+    result.comparisons.extend(
+        [
+            SeriesComparison(
+                "lev1WS (two block columns, B=16)",
+                PAPER_LEV1_BYTES,
+                model16.lev1_bytes(),
+                "bytes",
+            ),
+            SeriesComparison(
+                "lev2WS (one block, B=16)",
+                PAPER_LEV2_BYTES,
+                model16.lev2_bytes(),
+                "bytes",
+            ),
+            SeriesComparison(
+                "lev3WS (pivot row/column, B=16)",
+                PAPER_LEV3_BYTES,
+                model16.lev3_bytes(),
+                "bytes",
+            ),
+            SeriesComparison(
+                "miss rate after lev2WS",
+                1.0 / 16,
+                model16.miss_rate_model(model16.lev2_bytes()),
+                "misses/FLOP",
+                note="paper: 'roughly 1/B'",
+            ),
+        ]
+    )
+
+    if validate_n:
+        gen = LUTraceGenerator(
+            n=validate_n,
+            block_size=validate_block,
+            num_processors=validate_processors,
+        )
+        trace = gen.trace_for_processor(0)
+        profile = profile_trace(trace)
+        small_grid = default_capacity_grid(min_bytes=64, max_bytes=256 * 1024)
+        measured = MissRateCurve.from_profile(
+            profile,
+            small_grid,
+            metric="misses_per_flop",
+            flops=gen.flops,
+            label=f"simulated B={validate_block} (n={validate_n}, P={validate_processors})",
+        )
+        result.curves.append(measured)
+        small_model = LUModel(
+            n=validate_n,
+            block_size=validate_block,
+            num_processors=validate_processors,
+        )
+        knees = measured.knees(rel_threshold=0.2)
+        lev2_knee = match_knee(knees, small_model.lev2_bytes())
+        result.comparisons.append(
+            SeriesComparison(
+                "simulated lev2WS knee (reduced problem)",
+                small_model.lev2_bytes(),
+                lev2_knee.capacity_bytes,
+                "bytes",
+                note="model prediction vs trace-measured knee",
+            )
+        )
+        result.comparisons.append(
+            SeriesComparison(
+                "simulated floor vs communication rate",
+                small_model.communication_miss_rate(),
+                measured.floor,
+                "misses/FLOP",
+            )
+        )
+        result.notes.append(
+            "simulated floor includes the ~1/(2B) capacity plateau until the"
+            " lev4WS fits; beyond it only communication misses remain"
+        )
+    result.notes.append(
+        "the important lev2WS depends only on B: a small constant cache"
+        " suffices for any problem or machine size (Section 3.2)"
+    )
+    return result
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

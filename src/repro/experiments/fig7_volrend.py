@@ -1,0 +1,192 @@
+"""Figure 7: working sets for volume rendering, p=4.
+
+The paper measures a 256x256x113 CT head.  That data set is not
+redistributable, so we render the synthetic head phantom (same
+occupancy structure — see DESIGN.md) at a reduced size, measure the
+working sets by trace simulation, and check the lev2WS against the
+paper's explicit size law ``4000 + 110 n`` bytes by sweeping the volume
+size.
+
+Paper landmarks: lev1WS ~0.4 KB (miss rate -> ~15%), lev2WS ~16 KB for
+the head (miss rate -> ~2%), lev3WS large (~700 KB) but unimportant,
+communication floor ~0.1%.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.apps.volrend.model import VolrendModel
+from repro.apps.volrend.trace import VolrendTraceGenerator
+from repro.apps.volrend.volume import synthetic_head
+from repro.core.curves import MissRateCurve
+from repro.core.knee import match_knee
+from repro.experiments.runner import ExperimentResult, SeriesComparison
+from repro.mem.stack_distance import StackDistanceProfiler, default_capacity_grid
+from repro.units import KB
+
+#: Paper-reported values for the head data set (Section 7.2).
+PAPER_LEV1_BYTES = 0.4 * KB
+PAPER_PLATEAU_AFTER_LEV1 = 0.15
+PAPER_PLATEAU_AFTER_LEV2 = 0.02
+PAPER_LEV2_SLOPE = 110.0  # bytes per voxel of volume side
+
+
+def _capacity_reaching(curve: MissRateCurve, target_rate: float) -> float:
+    """Smallest sampled capacity whose miss rate is at or below target."""
+    for cap, rate in zip(curve.capacities, curve.miss_rates):
+        if rate <= target_rate:
+            return float(cap)
+    return float(curve.capacities[-1])
+
+
+def _lev2_capacity(curve: MissRateCurve, hi_bytes: float) -> float:
+    """The measured lev2WS: the smallest capacity reaching within 25% of
+    the ray-to-ray reuse plateau (the minimum rate over capacities up to
+    ``hi_bytes``, which should be chosen below the lev3 cliff)."""
+    mask = curve.capacities <= hi_bytes
+    plateau = float(curve.miss_rates[mask].min())
+    return _capacity_reaching(curve, 1.25 * plateau)
+
+
+def run(
+    n: int = 48,
+    num_processors: int = 4,
+    frames: int = 2,
+    slope_sizes: Sequence[int] = (32, 48, 64),
+) -> ExperimentResult:
+    """Regenerate Figure 7 on the phantom, plus the lev2WS growth law."""
+    result = ExperimentResult(
+        experiment_id="fig7",
+        title=(
+            f"Volume rendering working sets: {n}^3 phantom,"
+            f" p={num_processors}"
+        ),
+    )
+    volume = synthetic_head(n)
+    gen = VolrendTraceGenerator(volume, num_processors=num_processors, image_size=n)
+    trace = gen.trace_for_processor(0, frames=frames)
+    profile = StackDistanceProfiler(
+        count_reads_only=True, warmup=len(trace) // frames // 2
+    ).profile(trace)
+    grid = default_capacity_grid(min_bytes=64, max_bytes=1024 * 1024)
+    measured = MissRateCurve.from_profile(
+        profile, grid, metric="read_miss_rate", label="simulated"
+    )
+    result.curves.append(measured)
+    model = VolrendModel(n=n, num_processors=num_processors)
+    result.curves.append(
+        MissRateCurve.from_model(
+            model.miss_rate_model, grid, metric="read_miss_rate", label="model"
+        )
+    )
+
+    knees = measured.knees(rel_threshold=0.25)
+    lev1 = match_knee(knees, PAPER_LEV1_BYTES, tolerance_factor=6.0)
+    # The lev2 drop is gradual (rays traverse varying depths), so locate
+    # the working set as the capacity that first reaches the paper's
+    # post-lev2 ~2% plateau rather than by knee segmentation.
+    lev2_size = _lev2_capacity(measured, 0.5 * model.lev3_bytes())
+    result.comparisons.extend(
+        [
+            SeriesComparison(
+                "lev1WS (sample-to-sample reuse)",
+                PAPER_LEV1_BYTES,
+                lev1.capacity_bytes,
+                "bytes",
+            ),
+            SeriesComparison(
+                "lev2WS (ray-to-ray reuse)",
+                model.lev2_bytes(),
+                lev2_size,
+                "bytes",
+                note="capacity first reaching the ~2% plateau; paper formula 4000 + 110n",
+            ),
+            SeriesComparison(
+                "miss rate after lev2WS",
+                PAPER_PLATEAU_AFTER_LEV2,
+                measured.value_at(2 * lev2_size),
+                "read miss rate",
+            ),
+            SeriesComparison(
+                "lev3WS (frame-to-frame reuse)",
+                model.lev3_bytes(),
+                _capacity_reaching(measured, 2.5 * measured.floor),
+                "bytes",
+                note="the cliff where the second frame's voxels hit",
+            ),
+        ]
+    )
+
+    # The lev2WS growth law: measure the knee at several volume sizes
+    # and fit the slope against the paper's 110 bytes/voxel-side.
+    if slope_sizes:
+        sizes = []
+        knee_sizes = []
+        for size in slope_sizes:
+            vol = synthetic_head(size)
+            g = VolrendTraceGenerator(vol, num_processors=num_processors, image_size=size)
+            tr = g.trace_for_processor(0, frames=1)
+            prof = StackDistanceProfiler(
+                count_reads_only=True, warmup=len(tr) // 4
+            ).profile(tr)
+            curve = MissRateCurve.from_profile(
+                prof,
+                default_capacity_grid(min_bytes=512, max_bytes=512 * 1024),
+                metric="read_miss_rate",
+            )
+            sizes.append(size)
+            # Single-frame traces have no lev3 cliff within this grid,
+            # so the global minimum is the ray-to-ray plateau.
+            knee_sizes.append(_lev2_capacity(curve, float("inf")))
+        if len(sizes) >= 2:
+            xs = np.asarray(sizes, float)
+            ys = np.asarray(knee_sizes, float)
+            slope, intercept = np.polyfit(xs, ys, 1)
+            predicted = slope * xs + intercept
+            ss_res = float(((ys - predicted) ** 2).sum())
+            ss_tot = float(((ys - ys.mean()) ** 2).sum()) or 1.0
+            r_squared = 1.0 - ss_res / ss_tot
+            result.comparisons.append(
+                SeriesComparison(
+                    "lev2WS growth: linear in n (R^2)",
+                    1.0,
+                    r_squared,
+                    "",
+                    note=f"knees {list(map(int, ys))} at sizes {sizes}",
+                )
+            )
+            result.comparisons.append(
+                SeriesComparison(
+                    "lev2WS growth slope",
+                    None,
+                    float(slope),
+                    "bytes per voxel of side",
+                    note=(
+                        f"paper's head/renderer fit is {PAPER_LEV2_SLOPE:.0f};"
+                        " ours is larger because the traced sample state"
+                        " includes octree-path and scratch reads (see"
+                        " EXPERIMENTS.md)"
+                    ),
+                )
+            )
+    result.notes.append(
+        "lev3WS (frame-to-frame reuse) appears when caches approach the"
+        " per-processor frame footprint; like the paper we do not rely"
+        " on it for performance"
+    )
+    result.notes.append(
+        "voxel data is read-only: there are no coherence misses, and the"
+        " floor is the cold/frame-overlap rate"
+    )
+    return result
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+"""Granularity sweep: Sections 3.3-7.3's coarse/prototypical/fine
+comparison for all five applications.
+
+For each application the paper evaluates the 1-Gbyte problem on a
+64-processor machine (16 MB/node), the prototypical 1024-processor
+machine (1 MB/node), and a 16K-processor machine (64 KB/node), judging
+communication sustainability and load balance.
+
+Paper landmarks checked here:
+
+- LU: ratio ~200 at 1 MB/node, ~50 at 64 KB/node; 380 blocks/processor
+  prototypically, 25 at the fine grain.
+- CG 2-D: ratio ~300 prototypically, ~75 at 16 KB/node.
+- FFT: ratio 33, unchanged by quantization on coarser machines.
+- Barnes-Hut: communication tiny; ~4500 particles/processor.
+- Volume rendering: ~600 instructions/word at any grain; 1000 rays
+  prototypically, ~66 at the fine grain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.analysis import ApplicationModel
+from repro.core.grain import GrainConfig, prototypical_configs
+from repro.core.report import format_table
+from repro.experiments.runner import ExperimentResult, SeriesComparison
+from repro.experiments.table2 import prototypical_models
+from repro.units import GB, format_size
+
+
+def run(
+    total_data_bytes: float = GB,
+    configs: Optional[Sequence[GrainConfig]] = None,
+) -> ExperimentResult:
+    """Assess every application at every granularity variant."""
+    result = ExperimentResult(
+        experiment_id="grain",
+        title=f"Grain-size assessments for a {format_size(total_data_bytes)} problem",
+    )
+    if configs is None:
+        configs = prototypical_configs(total_data_bytes)
+    rows = []
+    for model in prototypical_models():
+        for assessment in model.grain_assessments(configs):
+            rows.append(
+                [
+                    model.name,
+                    assessment.config.num_processors,
+                    format_size(assessment.config.memory_per_processor),
+                    f"{assessment.flops_per_word:.0f}",
+                    assessment.band.value.split(" (")[0],
+                    f"{assessment.units_per_processor:.0f} {model.load_model.unit_name}",
+                    assessment.verdict.value,
+                ]
+            )
+    result.tables["grain sweep"] = format_table(
+        ["Application", "P", "Grain", "FLOPs/word", "Band", "Work/processor", "Verdict"],
+        rows,
+    )
+
+    lu, cg, fft, bh, vr = prototypical_models()
+    proto = configs[1]
+    fine = configs[2]
+    result.comparisons.extend(
+        [
+            SeriesComparison(
+                "LU ratio, 1 MB grain", 200.0, lu.flops_per_word(proto), "FLOPs/word"
+            ),
+            SeriesComparison(
+                "LU ratio, 64 KB grain", 50.0, lu.flops_per_word(fine), "FLOPs/word"
+            ),
+            SeriesComparison(
+                "LU blocks/processor, prototypical",
+                380.0,
+                lu.units_per_processor(proto),
+                "blocks",
+                note="paper uses n=10,000 exactly; we derive n from 1 GB",
+            ),
+            SeriesComparison(
+                "CG 2-D ratio, 1 MB grain", 300.0, cg.flops_per_word(proto), "FLOPs/word"
+            ),
+            SeriesComparison(
+                "FFT exact ratio, prototypical",
+                33.0,
+                fft.flops_per_word(proto),
+                "FLOPs/word",
+            ),
+            SeriesComparison(
+                "FFT grain for ratio 60",
+                270.0 * 1024 * 1024,
+                fft.grain_for_ratio(60.0),
+                "bytes/processor",
+            ),
+            SeriesComparison(
+                "FFT grain for ratio 100",
+                18.0 * 1024**4,
+                fft.grain_for_ratio(100.0),
+                "bytes/processor",
+                note="the paper's '18 Terabytes' impossibility",
+            ),
+            SeriesComparison(
+                "Barnes-Hut particles/processor, prototypical",
+                4500.0,
+                bh.units_per_processor(proto),
+                "particles",
+            ),
+            SeriesComparison(
+                "Volume rendering instr/word",
+                600.0,
+                vr.flops_per_word(proto),
+                "instructions/word",
+            ),
+            SeriesComparison(
+                "Volume rendering rays/processor, fine grain",
+                66.0,
+                vr.units_per_processor(fine),
+                "rays",
+            ),
+        ]
+    )
+    result.notes.append(
+        "FFT quantization: on 64 processors the exact ratio is unchanged"
+        " because the number of communication stages does not change"
+        f" (coarse ratio {fft.flops_per_word(configs[0]):.0f})"
+    )
+    return result
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

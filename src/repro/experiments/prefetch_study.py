@@ -1,0 +1,127 @@
+"""Prefetchability study: quantifying the paper's predictability claims.
+
+The paper classifies each application's post-working-set misses by how
+easily they could be prefetched: LU "predictable enough to be easily
+prefetched", FFT "easily prefetched", CG's structure "very regular ...
+communication latencies can be easily hidden", versus Barnes-Hut "not
+predictable enough" and volume rendering "not regular enough".
+
+We measure the fraction of read misses a classic stride prefetcher
+covers at each application's post-lev1 cache size.  The regular kernels
+should score high; the irregular ones low.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps.barnes_hut.bodies import plummer_model
+from repro.apps.barnes_hut.trace import BarnesHutTraceGenerator
+from repro.apps.cg.trace import CGTraceGenerator
+from repro.apps.fft.trace import FFTTraceGenerator
+from repro.apps.lu.trace import LUTraceGenerator
+from repro.apps.volrend.trace import VolrendTraceGenerator
+from repro.apps.volrend.volume import synthetic_head
+from repro.core.report import format_table
+from repro.experiments.runner import ExperimentResult, SeriesComparison
+from repro.mem.prefetch import measure_prefetch_coverage
+from repro.units import KB
+
+#: Paper's qualitative predictions (Sections 3.2-7.2).
+PAPER_PREDICTION = {
+    "LU": "easily prefetched",
+    "CG": "easily hidden (regular)",
+    "FFT": "easily prefetched",
+    "Barnes-Hut": "not predictable enough",
+    "Volume Rendering": "not regular enough",
+}
+
+#: The regular three should exceed the irregular two; Barnes-Hut's
+#: pointer-chasing tree walk is the clearest negative case, while
+#: volume rendering sits in between (strided within a frame but
+#: data-dependent through early termination and octree skips).
+COVERAGE_SPLIT = 0.5
+
+
+def _traces() -> Dict[str, tuple]:
+    """(trace, post-lev1 cache bytes) per application, reduced scale."""
+    lu = LUTraceGenerator(n=64, block_size=8, num_processors=4)
+    lu_trace = lu.trace_for_processor(0)
+    cg = CGTraceGenerator(n=64, num_processors=4)
+    cg_trace = cg.trace_for_processor(0, iterations=2)
+    fft = FFTTraceGenerator(n=2**12, num_processors=4, internal_radix=8)
+    fft_trace = fft.trace_for_processor(0)
+    bh = BarnesHutTraceGenerator(
+        plummer_model(256, seed=4), theta=1.0, num_processors=4
+    )
+    bh_trace = bh.trace_for_processor(0)
+    vr = VolrendTraceGenerator(synthetic_head(32), num_processors=4, image_size=32)
+    vr_trace = vr.trace_for_processor(0, frames=1)
+    return {
+        "LU": (lu_trace, 2 * KB),
+        "CG": (cg_trace, 4 * KB),
+        "FFT": (fft_trace, 2 * KB),
+        "Barnes-Hut": (bh_trace, 2 * KB),
+        "Volume Rendering": (vr_trace, 2 * KB),
+    }
+
+
+def run(degree: int = 4) -> ExperimentResult:
+    """Measure stride-prefetch coverage for all five applications."""
+    result = ExperimentResult(
+        experiment_id="prefetch",
+        title="Stride-prefetch coverage of post-working-set misses",
+    )
+    rows = []
+    for name, (trace, cache_bytes) in _traces().items():
+        stats = measure_prefetch_coverage(trace, cache_bytes, degree=degree)
+        rows.append(
+            [
+                name,
+                f"{stats.misses:,}",
+                f"{stats.coverage:.1%}",
+                PAPER_PREDICTION[name],
+            ]
+        )
+        result.comparisons.append(
+            SeriesComparison(
+                f"{name}: stride coverage",
+                None,
+                stats.coverage,
+                "fraction of read misses",
+                note=PAPER_PREDICTION[name],
+            )
+        )
+    result.tables["prefetch coverage"] = format_table(
+        ["Application", "Read misses", "Stride coverage", "Paper's claim"], rows
+    )
+    regular = [
+        result.comparison(f"{n}: stride coverage").measured_value
+        for n in ("LU", "CG", "FFT")
+    ]
+    irregular = [
+        result.comparison(f"{n}: stride coverage").measured_value
+        for n in ("Barnes-Hut", "Volume Rendering")
+    ]
+    result.comparisons.append(
+        SeriesComparison(
+            "regular-vs-irregular separation",
+            None,
+            min(regular) - max(irregular),
+            "coverage gap",
+            note="positive gap confirms the paper's dichotomy",
+        )
+    )
+    result.notes.append(
+        "prefetcher: region-based stride predictor, degree"
+        f" {degree} — the sequential/stride hardware of the paper's era"
+    )
+    return result
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

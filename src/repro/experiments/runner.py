@@ -1,0 +1,100 @@
+"""Common structure for experiment results.
+
+Every experiment driver produces an :class:`ExperimentResult` holding
+the measured/model series plus paper-vs-measured comparisons, so that
+tests, benchmarks and EXPERIMENTS.md all consume the same object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.curves import MissRateCurve
+from repro.core.report import banner, format_curve_series, format_table
+
+
+@dataclass
+class SeriesComparison:
+    """One paper-reported quantity against our measurement.
+
+    Attributes:
+        quantity: What is compared (e.g. ``"lev2WS size"``).
+        paper_value: The paper's reported number (None when the paper
+            gives only a qualitative statement).
+        measured_value: Our number.
+        unit: Unit label.
+        note: Commentary on agreement/divergence.
+    """
+
+    quantity: str
+    paper_value: Optional[float]
+    measured_value: float
+    unit: str = ""
+    note: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.paper_value in (None, 0):
+            return None
+        return self.measured_value / self.paper_value
+
+    def row(self) -> List[object]:
+        paper = "-" if self.paper_value is None else f"{self.paper_value:.4g}"
+        ratio = "-" if self.ratio is None else f"{self.ratio:.2f}x"
+        return [
+            self.quantity,
+            paper,
+            f"{self.measured_value:.4g}",
+            self.unit,
+            ratio,
+            self.note,
+        ]
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one table/figure reproduction.
+
+    Attributes:
+        experiment_id: e.g. ``"fig2"``.
+        title: The paper artifact reproduced.
+        curves: Miss-rate series (for figures).
+        comparisons: Paper-vs-measured rows.
+        tables: Extra named ASCII tables (for table experiments).
+        notes: Free-form commentary.
+    """
+
+    experiment_id: str
+    title: str
+    curves: List[MissRateCurve] = field(default_factory=list)
+    comparisons: List[SeriesComparison] = field(default_factory=list)
+    tables: Dict[str, str] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable report of the experiment."""
+        parts = [banner(f"{self.experiment_id}: {self.title}")]
+        if self.curves:
+            parts.append(format_curve_series(self.curves))
+        for name, table in self.tables.items():
+            parts.append(f"\n-- {name} --")
+            parts.append(table)
+        if self.comparisons:
+            parts.append("\n-- paper vs measured --")
+            parts.append(
+                format_table(
+                    ["quantity", "paper", "measured", "unit", "ratio", "note"],
+                    [c.row() for c in self.comparisons],
+                )
+            )
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+    def comparison(self, quantity: str) -> SeriesComparison:
+        for comp in self.comparisons:
+            if comp.quantity == quantity:
+                return comp
+        raise KeyError(f"no comparison named {quantity!r}")

@@ -1,0 +1,170 @@
+"""Table 2: summary of important application parameters.
+
+For the prototypical 1-Gbyte problem on 1024 processors: the cache size
+needed for the important working set, its growth rate, and the
+desirable grain size — the paper's bottom-line table.
+
+Paper's cache-size column: LU 8K, CG 5K, FFT 4K, Barnes-Hut 45K,
+Volume Rendering 70K.  Desirable grain: < 1M / 1M per application.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.barnes_hut.model import BarnesHutModel
+from repro.apps.cg.model import CGModel
+from repro.apps.fft.model import FFTModel
+from repro.apps.lu.model import LUModel
+from repro.apps.volrend.model import VolrendModel
+from repro.core.analysis import ApplicationModel, characterize
+from repro.core.grain import prototypical_configs
+from repro.core.report import format_table
+from repro.experiments.runner import ExperimentResult, SeriesComparison
+from repro.units import GB, KB, MB, format_size
+
+#: Paper Table 2 cache-size column (bytes) for the 1G problem on 1K
+#: processors.
+PAPER_CACHE_SIZES = {
+    "LU": 8 * KB,
+    "CG": 5 * KB,
+    "FFT": 4 * KB,
+    "Barnes-Hut": 45 * KB,
+    "Volume Rendering": 70 * KB,
+}
+
+#: Paper Table 2 growth-rate columns.
+PAPER_GROWTH = {
+    "LU": ("const.", "const."),
+    "CG": ("const.", "const."),
+    "FFT": ("const.", "const."),
+    "Barnes-Hut": ("log DS", "const."),
+    "Volume Rendering": ("DS^(1/3)", "DS^(1/3)"),
+}
+
+
+def prototypical_models_at(
+    dataset_bytes: float, num_processors: int
+) -> List[ApplicationModel]:
+    """The five application models at an arbitrary problem size."""
+    return [
+        LUModel.for_dataset(
+            dataset_bytes, block_size=16, num_processors=num_processors
+        ),
+        CGModel.for_dataset(dataset_bytes, num_processors=num_processors, dims=2),
+        FFTModel.for_dataset(
+            dataset_bytes, num_processors=num_processors, internal_radix=32
+        ),
+        BarnesHutModel.for_dataset(
+            dataset_bytes, theta=1.0, num_processors=num_processors
+        ),
+        VolrendModel.for_dataset(dataset_bytes, num_processors=num_processors),
+    ]
+
+
+def prototypical_models(num_processors: int = 1024) -> List[ApplicationModel]:
+    """The five application models instantiated at the prototypical
+    1-Gbyte problem."""
+    return prototypical_models_at(GB, num_processors)
+
+
+def run(num_processors: int = 1024) -> ExperimentResult:
+    """Regenerate Table 2."""
+    result = ExperimentResult(
+        experiment_id="table2",
+        title="Summary of important application parameters (1G problem, 1K processors)",
+    )
+    configs = prototypical_configs(GB)
+    rows = []
+    for model in prototypical_models(num_processors):
+        characterization = characterize(model, configs)
+        important = characterization.working_sets.important_working_set
+        grain = characterization.desirable_grain
+        cache_growth, mem_growth = PAPER_GROWTH[model.name]
+        rows.append(
+            [
+                model.name,
+                cache_growth,
+                format_size(important.size_bytes),
+                mem_growth,
+                format_size(grain.memory_per_processor)
+                + (" or finer" if grain.memory_per_processor < MB else ""),
+            ]
+        )
+        result.comparisons.append(
+            SeriesComparison(
+                f"{model.name}: important WS size",
+                PAPER_CACHE_SIZES[model.name],
+                important.size_bytes,
+                "bytes",
+                note=important.name,
+            )
+        )
+        result.comparisons.append(
+            SeriesComparison(
+                f"{model.name}: desirable grain",
+                float(MB),
+                grain.memory_per_processor,
+                "bytes/processor",
+                note="paper: 1M or less for every application",
+            )
+        )
+    result.tables["Table 2"] = format_table(
+        [
+            "Application",
+            "Cache growth rate",
+            "Cache size (1G, 1K P)",
+            "Memory growth rate",
+            "Desirable grain size",
+        ],
+        rows,
+    )
+
+    # Numerically verify the cache-growth-rate column: grow the data set
+    # 8x (with P scaled to keep the grain fixed, as the column assumes)
+    # and measure how the important working set responds.
+    growth_expectations = {
+        "LU": 1.0,  # const
+        "CG": 1.0,  # const (with blocking)
+        "FFT": 1.0,  # const
+        # log DS: log(8 GB problem)/log(1 GB problem) in particles
+        "Barnes-Hut": None,  # computed below
+        "Volume Rendering": 2.0,  # cube root of 8
+    }
+    for model, grown in zip(
+        prototypical_models(num_processors),
+        prototypical_models_at(8 * GB, num_processors * 8),
+    ):
+        base_ws = model.working_sets().important_working_set.size_bytes
+        grown_ws = grown.working_sets().important_working_set.size_bytes
+        expected = growth_expectations[model.name]
+        if expected is None:  # Barnes-Hut's log DS
+            import math
+
+            expected = math.log10(grown.n) / math.log10(model.n)
+        result.comparisons.append(
+            SeriesComparison(
+                f"{model.name}: WS growth for 8x data",
+                expected,
+                grown_ws / base_ws,
+                "x",
+                note=f"paper column: {PAPER_GROWTH[model.name][0]}",
+            )
+        )
+    result.notes.append(
+        "the paper's 8K LU entry corresponds to one B=32 block; our model"
+        " instantiates B=16 (2.2K) — both are 'trivially small' caches"
+    )
+    result.notes.append(
+        "for the FFT the 'desirable' 1M grain is not really desirable:"
+        " raising the ratio to 100 FLOPs/word would need ~18 TB/processor"
+    )
+    return result
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Memory-system substrate: cache simulators, stack-distance profiling,
+reference traces, and a shared-address-space multiprocessor memory model.
+
+This subpackage is the measurement instrument of the reproduction.  The
+paper determines working sets by simulating fully associative LRU caches
+of many sizes and looking for knees in the miss-rate-versus-cache-size
+curve (Section 2.2).  We provide:
+
+- :class:`~repro.mem.cache.FullyAssociativeCache` — the explicit simulator.
+- :class:`~repro.mem.setassoc.SetAssociativeCache` — limited-associativity
+  caches for the Section 6.4 discussion of direct-mapped caches.
+- :class:`~repro.mem.stack_distance.StackDistanceProfiler` — Mattson's
+  algorithm, which produces exact fully associative LRU miss rates at
+  *every* cache size in a single pass over the trace.
+- :class:`~repro.mem.multiproc.MultiprocessorMemory` — per-processor
+  private caches over a shared address space with write-invalidate
+  sharing, used to separate communication (coherence) misses from
+  capacity misses.
+"""
+
+from repro.mem.address import AddressSpace, Region
+from repro.mem.cache import CacheStats, FullyAssociativeCache
+from repro.mem.multiproc import MultiprocessorMemory, ProcessorStats
+from repro.mem.setassoc import SetAssociativeCache
+from repro.mem.stack_distance import StackDistanceProfiler
+from repro.mem.trace import Access, Trace, READ, WRITE
+
+__all__ = [
+    "Access",
+    "AddressSpace",
+    "CacheStats",
+    "FullyAssociativeCache",
+    "MultiprocessorMemory",
+    "ProcessorStats",
+    "READ",
+    "Region",
+    "SetAssociativeCache",
+    "StackDistanceProfiler",
+    "Trace",
+    "WRITE",
+]

@@ -1,0 +1,92 @@
+"""Set-associative and direct-mapped cache simulators.
+
+Section 6.4 of the paper observes that with direct-mapped caches the
+knees of the Barnes-Hut miss-rate curve are less well defined and that
+the direct-mapped capacity required to hold the important working set is
+about three times the fully associative capacity.  This module provides
+the limited-associativity instrument used to reproduce that study
+(``experiments/assoc_study.py``).
+"""
+
+from __future__ import annotations
+
+from repro.mem.cache import CacheStats
+from repro.mem.lru import LRUList
+from repro.mem.trace import READ, Trace
+
+
+class SetAssociativeCache:
+    """An ``associativity``-way set-associative LRU cache.
+
+    ``associativity=1`` gives a direct-mapped cache.  Indexing is the
+    conventional modulo scheme: block address modulo number of sets.
+
+    Args:
+        capacity_bytes: Total capacity in bytes.
+        block_size: Line size in bytes (power of two).
+        associativity: Ways per set; must divide the number of blocks.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        block_size: int = 8,
+        associativity: int = 1,
+    ) -> None:
+        if block_size <= 0 or (block_size & (block_size - 1)) != 0:
+            raise ValueError("block_size must be a positive power of two")
+        num_blocks = capacity_bytes // block_size
+        if num_blocks < 1:
+            raise ValueError("capacity must hold at least one block")
+        if associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        if num_blocks % associativity != 0:
+            raise ValueError("associativity must divide the number of blocks")
+        self.capacity_bytes = capacity_bytes
+        self.block_size = block_size
+        self.associativity = associativity
+        self.num_sets = num_blocks // associativity
+        self._sets = [LRUList() for _ in range(self.num_sets)]
+        self._ever_seen: set = set()
+        self.stats = CacheStats()
+
+    @property
+    def is_direct_mapped(self) -> bool:
+        return self.associativity == 1
+
+    def access(self, addr: int, kind: int = READ) -> bool:
+        """Issue one reference.  Returns True on hit, False on miss."""
+        block = addr // self.block_size
+        index = block % self.num_sets
+        cache_set = self._sets[index]
+        if kind == READ:
+            self.stats.reads += 1
+        else:
+            self.stats.writes += 1
+        hit = cache_set.touch(block)
+        if not hit:
+            if kind == READ:
+                self.stats.read_misses += 1
+            else:
+                self.stats.write_misses += 1
+            if block not in self._ever_seen:
+                self.stats.cold_misses += 1
+                self._ever_seen.add(block)
+            if len(cache_set) > self.associativity:
+                cache_set.evict_lru()
+        return hit
+
+    def run(self, trace: Trace) -> CacheStats:
+        """Run a whole trace through the cache; returns cumulative stats."""
+        for block, kind in zip(
+            trace.block_ids(self.block_size).tolist(), trace.kinds.tolist()
+        ):
+            self.access(block * self.block_size, kind)
+        return self.stats
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+    def flush(self) -> None:
+        self._sets = [LRUList() for _ in range(self.num_sets)]
+        self._ever_seen = set()

@@ -1,0 +1,240 @@
+"""Mattson stack-distance profiling.
+
+For a fully associative LRU cache, whether a reference hits depends only
+on its *stack depth*: the number of distinct blocks referenced since the
+previous reference to the same block (inclusive of the block itself).  A
+reference with stack depth ``d`` hits in every cache of at least ``d``
+blocks and misses in every smaller cache.  Profiling the distribution of
+stack depths over a trace therefore yields the exact LRU miss rate at
+**every** cache size in a single pass — the classic inclusion property
+of Mattson, Gecsei, Slutz & Traiger (1970).
+
+The paper sweeps cache sizes and looks for knees in the resulting curve
+(Section 2.2); this profiler is how we make that sweep tractable in
+Python.
+
+Implementation: a Fenwick (binary-indexed) tree over reference
+timestamps counts, for each access, how many *distinct* blocks were
+touched since the previous access to the same block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.mem.trace import READ, Trace
+
+
+class _FenwickTree:
+    """Prefix-sum tree over ``n`` slots, 0-indexed externally."""
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+        self._tree = np.zeros(n + 1, dtype=np.int64)
+
+    def add(self, index: int, delta: int) -> None:
+        i = index + 1
+        tree = self._tree
+        n = self._n
+        while i <= n:
+            tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of slots [0, index]."""
+        i = index + 1
+        tree = self._tree
+        total = 0
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return int(total)
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of slots [lo, hi]; zero when the range is empty."""
+        if hi < lo:
+            return 0
+        total = self.prefix_sum(hi)
+        if lo > 0:
+            total -= self.prefix_sum(lo - 1)
+        return total
+
+
+@dataclass
+class StackDistanceProfile:
+    """Result of profiling one trace.
+
+    Attributes:
+        depth_histogram: ``depth_histogram[d]`` counts references whose
+            stack depth is ``d`` (1-based; index 0 is unused).
+        cold_misses: References to never-before-seen blocks (infinite
+            depth).
+        total: Total counted references.
+        block_size: Cache line size in bytes used during profiling.
+    """
+
+    depth_histogram: np.ndarray
+    cold_misses: int
+    total: int
+    block_size: int
+
+    def misses_at(self, capacity_blocks: int) -> int:
+        """Miss count for a fully associative LRU cache of
+        ``capacity_blocks`` lines."""
+        if capacity_blocks < 1:
+            return self.total
+        hist = self.depth_histogram
+        upper = min(capacity_blocks, len(hist) - 1)
+        hits = int(hist[1 : upper + 1].sum())
+        return self.total - hits
+
+    def miss_rate_at(self, capacity_bytes: int) -> float:
+        """Miss rate for a cache of ``capacity_bytes`` bytes."""
+        if self.total == 0:
+            return 0.0
+        return self.misses_at(capacity_bytes // self.block_size) / self.total
+
+    def miss_rates(self, capacities_bytes: Sequence[int]) -> np.ndarray:
+        """Vector of miss rates, one per capacity (in bytes)."""
+        return np.array(
+            [self.miss_rate_at(int(c)) for c in capacities_bytes], dtype=float
+        )
+
+    def misses_per_op(
+        self, capacities_bytes: Sequence[int], flops: float
+    ) -> np.ndarray:
+        """Misses per floating-point operation — the paper's metric for
+        LU, CG and FFT (Section 2.2)."""
+        if flops <= 0:
+            raise ValueError("flops must be positive")
+        return np.array(
+            [self.misses_at(int(c) // self.block_size) / flops for c in capacities_bytes],
+            dtype=float,
+        )
+
+    @property
+    def max_useful_capacity_blocks(self) -> int:
+        """Smallest capacity (in blocks) achieving the compulsory-only
+        miss rate; equals the trace footprint in blocks."""
+        hist = self.depth_histogram
+        nonzero = np.nonzero(hist)[0]
+        return int(nonzero[-1]) if nonzero.size else 0
+
+    @property
+    def compulsory_miss_rate(self) -> float:
+        """Miss rate of an infinite cache (cold misses only)."""
+        return self.cold_misses / self.total if self.total else 0.0
+
+
+class StackDistanceProfiler:
+    """Single-pass LRU stack-distance profiler.
+
+    Args:
+        block_size: Cache line size in bytes (power of two; default one
+            double word, matching the paper's accounting).
+        count_reads_only: When True, only read references contribute to
+            the histogram (the paper's read-miss-rate metric for
+            Barnes-Hut and volume rendering) but *all* references update
+            LRU state.
+        warmup: Number of initial references excluded from the
+            histogram (cold-start exclusion per Section 2.2); they still
+            update LRU state.
+    """
+
+    def __init__(
+        self,
+        block_size: int = 8,
+        count_reads_only: bool = False,
+        warmup: int = 0,
+    ) -> None:
+        if block_size <= 0 or (block_size & (block_size - 1)) != 0:
+            raise ValueError("block_size must be a positive power of two")
+        if warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        self.block_size = block_size
+        self.count_reads_only = count_reads_only
+        self.warmup = warmup
+
+    def profile(self, trace: Trace) -> StackDistanceProfile:
+        """Profile a trace; returns the full stack-depth distribution."""
+        blocks = trace.block_ids(self.block_size).tolist()
+        kinds = trace.kinds.tolist()
+        n = len(blocks)
+        tree = _FenwickTree(n)
+        last_time: Dict[int, int] = {}
+        # Depth histogram sized to worst case (footprint <= n).
+        hist = np.zeros(n + 2, dtype=np.int64)
+        cold = 0
+        total = 0
+        count_reads_only = self.count_reads_only
+        warmup = self.warmup
+        for t in range(n):
+            block = blocks[t]
+            counted = t >= warmup and (
+                not count_reads_only or kinds[t] == READ
+            )
+            prev = last_time.get(block)
+            if prev is None:
+                if counted:
+                    cold += 1
+                    total += 1
+            else:
+                # Distinct blocks touched strictly between prev and t,
+                # plus the block itself -> 1-based stack depth.
+                depth = tree.range_sum(prev + 1, t - 1) + 1
+                if counted:
+                    hist[depth] += 1
+                    total += 1
+                tree.add(prev, -1)
+            tree.add(t, +1)
+            last_time[block] = t
+        # Trim the histogram to the maximum observed depth.
+        nonzero = np.nonzero(hist)[0]
+        top = int(nonzero[-1]) if nonzero.size else 0
+        return StackDistanceProfile(
+            depth_histogram=hist[: top + 1].copy(),
+            cold_misses=cold,
+            total=total,
+            block_size=self.block_size,
+        )
+
+
+def profile_trace(
+    trace: Trace,
+    block_size: int = 8,
+    count_reads_only: bool = False,
+    warmup: int = 0,
+) -> StackDistanceProfile:
+    """Convenience wrapper: profile ``trace`` with a fresh profiler."""
+    profiler = StackDistanceProfiler(
+        block_size=block_size,
+        count_reads_only=count_reads_only,
+        warmup=warmup,
+    )
+    return profiler.profile(trace)
+
+
+def default_capacity_grid(
+    min_bytes: int = 64,
+    max_bytes: int = 8 * 1024 * 1024,
+    points_per_octave: int = 4,
+) -> np.ndarray:
+    """A geometric grid of cache sizes for miss-rate sweeps.
+
+    Mirrors the paper's log-scale cache-size axes (Figures 2, 4-7).
+    """
+    if min_bytes < 8:
+        raise ValueError("min_bytes must be at least one double word")
+    if max_bytes < min_bytes:
+        raise ValueError("max_bytes must be >= min_bytes")
+    octaves = np.log2(max_bytes / min_bytes)
+    count = max(2, int(round(octaves * points_per_octave)) + 1)
+    grid = np.unique(
+        np.round(
+            min_bytes * np.power(2.0, np.linspace(0.0, octaves, count))
+        ).astype(np.int64)
+    )
+    return grid

@@ -1,0 +1,181 @@
+"""Memory reference traces.
+
+A trace is a sequence of :class:`Access` records, one per memory
+reference issued by one logical processor.  Applications in
+:mod:`repro.apps` generate traces at *double-word* granularity (8-byte
+addresses), mirroring the paper's double-word miss accounting.
+
+For performance, a :class:`Trace` stores its accesses in parallel numpy
+arrays rather than a list of objects; :class:`Access` is only the
+record type used at the edges of the API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+#: Access kinds.  Stored in a uint8 column of the trace.
+READ = 0
+WRITE = 1
+
+
+@dataclass(frozen=True)
+class Access:
+    """One memory reference.
+
+    Attributes:
+        addr: Byte address of the reference.
+        kind: ``READ`` or ``WRITE``.
+    """
+
+    addr: int
+    kind: int = READ
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind == READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == WRITE
+
+
+class TraceBuilder:
+    """Incrementally build a :class:`Trace`.
+
+    Application trace generators append references one at a time (or in
+    bulk) and then call :meth:`build`.
+    """
+
+    def __init__(self) -> None:
+        self._addrs: List[int] = []
+        self._kinds: List[int] = []
+
+    def read(self, addr: int) -> None:
+        """Append a read of the double word at byte address ``addr``."""
+        self._addrs.append(addr)
+        self._kinds.append(READ)
+
+    def write(self, addr: int) -> None:
+        """Append a write of the double word at byte address ``addr``."""
+        self._addrs.append(addr)
+        self._kinds.append(WRITE)
+
+    def read_range(self, base: int, count: int, stride: int = 8) -> None:
+        """Append ``count`` sequential reads starting at ``base``."""
+        self._addrs.extend(base + i * stride for i in range(count))
+        self._kinds.extend([READ] * count)
+
+    def write_range(self, base: int, count: int, stride: int = 8) -> None:
+        """Append ``count`` sequential writes starting at ``base``."""
+        self._addrs.extend(base + i * stride for i in range(count))
+        self._kinds.extend([WRITE] * count)
+
+    def extend(self, accesses: Iterable[Access]) -> None:
+        for access in accesses:
+            self._addrs.append(access.addr)
+            self._kinds.append(access.kind)
+
+    def __len__(self) -> int:
+        return len(self._addrs)
+
+    def build(self) -> "Trace":
+        return Trace(
+            np.asarray(self._addrs, dtype=np.int64),
+            np.asarray(self._kinds, dtype=np.uint8),
+        )
+
+
+class Trace:
+    """An immutable sequence of memory references for one processor."""
+
+    def __init__(self, addrs: np.ndarray, kinds: np.ndarray) -> None:
+        if addrs.shape != kinds.shape:
+            raise ValueError("addrs and kinds must have the same length")
+        self.addrs = addrs
+        self.kinds = kinds
+
+    @classmethod
+    def from_accesses(cls, accesses: Sequence[Access]) -> "Trace":
+        builder = TraceBuilder()
+        builder.extend(accesses)
+        return builder.build()
+
+    @classmethod
+    def from_addresses(cls, addrs: Iterable[int], kind: int = READ) -> "Trace":
+        arr = np.fromiter(addrs, dtype=np.int64)
+        kinds = np.full(arr.shape, kind, dtype=np.uint8)
+        return cls(arr, kinds)
+
+    def __len__(self) -> int:
+        return int(self.addrs.shape[0])
+
+    def __iter__(self) -> Iterator[Access]:
+        for addr, kind in zip(self.addrs, self.kinds):
+            yield Access(int(addr), int(kind))
+
+    def __getitem__(self, index: int) -> Access:
+        return Access(int(self.addrs[index]), int(self.kinds[index]))
+
+    def block_ids(self, block_size: int = 8) -> np.ndarray:
+        """Return the cache-block index of every reference."""
+        if block_size <= 0 or (block_size & (block_size - 1)) != 0:
+            raise ValueError("block_size must be a positive power of two")
+        return self.addrs // block_size
+
+    def reads(self) -> "Trace":
+        """The sub-trace containing only read references."""
+        mask = self.kinds == READ
+        return Trace(self.addrs[mask], self.kinds[mask])
+
+    def writes(self) -> "Trace":
+        """The sub-trace containing only write references."""
+        mask = self.kinds == WRITE
+        return Trace(self.addrs[mask], self.kinds[mask])
+
+    @property
+    def read_count(self) -> int:
+        return int(np.count_nonzero(self.kinds == READ))
+
+    @property
+    def write_count(self) -> int:
+        return int(np.count_nonzero(self.kinds == WRITE))
+
+    def footprint(self, block_size: int = 8) -> int:
+        """Number of distinct cache blocks touched by the trace."""
+        return int(np.unique(self.block_ids(block_size)).shape[0])
+
+    def footprint_bytes(self, block_size: int = 8) -> int:
+        """Bytes of distinct data touched, at block granularity."""
+        return self.footprint(block_size) * block_size
+
+    def concat(self, other: "Trace") -> "Trace":
+        return Trace(
+            np.concatenate([self.addrs, other.addrs]),
+            np.concatenate([self.kinds, other.kinds]),
+        )
+
+
+def interleave_round_robin(traces: Sequence[Trace]) -> List[Tuple[int, Access]]:
+    """Round-robin interleaving of per-processor traces.
+
+    Produces a list of ``(processor_id, access)`` pairs, the canonical
+    input to :class:`repro.mem.multiproc.MultiprocessorMemory.run`.
+    Round-robin interleaving models processors proceeding in lock-step,
+    a reasonable approximation for the regular SPMD computations studied
+    in the paper.
+    """
+    merged: List[Tuple[int, Access]] = []
+    cursors = [0] * len(traces)
+    remaining = sum(len(t) for t in traces)
+    while remaining:
+        for pid, trace in enumerate(traces):
+            cursor = cursors[pid]
+            if cursor < len(trace):
+                merged.append((pid, trace[cursor]))
+                cursors[pid] = cursor + 1
+                remaining -= 1
+    return merged

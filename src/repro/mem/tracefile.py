@@ -1,0 +1,70 @@
+"""Trace persistence.
+
+Application traces can take minutes to generate (the Barnes-Hut force
+phase at Figure-6 scale emits millions of references); saving them lets
+experiments and notebooks iterate on the *analysis* without re-running
+the application.  Traces are stored as compressed ``.npz`` archives
+with a format version and optional metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.mem.trace import Trace
+
+#: Bumped when the on-disk layout changes.
+FORMAT_VERSION = 1
+
+
+def save_trace(
+    path: Union[str, Path],
+    trace: Trace,
+    metadata: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write ``trace`` to ``path`` (.npz, compressed).
+
+    Args:
+        path: Destination file (suffix .npz recommended).
+        trace: The trace to persist.
+        metadata: JSON-serializable description (problem parameters,
+            generator name, ...), stored alongside the arrays.
+    """
+    payload = json.dumps(metadata or {})
+    np.savez_compressed(
+        Path(path),
+        addrs=trace.addrs,
+        kinds=trace.kinds,
+        version=np.int64(FORMAT_VERSION),
+        metadata=np.frombuffer(payload.encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(Path(path)) as archive:
+        version = int(archive["version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"trace file format {version} unsupported (expected {FORMAT_VERSION})"
+            )
+        return Trace(
+            archive["addrs"].astype(np.int64),
+            archive["kinds"].astype(np.uint8),
+        )
+
+
+def load_metadata(path: Union[str, Path]) -> Dict[str, object]:
+    """Read only the metadata of a saved trace."""
+    with np.load(Path(path)) as archive:
+        version = int(archive["version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"trace file format {version} unsupported (expected {FORMAT_VERSION})"
+            )
+        raw = bytes(archive["metadata"].tobytes())
+        return json.loads(raw.decode("utf-8")) if raw else {}

@@ -1,0 +1,96 @@
+"""Command-line utilities for working with saved traces.
+
+Usage::
+
+    python -m repro.tools profile trace.npz [--max-cache 1MB] [--reads-only]
+    python -m repro.tools info trace.npz
+
+Pairs with ``examples/working_set_explorer.py --save`` and
+:mod:`repro.mem.tracefile`: generate a trace once, then iterate on the
+analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.curves import MissRateCurve
+from repro.mem.stack_distance import StackDistanceProfiler, default_capacity_grid
+from repro.mem.tracefile import load_metadata, load_trace
+from repro.units import format_size, parse_size
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Print a saved trace's metadata and summary statistics."""
+    trace = load_trace(args.trace)
+    metadata = load_metadata(args.trace)
+    print(f"{args.trace}:")
+    print(f"  references: {len(trace):,}"
+          f" ({trace.read_count:,} reads, {trace.write_count:,} writes)")
+    print(f"  footprint:  {format_size(trace.footprint_bytes())}")
+    if metadata:
+        print("  metadata:")
+        for key, value in sorted(metadata.items()):
+            print(f"    {key}: {value}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile a saved trace and print its miss-rate curve and knees."""
+    trace = load_trace(args.trace)
+    profiler = StackDistanceProfiler(
+        block_size=args.block_size,
+        count_reads_only=args.reads_only,
+        warmup=int(len(trace) * args.warmup_fraction),
+    )
+    profile = profiler.profile(trace)
+    grid = default_capacity_grid(
+        min_bytes=max(64, args.block_size * 8),
+        max_bytes=parse_size(args.max_cache),
+    )
+    metric = "read_miss_rate" if args.reads_only else "miss_rate"
+    curve = MissRateCurve.from_profile(profile, grid, metric=metric)
+    print(curve.render_ascii())
+    print("\ncapacity        miss rate")
+    for capacity, rate in zip(curve.capacities, curve.miss_rates):
+        print(f"{format_size(int(capacity)):>12}    {rate:.5f}")
+    print("\nknees:")
+    knees = curve.knees(rel_threshold=args.knee_threshold)
+    if not knees:
+        print("  (none at this threshold)")
+    for knee in knees:
+        print(f"  {knee}")
+    print(f"\ncompulsory floor: {profile.compulsory_miss_rate:.5f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="show a saved trace's metadata")
+    info.add_argument("trace")
+    info.set_defaults(func=cmd_info)
+
+    profile = sub.add_parser("profile", help="profile a saved trace")
+    profile.add_argument("trace")
+    profile.add_argument("--max-cache", default="1MB")
+    profile.add_argument("--block-size", type=int, default=8)
+    profile.add_argument("--reads-only", action="store_true")
+    profile.add_argument("--warmup-fraction", type=float, default=0.1)
+    profile.add_argument("--knee-threshold", type=float, default=0.2)
+    profile.set_defaults(func=cmd_profile)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

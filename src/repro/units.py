@@ -1,0 +1,67 @@
+"""Size and unit helpers shared across the library.
+
+The paper reports working-set sizes in bytes/Kbytes/Mbytes and cache miss
+rates either as *double-word read misses per floating-point operation*
+(LU, CG, FFT) or as *read misses per read reference* (Barnes-Hut, volume
+rendering).  This module centralizes the unit conventions so that every
+model and simulator agrees on them.
+"""
+
+from __future__ import annotations
+
+#: Bytes in one kilobyte / megabyte / gigabyte (binary, as the paper uses).
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: The paper measures misses at double-word granularity: one double-precision
+#: floating-point number is 8 bytes.
+DOUBLE_WORD = 8
+
+#: A single-precision word (used for FLOPs-per-word communication ratios).
+WORD = 4
+
+
+def doublewords(nbytes: float) -> float:
+    """Convert a size in bytes to double words."""
+    return nbytes / DOUBLE_WORD
+
+
+def bytes_from_doublewords(ndw: float) -> float:
+    """Convert a count of double words to bytes."""
+    return ndw * DOUBLE_WORD
+
+
+def format_size(nbytes: float) -> str:
+    """Render a byte count the way the paper does (``260 bytes``, ``80 KB``,
+    ``1 MB``, ``18 TB``).
+
+    >>> format_size(260)
+    '260 B'
+    >>> format_size(80 * KB)
+    '80.0 KB'
+    >>> format_size(1.5 * MB)
+    '1.5 MB'
+    """
+    if nbytes < KB:
+        return f"{nbytes:.0f} B"
+    for unit, size in (("TB", GB * 1024), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if nbytes >= size:
+            return f"{nbytes / size:.1f} {unit}"
+    raise AssertionError("unreachable")
+
+
+def parse_size(text: str) -> int:
+    """Parse ``'64KB'``, ``'1 MB'``, ``'512'`` (bytes) into a byte count.
+
+    >>> parse_size('64KB')
+    65536
+    >>> parse_size('1 MB')
+    1048576
+    """
+    text = text.strip().upper().replace(" ", "")
+    multipliers = {"TB": 1024 * GB, "GB": GB, "MB": MB, "KB": KB, "B": 1}
+    for suffix, mult in multipliers.items():
+        if text.endswith(suffix):
+            return int(float(text[: -len(suffix)]) * mult)
+    return int(float(text))

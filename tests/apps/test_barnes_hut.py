@@ -1,0 +1,369 @@
+"""Tests for the Barnes-Hut substrate: octree, forces, integration,
+partitioning, trace and model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.barnes_hut.bodies import BodySet, plummer_model, uniform_cube
+from repro.apps.barnes_hut.force import (
+    WalkStats,
+    accelerate_body,
+    compute_accelerations,
+    direct_sum,
+)
+from repro.apps.barnes_hut.model import BarnesHutModel, THETA_FLOOR
+from repro.apps.barnes_hut.octree import Octree
+from repro.apps.barnes_hut.partition import morton_order, morton_partition
+from repro.apps.barnes_hut.simulate import Simulation
+from repro.apps.barnes_hut.trace import BarnesHutTraceGenerator
+from repro.core.grain import GrainConfig
+from repro.units import GB, KB
+
+
+class TestBodies:
+    def test_plummer_shape(self):
+        bodies = plummer_model(50, seed=1)
+        assert len(bodies) == 50
+        assert bodies.total_mass == pytest.approx(1.0)
+
+    def test_plummer_centrally_concentrated(self):
+        bodies = plummer_model(500, seed=2)
+        radii = np.linalg.norm(bodies.positions, axis=1)
+        assert np.median(radii) < np.percentile(radii, 90) / 2
+
+    def test_uniform_cube_bounds(self):
+        bodies = uniform_cube(100, seed=1)
+        assert bodies.positions.min() >= 0
+        assert bodies.positions.max() <= 1
+
+    def test_bounding_cube_contains_all(self):
+        bodies = plummer_model(100, seed=3)
+        center, half = bodies.bounding_cube()
+        assert np.all(np.abs(bodies.positions - center) <= half + 1e-9)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BodySet(
+                positions=np.zeros((4, 2)),
+                velocities=np.zeros((4, 3)),
+                masses=np.ones(4),
+            )
+
+    def test_kinetic_energy_zero_at_rest(self):
+        assert uniform_cube(10).kinetic_energy() == 0.0
+
+    def test_potential_energy_negative(self):
+        assert plummer_model(30, seed=4).potential_energy() < 0
+
+
+class TestOctree:
+    def test_counts(self, cube_bodies):
+        tree = Octree(cube_bodies)
+        assert tree.root.count == len(cube_bodies)
+
+    def test_each_leaf_holds_one_body(self, cube_bodies):
+        tree = Octree(cube_bodies)
+        leaves = [c for c in tree.walk() if c.is_leaf and c.body_index >= 0]
+        assert len(leaves) == len(cube_bodies)
+        assert sorted(c.body_index for c in leaves) == list(range(len(cube_bodies)))
+
+    def test_mass_conservation(self, cube_bodies):
+        tree = Octree(cube_bodies)
+        tree.compute_moments()
+        assert tree.root.mass == pytest.approx(cube_bodies.total_mass)
+
+    def test_root_com_matches_direct(self, cube_bodies):
+        tree = Octree(cube_bodies)
+        tree.compute_moments()
+        expected = (
+            cube_bodies.masses[:, None] * cube_bodies.positions
+        ).sum(axis=0) / cube_bodies.total_mass
+        np.testing.assert_allclose(tree.root.com, expected, atol=1e-12)
+
+    def test_quadrupole_traceless(self, cube_bodies):
+        tree = Octree(cube_bodies)
+        tree.compute_moments()
+        for cell in tree.walk():
+            if not cell.is_leaf:
+                assert np.trace(cell.quad) == pytest.approx(0.0, abs=1e-9)
+
+    def test_quadrupole_symmetric(self, cube_bodies):
+        tree = Octree(cube_bodies)
+        tree.compute_moments()
+        np.testing.assert_allclose(tree.root.quad, tree.root.quad.T, atol=1e-12)
+
+    def test_root_quadrupole_matches_direct(self, cube_bodies):
+        tree = Octree(cube_bodies)
+        tree.compute_moments()
+        com = tree.root.com
+        expected = np.zeros((3, 3))
+        for pos, mass in zip(cube_bodies.positions, cube_bodies.masses):
+            d = pos - com
+            expected += mass * (3 * np.outer(d, d) - (d @ d) * np.eye(3))
+        np.testing.assert_allclose(tree.root.quad, expected, atol=1e-9)
+
+    def test_children_nested_in_parent(self, cube_bodies):
+        tree = Octree(cube_bodies)
+        for cell in tree.walk():
+            for child in cell.children:
+                if child is None:
+                    continue
+                assert np.all(
+                    np.abs(child.center - cell.center)
+                    <= cell.half_size + 1e-12
+                )
+                assert child.half_size == pytest.approx(cell.half_size / 2)
+
+    def test_coincident_bodies_rejected(self):
+        positions = np.zeros((2, 3))
+        bodies = BodySet(
+            positions=positions, velocities=np.zeros((2, 3)), masses=np.ones(2)
+        )
+        with pytest.raises(RuntimeError):
+            Octree(bodies, max_depth=8)
+
+    def test_depth_reasonable(self, small_bodies):
+        tree = Octree(small_bodies)
+        assert tree.depth() <= 24
+
+
+class TestForces:
+    def test_direct_sum_newton_third_law(self, cube_bodies):
+        acc = direct_sum(cube_bodies)
+        momentum_rate = (cube_bodies.masses[:, None] * acc).sum(axis=0)
+        np.testing.assert_allclose(momentum_rate, 0.0, atol=1e-10)
+
+    def test_theta_small_converges_to_direct(self, small_bodies):
+        exact = direct_sum(small_bodies)
+        approx = compute_accelerations(small_bodies, theta=0.15)
+        err = np.linalg.norm(approx - exact) / np.linalg.norm(exact)
+        assert err < 2e-3
+
+    def test_error_decreases_with_theta(self, small_bodies):
+        exact = direct_sum(small_bodies)
+        errors = []
+        for theta in (1.2, 0.7, 0.3):
+            approx = compute_accelerations(small_bodies, theta=theta)
+            errors.append(
+                np.linalg.norm(approx - exact) / np.linalg.norm(exact)
+            )
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_quadrupole_improves_accuracy(self, small_bodies):
+        exact = direct_sum(small_bodies)
+        quad = compute_accelerations(small_bodies, theta=0.9, quadrupole=True)
+        mono = compute_accelerations(small_bodies, theta=0.9, quadrupole=False)
+        err_quad = np.linalg.norm(quad - exact)
+        err_mono = np.linalg.norm(mono - exact)
+        assert err_quad < err_mono
+
+    def test_interactions_counted(self, small_bodies):
+        stats = WalkStats()
+        compute_accelerations(small_bodies, theta=1.0, stats=stats)
+        assert stats.interactions > len(small_bodies)
+        assert stats.body_cell_interactions > 0
+        assert stats.body_body_interactions > 0
+
+    def test_smaller_theta_more_interactions(self, small_bodies):
+        loose, tight = WalkStats(), WalkStats()
+        compute_accelerations(small_bodies, theta=1.2, stats=loose)
+        compute_accelerations(small_bodies, theta=0.5, stats=tight)
+        assert tight.interactions > loose.interactions
+
+    def test_walk_requires_moments(self, cube_bodies):
+        tree = Octree(cube_bodies)
+        with pytest.raises(RuntimeError):
+            accelerate_body(tree, 0, theta=1.0)
+
+    def test_two_body_analytic(self):
+        bodies = BodySet(
+            positions=np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]]),
+            velocities=np.zeros((2, 3)),
+            masses=np.array([1.0, 1.0]),
+        )
+        acc = direct_sum(bodies, softening=0.0)
+        np.testing.assert_allclose(acc[0], [1.0, 0.0, 0.0], atol=1e-12)
+        np.testing.assert_allclose(acc[1], [-1.0, 0.0, 0.0], atol=1e-12)
+
+
+class TestSimulation:
+    def test_energy_roughly_conserved(self):
+        bodies = plummer_model(64, seed=5)
+        sim = Simulation(bodies, theta=0.4, dt=0.005, softening=0.1)
+        before = sim.total_energy()
+        sim.step(20)
+        after = sim.total_energy()
+        assert after == pytest.approx(before, rel=0.08)
+
+    def test_history_recorded(self):
+        sim = Simulation(plummer_model(32, seed=6), dt=0.01)
+        sim.step(3)
+        assert len(sim.history) == 3
+        assert sim.history[-1].interactions > 0
+        assert sim.time == pytest.approx(0.03)
+
+    def test_rejects_bad_parameters(self):
+        bodies = plummer_model(8, seed=1)
+        with pytest.raises(ValueError):
+            Simulation(bodies, theta=-1.0)
+        with pytest.raises(ValueError):
+            Simulation(bodies, dt=0.0)
+
+
+class TestPartition:
+    def test_partition_covers_all_bodies(self, small_bodies):
+        parts = morton_partition(small_bodies, 4)
+        combined = np.concatenate(parts)
+        assert sorted(combined) == list(range(len(small_bodies)))
+
+    def test_partition_balanced(self, small_bodies):
+        parts = morton_partition(small_bodies, 4)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_partition_spatial_locality(self, small_bodies):
+        """Morton ranges should be spatially tighter than random
+        assignments of the same size."""
+        parts = morton_partition(small_bodies, 8)
+        rng = np.random.default_rng(0)
+        random_parts = np.array_split(
+            rng.permutation(len(small_bodies)), 8
+        )
+        def spread(indices):
+            pos = small_bodies.positions[indices]
+            return float(np.linalg.norm(pos.max(axis=0) - pos.min(axis=0)))
+        morton_spread = np.mean([spread(p) for p in parts])
+        random_spread = np.mean([spread(p) for p in random_parts])
+        assert morton_spread < random_spread
+
+    def test_morton_order_is_permutation(self, small_bodies):
+        order = morton_order(small_bodies)
+        assert sorted(order) == list(range(len(small_bodies)))
+
+    def test_rejects_zero_processors(self, small_bodies):
+        with pytest.raises(ValueError):
+            morton_partition(small_bodies, 0)
+
+
+class TestTraceGenerator:
+    @pytest.fixture(scope="class")
+    def generator(self):
+        bodies = plummer_model(192, seed=8)
+        return BarnesHutTraceGenerator(bodies, theta=1.0, num_processors=4)
+
+    def test_trace_nonempty(self, generator):
+        trace = generator.trace_for_processor(0)
+        assert len(trace) > 1000
+
+    def test_bytes_per_body_near_paper(self, generator):
+        assert generator.bytes_per_body() == pytest.approx(230, rel=0.35)
+
+    def test_interactions_per_body_scaling(self):
+        """Interactions/body grows with log n at fixed theta."""
+        counts = []
+        for n in (128, 512):
+            gen = BarnesHutTraceGenerator(
+                plummer_model(n, seed=9), theta=1.0, num_processors=4
+            )
+            gen.trace_for_processor(0)
+            counts.append(gen.interactions_per_body(0))
+        assert counts[1] > counts[0]
+        assert counts[1] < 3 * counts[0]  # sub-linear growth
+
+    def test_invalid_pid(self, generator):
+        with pytest.raises(IndexError):
+            generator.trace_for_processor(99)
+
+    def test_lev1_plateau_about_20_percent(self, generator):
+        from repro.mem.stack_distance import StackDistanceProfiler
+
+        trace = generator.trace_for_processor(0)
+        profile = StackDistanceProfiler(
+            count_reads_only=True, warmup=len(trace) // 10
+        ).profile(trace)
+        rate = profile.misses_at(int(1.5 * KB) // 8) / profile.total
+        assert 0.1 < rate < 0.35
+
+
+class TestModel:
+    def test_lev2_paper_values(self):
+        """6 KB * (1/theta^2) * log10(n): 32 KB at (64K, 1.0)."""
+        assert BarnesHutModel(n=65536, theta=1.0).lev2_bytes() == pytest.approx(
+            32 * KB, rel=0.15
+        )
+        assert BarnesHutModel(n=1024, theta=1.0).lev2_bytes() == pytest.approx(
+            20 * KB, rel=0.15
+        )
+
+    def test_mc_scaling_paper_trajectory(self):
+        """64K -> 1M particles under MC scaling on 16x processors gives
+        theta ~0.71 (Section 6.2)."""
+        base = BarnesHutModel(n=65536, theta=1.0, num_processors=64)
+        scaled = base.mc_scaled(1024)
+        assert scaled.n == 65536 * 16
+        assert scaled.theta == pytest.approx(0.71, abs=0.02)
+
+    def test_mc_lev2_slow_growth(self):
+        """Fixed theta: 32 KB at 64K -> ~40 KB at 1M -> ~60 KB at 1G."""
+        assert BarnesHutModel(n=2**20).lev2_bytes() == pytest.approx(
+            40 * KB, rel=0.15
+        )
+        assert BarnesHutModel(n=2**30).lev2_bytes() == pytest.approx(
+            60 * KB, rel=0.15
+        )
+
+    def test_tc_scaling_paper_trajectory(self):
+        """TC to 1K processors: ~256K particles, theta ~0.84."""
+        base = BarnesHutModel(n=65536, theta=1.0, num_processors=64)
+        scaled = base.tc_scaled(1024)
+        assert scaled.n == pytest.approx(262144, rel=0.35)
+        assert scaled.theta == pytest.approx(0.84, abs=0.05)
+
+    def test_tc_slower_than_mc(self):
+        base = BarnesHutModel(n=65536, theta=1.0, num_processors=64)
+        assert base.tc_scaled(4096).n < base.mc_scaled(4096).n
+
+    def test_theta_floor(self):
+        base = BarnesHutModel(n=65536, theta=1.0, num_processors=64)
+        scaled = base.mc_scaled(64 * 10**6)
+        assert scaled.theta == THETA_FLOOR
+
+    def test_lev1_invariant(self):
+        assert BarnesHutModel(n=1024).lev1_bytes() == BarnesHutModel(
+            n=10**9
+        ).lev1_bytes()
+
+    def test_prototypical_communication_tiny(self):
+        """~4.5M particles on 1024 processors: less than one double word
+        per several thousand instructions."""
+        model = BarnesHutModel.for_dataset(GB, num_processors=1024)
+        ratio = model.flops_per_word(GrainConfig(GB, 1024))
+        assert ratio > 3000
+
+    def test_fine_grain_ratio_still_small(self):
+        """16K processors: ~1 word per 1000 instructions (Section 6.3)."""
+        model = BarnesHutModel.for_dataset(GB, num_processors=16384)
+        ratio = model.flops_per_word(GrainConfig(GB, 16384))
+        assert 300 < ratio < 3000
+
+    def test_for_dataset_particle_count(self):
+        model = BarnesHutModel.for_dataset(GB)
+        assert model.n == pytest.approx(4.5e6, rel=0.1)
+
+    def test_rejects_silly_theta(self):
+        with pytest.raises(ValueError):
+            BarnesHutModel(theta=5.0)
+
+    def test_working_sets_important_is_lev2(self):
+        hierarchy = BarnesHutModel().working_sets()
+        assert hierarchy.important_working_set.level == 2
+
+    def test_miss_rate_model_monotone(self):
+        model = BarnesHutModel(n=1024, num_processors=4)
+        caps = [2**k for k in range(6, 22)]
+        rates = [model.miss_rate_model(c) for c in caps]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))

@@ -1,0 +1,84 @@
+"""Tests for the Cholesky trace generator: the 'similar structure to
+LU' claim, verified at the working-set level."""
+
+import pytest
+
+from repro.apps.lu.cholesky_trace import CholeskyTraceGenerator
+from repro.apps.lu.model import LUModel
+from repro.apps.lu.trace import LUTraceGenerator
+from repro.core.curves import MissRateCurve
+from repro.core.knee import match_knee
+from repro.mem.stack_distance import default_capacity_grid, profile_trace
+from repro.units import KB
+
+
+@pytest.fixture(scope="module")
+def generators():
+    chol = CholeskyTraceGenerator(n=64, block_size=8, num_processors=4)
+    chol_trace = chol.trace_for_processor(0)
+    lu = LUTraceGenerator(n=64, block_size=8, num_processors=4)
+    lu_trace = lu.trace_for_processor(0)
+    return chol, chol_trace, lu, lu_trace
+
+
+class TestStructure:
+    def test_about_half_the_work_of_lu(self):
+        # Cholesky updates only the lower triangle: ~half LU's flops
+        # machine-wide (per-processor shares differ because scatter
+        # ownership is not symmetric across the triangle).
+        chol_total = 0.0
+        lu_total = 0.0
+        for pid in range(4):
+            chol = CholeskyTraceGenerator(n=64, block_size=8, num_processors=4)
+            chol.trace_for_processor(pid)
+            chol_total += chol.flops
+            lu = LUTraceGenerator(n=64, block_size=8, num_processors=4)
+            lu.trace_for_processor(pid)
+            lu_total += lu.flops
+        assert chol_total == pytest.approx(lu_total / 2, rel=0.25)
+
+    def test_touches_lower_triangle_only(self, generators):
+        chol, chol_trace, _, _ = generators
+        b = chol.block_size
+        nb = chol.num_blocks
+        touched_blocks = set(
+            (addr - chol.matrix.base) // 8 // (b * b)
+            for addr in chol_trace.addrs.tolist()
+        )
+        for block_index in touched_blocks:
+            bi, bj = divmod(int(block_index), nb)
+            assert bi >= bj, "upper-triangle block referenced"
+
+    def test_footprint_about_half_of_lu(self, generators):
+        chol, chol_trace, lu, lu_trace = generators
+        assert chol_trace.footprint() == pytest.approx(
+            lu_trace.footprint() * 0.55, rel=0.25
+        )
+
+
+class TestWorkingSets:
+    def test_same_lev2_knee_as_lu(self, generators):
+        """The headline: Cholesky's miss-rate knees land at LU's
+        working-set sizes."""
+        chol, chol_trace, _, _ = generators
+        profile = profile_trace(chol_trace)
+        curve = MissRateCurve.from_profile(
+            profile,
+            default_capacity_grid(min_bytes=64, max_bytes=64 * KB),
+            metric="misses_per_flop",
+            flops=chol.flops,
+        )
+        model = LUModel(n=64, block_size=8, num_processors=4)
+        knees = curve.knees(rel_threshold=0.2)
+        lev2 = match_knee(knees, model.lev2_bytes(), tolerance_factor=3.0)
+        assert lev2.miss_rate_after < 0.3
+
+    def test_plateau_after_block_fits(self, generators):
+        chol, chol_trace, _, _ = generators
+        profile = profile_trace(chol_trace)
+        model = LUModel(n=64, block_size=8, num_processors=4)
+        plateau = profile.misses_at(
+            int(2 * model.lev2_bytes()) // 8
+        ) / chol.flops
+        # Same ~1.5/B regime as LU.
+        assert plateau == pytest.approx(1.5 / 8, rel=1.0)

@@ -1,0 +1,96 @@
+"""Tests for costzones partitioning and the ray-stealing experiment."""
+
+import numpy as np
+import pytest
+
+from repro.apps.barnes_hut.bodies import plummer_model
+from repro.apps.barnes_hut.force import WalkStats, accelerate_body
+from repro.apps.barnes_hut.octree import Octree
+from repro.apps.barnes_hut.partition import (
+    costzone_partition,
+    morton_order,
+    morton_partition,
+)
+from repro.experiments import volrend_stealing
+
+
+def per_body_interaction_costs(bodies, theta=1.0):
+    tree = Octree(bodies)
+    tree.compute_moments()
+    costs = np.zeros(len(bodies))
+    for i in range(len(bodies)):
+        stats = WalkStats()
+        accelerate_body(tree, i, theta, stats=stats)
+        costs[i] = stats.interactions
+    return costs
+
+
+class TestCostzones:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        bodies = plummer_model(256, seed=13)
+        costs = per_body_interaction_costs(bodies)
+        return bodies, costs
+
+    def test_is_a_partition(self, setup):
+        bodies, costs = setup
+        parts = costzone_partition(bodies, costs, 8)
+        combined = np.concatenate(parts)
+        assert sorted(combined) == list(range(len(bodies)))
+
+    def test_preserves_morton_contiguity(self, setup):
+        bodies, costs = setup
+        parts = costzone_partition(bodies, costs, 8)
+        order = list(morton_order(bodies))
+        flattened = [int(i) for part in parts for i in part]
+        assert flattened == order
+
+    def test_balances_cost_better_than_counts(self, setup):
+        """The point of costzones: equal work, not equal counts."""
+        bodies, costs = setup
+        count_parts = morton_partition(bodies, 8)
+        cost_parts = costzone_partition(bodies, costs, 8)
+
+        def imbalance(parts):
+            work = np.array([costs[p].sum() for p in parts])
+            return work.max() / work.mean()
+
+        assert imbalance(cost_parts) <= imbalance(count_parts)
+        assert imbalance(cost_parts) < 1.25
+
+    def test_zero_costs_fall_back_to_counts(self, setup):
+        bodies, _ = setup
+        parts = costzone_partition(bodies, np.zeros(len(bodies)), 4)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_negative_costs(self, setup):
+        bodies, _ = setup
+        with pytest.raises(ValueError):
+            costzone_partition(bodies, -np.ones(len(bodies)), 4)
+
+    def test_rejects_wrong_length(self, setup):
+        bodies, _ = setup
+        with pytest.raises(ValueError):
+            costzone_partition(bodies, np.ones(7), 4)
+
+
+class TestVolrendStealingExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return volrend_stealing.run(n=32, processor_counts=(4, 16, 64))
+
+    def test_coarse_grain_little_stealing(self, result):
+        fraction = result.comparison("steal fraction, coarse grain").measured_value
+        assert fraction < 0.08
+
+    def test_fine_grain_much_stealing(self, result):
+        coarse = result.comparison("steal fraction, coarse grain").measured_value
+        fine = result.comparison("steal fraction, fine grain").measured_value
+        assert fine > 2 * coarse
+
+    def test_stealing_recovers_balance(self, result):
+        gained = result.comparison(
+            "stealing recovers efficiency (fine grain)"
+        ).measured_value
+        assert gained > 0.1

@@ -1,0 +1,106 @@
+"""Tests for the extension kernels: blocked Cholesky, 2-D/3-D FFT, and
+the CG blocked sweep."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cg.trace import CGTraceGenerator
+from repro.apps.fft.transform import fft2, fft3
+from repro.apps.lu.cholesky import blocked_cholesky, flop_count, random_spd
+from repro.mem.stack_distance import profile_trace
+
+
+class TestBlockedCholesky:
+    @pytest.mark.parametrize("n,block", [(16, 4), (32, 8), (48, 16)])
+    def test_reconstruction(self, n, block):
+        a = random_spd(n, seed=n)
+        lower = blocked_cholesky(a.copy(), block)
+        np.testing.assert_allclose(lower @ lower.T, a, atol=1e-8)
+
+    def test_matches_numpy(self):
+        a = random_spd(32, seed=5)
+        lower = blocked_cholesky(a.copy(), 8)
+        np.testing.assert_allclose(
+            np.tril(lower), np.linalg.cholesky(a), atol=1e-8
+        )
+
+    def test_lower_triangular(self):
+        a = random_spd(24, seed=1)
+        lower = blocked_cholesky(a.copy(), 8)
+        np.testing.assert_allclose(np.triu(lower, 1), 0.0, atol=1e-12)
+
+    def test_rejects_non_spd(self):
+        bad = -np.eye(8)
+        with pytest.raises(np.linalg.LinAlgError):
+            blocked_cholesky(bad, 4)
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            blocked_cholesky(random_spd(10), 4)
+
+    def test_flop_count_half_of_lu(self):
+        from repro.apps.lu.factor import flop_count as lu_flops
+
+        assert flop_count(100) == pytest.approx(lu_flops(100) / 2)
+
+
+class TestMultiDimFFT:
+    def test_fft2_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((16, 32)) + 1j * rng.standard_normal((16, 32))
+        np.testing.assert_allclose(fft2(x), np.fft.fft2(x), atol=1e-9)
+
+    def test_fft3_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((8, 4, 16))
+        np.testing.assert_allclose(fft3(x), np.fft.fftn(x), atol=1e-9)
+
+    def test_fft2_rejects_1d(self):
+        with pytest.raises(ValueError):
+            fft2(np.zeros(8))
+
+    def test_fft2_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fft2(np.zeros((6, 8)))
+
+    def test_fft3_rejects_2d(self):
+        with pytest.raises(ValueError):
+            fft3(np.zeros((4, 4)))
+
+
+class TestCGBlockedSweep:
+    def test_blocked_requires_2d(self):
+        gen = CGTraceGenerator(n=8, num_processors=8, dims=3)
+        with pytest.raises(ValueError):
+            gen.trace_for_processor(0, tile=4)
+
+    def test_blocked_rejects_bad_tile(self):
+        gen = CGTraceGenerator(n=16, num_processors=4)
+        with pytest.raises(ValueError):
+            gen.trace_for_processor(0, tile=0)
+
+    def test_same_points_swept(self):
+        """Blocking reorders the sweep but touches the same data with
+        the same flop count."""
+        plain = CGTraceGenerator(n=32, num_processors=4)
+        t_plain = plain.trace_for_processor(0, iterations=1)
+        blocked = CGTraceGenerator(n=32, num_processors=4)
+        t_blocked = blocked.trace_for_processor(0, iterations=1, tile=4)
+        assert plain.flops == blocked.flops
+        assert t_plain.footprint() == t_blocked.footprint()
+        assert len(t_plain) == len(t_blocked)
+
+    def test_blocking_pins_lev1_knee(self):
+        """The Section 4.2 claim: blocking makes lev1WS constant."""
+        knees = {}
+        for label, tile in (("plain", None), ("blocked", 8)):
+            gen = CGTraceGenerator(n=128, num_processors=4)
+            trace = gen.trace_for_processor(0, iterations=2, tile=tile)
+            profile = profile_trace(trace, warmup=len(trace) // 2)
+            flops = gen.flops / 2
+            plateau = profile.misses_at(gen.local_bytes // 4 // 8) / flops
+            capacity = 128
+            while profile.misses_at(capacity // 8) / flops > 1.1 * plateau:
+                capacity *= 2
+            knees[label] = capacity
+        assert knees["blocked"] <= knees["plain"] / 4

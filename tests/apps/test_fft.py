@@ -1,0 +1,194 @@
+"""Tests for FFT kernels, trace generator and model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.fft.model import FFTModel
+from repro.apps.fft.trace import FFTTraceGenerator
+from repro.apps.fft.transform import (
+    fft,
+    flop_count,
+    four_step_fft,
+    ifft,
+    stage_structure,
+)
+from repro.core.grain import GrainConfig
+from repro.mem.stack_distance import StackDistanceProfiler
+from repro.units import GB, MB
+
+
+class TestKernels:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 64, 256, 1024])
+    def test_matches_numpy(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x), atol=1e-9)
+
+    def test_real_input(self):
+        x = np.arange(16, dtype=float)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x), atol=1e-10)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fft(np.zeros(12))
+
+    def test_ifft_roundtrip(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+        np.testing.assert_allclose(ifft(fft(x)), x, atol=1e-10)
+
+    @pytest.mark.parametrize("n1", [2, 8, 16, 64])
+    def test_four_step(self, n1):
+        rng = np.random.default_rng(n1)
+        x = rng.standard_normal(256) + 1j * rng.standard_normal(256)
+        np.testing.assert_allclose(four_step_fft(x, n1), np.fft.fft(x), atol=1e-9)
+
+    def test_four_step_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            four_step_fft(np.zeros(16, dtype=complex), 3)
+
+    @given(st.integers(min_value=0, max_value=8), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_parseval(self, log_n, seed):
+        """Energy conservation (Parseval): ||X||^2 = n ||x||^2."""
+        n = 2**log_n
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        transformed = fft(x)
+        assert np.sum(np.abs(transformed) ** 2) == pytest.approx(
+            n * np.sum(np.abs(x) ** 2), rel=1e-9
+        )
+
+    def test_linearity(self):
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal(64)
+        y = rng.standard_normal(64)
+        np.testing.assert_allclose(
+            fft(2 * x + 3 * y), 2 * fft(x) + 3 * fft(y), atol=1e-10
+        )
+
+    def test_flop_count(self):
+        assert flop_count(1024) == 5 * 1024 * 10
+
+
+class TestStageStructure:
+    def test_prototypical_quantization(self):
+        """N=64M, D=64K: 26 levels = 16 + 10 (Section 5.3)."""
+        num, stages = stage_structure(2**26, 2**16)
+        assert num == 2
+        assert stages == [16, 10]
+
+    def test_even_split(self):
+        num, stages = stage_structure(2**20, 2**10)
+        assert stages == [10, 10]
+
+    def test_single_stage_when_local(self):
+        num, stages = stage_structure(2**10, 2**10)
+        assert num == 1
+
+    def test_levels_sum(self):
+        _, stages = stage_structure(2**26, 2**12)
+        assert sum(stages) == 26
+
+
+class TestTraceGenerator:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            FFTTraceGenerator(n=1000, num_processors=4)
+
+    def test_rejects_too_small_partition(self):
+        with pytest.raises(ValueError):
+            FFTTraceGenerator(n=16, num_processors=16, internal_radix=8)
+
+    def test_flops_accounting(self):
+        gen = FFTTraceGenerator(n=2**10, num_processors=1, internal_radix=2)
+        gen.trace_for_processor(0)
+        assert gen.flops == pytest.approx(flop_count(2**10))
+
+    def test_radix_blocking_shrinks_trace(self):
+        """Higher internal radix means fewer passes over the data."""
+        small = FFTTraceGenerator(n=2**10, num_processors=1, internal_radix=8)
+        t_small = small.trace_for_processor(0)
+        base = FFTTraceGenerator(n=2**10, num_processors=1, internal_radix=2)
+        t_base = base.trace_for_processor(0)
+        # Radix-8 performs 3 levels per pass but re-reads inputs per
+        # output; compare written volume instead, which counts passes.
+        assert t_small.write_count < t_base.write_count
+
+    def test_paper_plateaus(self):
+        """The Figure 5 plateaus at reduced scale, within quantization."""
+        expected = {2: 0.6, 8: 0.25, 32: 0.15}
+        for radix, paper in expected.items():
+            gen = FFTTraceGenerator(
+                n=2**12, num_processors=4, internal_radix=radix
+            )
+            trace = gen.trace_for_processor(0)
+            profile = StackDistanceProfiler(count_reads_only=True).profile(trace)
+            model = FFTModel(n=2**12, num_processors=4, internal_radix=radix)
+            plateau = profile.misses_at(
+                int(4 * model.lev1_bytes()) // 8
+            ) / gen.flops
+            assert plateau == pytest.approx(paper, rel=0.85)
+            assert plateau >= paper * 0.8  # quantization only adds misses
+
+    def test_sub_lev1_blowup_for_radix_32(self):
+        gen = FFTTraceGenerator(n=2**12, num_processors=4, internal_radix=32)
+        trace = gen.trace_for_processor(0)
+        profile = StackDistanceProfiler(count_reads_only=True).profile(trace)
+        model = FFTModel(n=2**12, num_processors=4, internal_radix=32)
+        tiny = profile.misses_at(int(model.lev1_bytes() / 8) // 8) / gen.flops
+        fitted = profile.misses_at(int(4 * model.lev1_bytes()) // 8) / gen.flops
+        assert tiny > 4 * fitted
+
+
+class TestModel:
+    def test_plateau_formula_matches_paper(self):
+        model = FFTModel()
+        assert model.plateau_after_lev1(2) == pytest.approx(0.6)
+        assert model.plateau_after_lev1(8) == pytest.approx(0.25)
+        assert model.plateau_after_lev1(32) == pytest.approx(0.1575, abs=0.01)
+
+    def test_exact_ratio_prototypical(self):
+        """N=64M, P=1024: ratio 33 (Section 5.3)."""
+        model = FFTModel()
+        assert model.exact_ratio(2**26, 1024) == pytest.approx(32.5)
+
+    def test_quantization_keeps_ratio_on_coarser_machine(self):
+        model = FFTModel()
+        assert model.exact_ratio(2**26, 64) == model.exact_ratio(2**26, 1024)
+
+    def test_optimistic_ratio(self):
+        model = FFTModel()
+        assert model.optimistic_ratio(2**16) == pytest.approx(40.0)
+
+    def test_grain_for_ratio_60_is_about_270mb(self):
+        model = FFTModel()
+        assert model.grain_for_ratio(60.0) == pytest.approx(256 * MB, rel=0.3)
+
+    def test_grain_for_ratio_100_is_terabytes(self):
+        model = FFTModel()
+        assert model.grain_for_ratio(100.0) > 10 * 1024 * GB
+
+    def test_lev1_depends_on_radix_only(self):
+        a = FFTModel(n=2**20, num_processors=64, internal_radix=8)
+        b = FFTModel(n=2**26, num_processors=4096, internal_radix=8)
+        assert a.lev1_bytes() == b.lev1_bytes()
+
+    def test_for_dataset_prototypical(self):
+        model = FFTModel.for_dataset(GB)
+        assert model.n == 2**26  # 64M complex points in 1 GB
+
+    def test_working_sets(self):
+        hierarchy = FFTModel().working_sets()
+        assert hierarchy.important_working_set.level == 1
+        assert hierarchy.is_bimodal()
+
+    def test_miss_rate_monotone(self):
+        model = FFTModel(n=2**20, num_processors=64, internal_radix=8)
+        caps = [2**k for k in range(5, 26)]
+        rates = [model.miss_rate_model(c) for c in caps]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))

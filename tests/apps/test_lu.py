@@ -1,0 +1,213 @@
+"""Tests for the blocked LU kernel, trace generator, and model."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.apps.lu.factor import (
+    blocked_lu,
+    flop_count,
+    random_diagonally_dominant,
+    reconstruct,
+    unpack,
+)
+from repro.apps.lu.model import LUModel
+from repro.apps.lu.trace import LUTraceGenerator, ScatterDecomposition
+from repro.core.grain import GrainConfig
+from repro.core.knee import match_knee
+from repro.core.curves import MissRateCurve
+from repro.mem.stack_distance import default_capacity_grid, profile_trace
+from repro.units import GB, KB, MB
+
+
+class TestFactorKernel:
+    @pytest.mark.parametrize("n,block", [(16, 4), (32, 8), (48, 16), (64, 8)])
+    def test_reconstruction(self, n, block):
+        a = random_diagonally_dominant(n, seed=n)
+        packed = blocked_lu(a.copy(), block)
+        np.testing.assert_allclose(reconstruct(packed), a, atol=1e-9)
+
+    def test_matches_scipy_lu(self):
+        a = random_diagonally_dominant(32, seed=1)
+        packed = blocked_lu(a.copy(), 8)
+        lower, upper = unpack(packed)
+        # scipy permutes; diagonally dominant matrices need no pivoting,
+        # so P should be the identity and factors should agree.
+        p, l_ref, u_ref = scipy.linalg.lu(a)
+        np.testing.assert_allclose(p, np.eye(32), atol=1e-12)
+        np.testing.assert_allclose(lower, l_ref, atol=1e-8)
+        np.testing.assert_allclose(upper, u_ref, atol=1e-8)
+
+    def test_block_size_must_divide(self):
+        with pytest.raises(ValueError):
+            blocked_lu(np.eye(10), 4)
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            blocked_lu(np.ones((4, 6)), 2)
+
+    def test_zero_pivot_raises(self):
+        singularish = np.zeros((4, 4))
+        with pytest.raises(ZeroDivisionError):
+            blocked_lu(singularish, 2)
+
+    def test_unit_lower_diagonal(self):
+        a = random_diagonally_dominant(16, seed=3)
+        lower, _ = unpack(blocked_lu(a.copy(), 4))
+        np.testing.assert_allclose(np.diag(lower), np.ones(16))
+
+    def test_flop_count(self):
+        assert flop_count(300) == pytest.approx(2 * 300**3 / 3)
+
+
+class TestScatterDecomposition:
+    def test_square(self):
+        decomp = ScatterDecomposition.square(16)
+        assert decomp.p_rows == decomp.p_cols == 4
+
+    def test_square_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            ScatterDecomposition.square(6)
+
+    def test_owner_cyclic(self):
+        decomp = ScatterDecomposition(2, 2)
+        assert decomp.owner(0, 0) == 0
+        assert decomp.owner(0, 1) == 1
+        assert decomp.owner(1, 0) == 2
+        assert decomp.owner(2, 2) == 0  # wraps
+
+    def test_all_blocks_covered(self):
+        decomp = ScatterDecomposition.square(4)
+        nb = 6
+        total = sum(decomp.blocks_owned(pid, nb) for pid in range(4))
+        assert total == nb * nb
+
+    def test_balance(self):
+        """Scatter decomposition balances blocks within one row/column."""
+        decomp = ScatterDecomposition.square(4)
+        counts = [decomp.blocks_owned(pid, 8) for pid in range(4)]
+        assert max(counts) - min(counts) == 0
+
+
+class TestTraceGenerator:
+    def test_rejects_indivisible_n(self):
+        with pytest.raises(ValueError):
+            LUTraceGenerator(n=50, block_size=8, num_processors=4)
+
+    def test_flops_accounting(self):
+        gen = LUTraceGenerator(n=32, block_size=8, num_processors=1)
+        gen.trace_for_processor(0)
+        # One processor performs all ~2n^3/3 flops (block algorithm has
+        # small overhead terms).
+        assert gen.flops == pytest.approx(flop_count(32), rel=0.3)
+
+    def test_flops_split_across_processors(self):
+        total = 0.0
+        for pid in range(4):
+            gen = LUTraceGenerator(n=32, block_size=8, num_processors=4)
+            gen.trace_for_processor(pid)
+            total += gen.flops
+        assert total == pytest.approx(flop_count(32), rel=0.3)
+
+    def test_trace_addresses_inside_matrix(self):
+        gen = LUTraceGenerator(n=16, block_size=4, num_processors=1)
+        trace = gen.trace_for_processor(0)
+        assert trace.addrs.min() >= gen.matrix.base
+        assert trace.addrs.max() < gen.matrix.end
+
+    def test_footprint_at_most_matrix(self):
+        gen = LUTraceGenerator(n=16, block_size=4, num_processors=1)
+        trace = gen.trace_for_processor(0)
+        assert trace.footprint_bytes() <= gen.dataset_bytes
+
+    def test_max_k_truncates(self):
+        gen = LUTraceGenerator(n=32, block_size=8, num_processors=1)
+        full = gen.trace_for_processor(0)
+        partial = gen.trace_for_processor(0, max_k=1)
+        assert len(partial) < len(full)
+
+    def test_working_set_knees_match_model(self):
+        """The headline validation: simulated knees land at the model's
+        lev1/lev2 sizes (Figure 2 at reduced scale)."""
+        gen = LUTraceGenerator(n=64, block_size=8, num_processors=4)
+        trace = gen.trace_for_processor(0)
+        profile = profile_trace(trace)
+        curve = MissRateCurve.from_profile(
+            profile,
+            default_capacity_grid(min_bytes=64, max_bytes=64 * KB),
+            metric="misses_per_flop",
+            flops=gen.flops,
+        )
+        model = LUModel(n=64, block_size=8, num_processors=4)
+        knees = curve.knees(rel_threshold=0.2)
+        lev2 = match_knee(knees, model.lev2_bytes(), tolerance_factor=3.0)
+        assert lev2.miss_rate_after < 0.3
+        # Plateau after lev2 is within 2x of 1.5/B.
+        plateau = curve.value_at(2 * model.lev2_bytes())
+        assert plateau == pytest.approx(1.5 / 8, rel=1.0)
+
+    def test_blocks_per_processor(self):
+        gen = LUTraceGenerator(n=64, block_size=8, num_processors=4)
+        assert gen.blocks_per_processor(0) == 16
+
+
+class TestModel:
+    def test_paper_working_set_sizes(self):
+        model = LUModel(n=10_000, block_size=16, num_processors=1024)
+        assert model.lev1_bytes() == 256  # paper: ~260 bytes
+        assert model.lev2_bytes() == pytest.approx(2200, rel=0.1)
+        assert model.lev3_bytes() == pytest.approx(80 * KB, rel=0.05)
+        assert model.lev4_bytes() == pytest.approx(
+            10_000**2 / 1024 * 8, rel=1e-9
+        )
+
+    def test_lev2_independent_of_n_and_p(self):
+        small = LUModel(n=1000, block_size=16, num_processors=16)
+        large = LUModel(n=100_000, block_size=16, num_processors=65536)
+        assert small.lev2_bytes() == large.lev2_bytes()
+
+    def test_miss_rate_monotone(self):
+        model = LUModel(n=1000, block_size=16, num_processors=64)
+        caps = [2**k for k in range(6, 24)]
+        rates = [model.miss_rate_model(c) for c in caps]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_comm_ratio_paper_value(self):
+        """1 MB grain -> ~200 FLOPs/word (Section 3.3)."""
+        model = LUModel()
+        ratio = model.flops_per_word(GrainConfig(GB, 1024))
+        assert 150 < ratio < 300
+
+    def test_comm_ratio_depends_on_grain_only(self):
+        model = LUModel()
+        r1 = model.flops_per_word(GrainConfig(GB, 1024))
+        r2 = model.flops_per_word(GrainConfig(4 * GB, 4096))
+        assert r1 == pytest.approx(r2)
+
+    def test_working_sets_bimodal(self):
+        assert LUModel().working_sets().is_bimodal()
+
+    def test_important_is_lev2(self):
+        assert LUModel().working_sets().important_working_set.level == 2
+
+    def test_for_dataset(self):
+        model = LUModel.for_dataset(GB)
+        assert model.n == pytest.approx(11585, rel=0.01)
+
+    def test_grain_verdicts(self):
+        model = LUModel()
+        assessments = model.grain_assessments()
+        # Coarse and prototypical are good; fine is marginal (paper 3.3).
+        assert assessments[0].verdict.name == "GOOD"
+        assert assessments[1].verdict.name == "GOOD"
+        assert assessments[2].verdict.name in ("MARGINAL", "POOR")
+
+    def test_rejects_tiny_block(self):
+        with pytest.raises(ValueError):
+            LUModel(block_size=1)
+
+    def test_communication_miss_rate_small(self):
+        model = LUModel()
+        assert model.communication_miss_rate() < 0.01

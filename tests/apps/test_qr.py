@@ -1,0 +1,57 @@
+"""Tests for the Householder QR kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.lu.qr import flop_count, householder_qr
+
+
+class TestQR:
+    @pytest.mark.parametrize("m,n,panel", [(16, 16, 4), (32, 32, 8), (48, 24, 8), (40, 24, 16)])
+    def test_reconstruction(self, m, n, panel):
+        a = np.random.default_rng(m + n).standard_normal((m, n))
+        q, r = householder_qr(a, panel_width=panel)
+        np.testing.assert_allclose(q @ r, a, atol=1e-10)
+
+    def test_q_orthonormal(self):
+        a = np.random.default_rng(1).standard_normal((32, 20))
+        q, _ = householder_qr(a)
+        np.testing.assert_allclose(q.T @ q, np.eye(20), atol=1e-10)
+
+    def test_r_upper_triangular(self):
+        a = np.random.default_rng(2).standard_normal((24, 24))
+        _, r = householder_qr(a, panel_width=6)
+        np.testing.assert_allclose(r, np.triu(r), atol=1e-12)
+
+    def test_matches_numpy_up_to_signs(self):
+        a = np.random.default_rng(3).standard_normal((16, 16))
+        q, r = householder_qr(a)
+        q_ref, r_ref = np.linalg.qr(a)
+        signs = np.sign(np.diag(r)) * np.sign(np.diag(r_ref))
+        np.testing.assert_allclose(r, signs[:, None] * r_ref, atol=1e-9)
+
+    def test_rejects_wide_matrix(self):
+        with pytest.raises(ValueError):
+            householder_qr(np.zeros((4, 8)))
+
+    def test_rejects_bad_panel(self):
+        with pytest.raises(ValueError):
+            householder_qr(np.zeros((4, 4)), panel_width=0)
+
+    def test_rank_deficient_column(self):
+        a = np.random.default_rng(4).standard_normal((12, 6))
+        a[:, 3] = 0.0
+        q, r = householder_qr(a, panel_width=3)
+        np.testing.assert_allclose(q @ r, a, atol=1e-10)
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_property_reconstruction(self, n, seed):
+        a = np.random.default_rng(seed).standard_normal((n + 3, n))
+        q, r = householder_qr(a, panel_width=4)
+        assert np.abs(q @ r - a).max() < 1e-8
+
+    def test_flop_count_square(self):
+        assert flop_count(100, 100) == pytest.approx(2 * 100**2 * (100 - 100 / 3))

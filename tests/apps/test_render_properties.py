@@ -1,0 +1,112 @@
+"""Property-based tests for the renderer and its acceleration
+structures: the octree must never change an image, on any volume."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.volrend.octree import MinMaxOctree
+from repro.apps.volrend.render import Camera, RayCaster
+from repro.apps.volrend.volume import Volume
+
+
+@st.composite
+def random_volumes(draw):
+    """Small random volumes with a mix of transparent and opaque runs."""
+    n = draw(st.integers(min_value=4, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    sparsity = draw(st.floats(min_value=0.3, max_value=0.95))
+    rng = np.random.default_rng(seed)
+    opacities = rng.uniform(0.0, 1.0, size=(n, n, n))
+    mask = rng.uniform(0.0, 1.0, size=(n, n, n)) < sparsity
+    opacities[mask] = 0.0
+    return Volume(opacities=opacities)
+
+
+class TestOctreeNeverChangesImages:
+    @given(random_volumes(), st.floats(min_value=0.0, max_value=3.1))
+    @settings(max_examples=25, deadline=None)
+    def test_identical_rendering(self, volume, angle):
+        n = volume.shape[0]
+        camera = Camera(angle=angle, image_size=n)
+        accelerated = RayCaster(volume, MinMaxOctree(volume)).render(camera)
+        reference = RayCaster(volume, None).render(camera)
+        np.testing.assert_array_equal(accelerated, reference)
+
+    @given(random_volumes())
+    @settings(max_examples=25, deadline=None)
+    def test_skip_distance_sound(self, volume):
+        """Every position the octree lets a ray skip is exactly
+        transparent under trilinear interpolation."""
+        tree = MinMaxOctree(volume)
+        n = volume.shape[0]
+        rng = np.random.default_rng(0)
+        direction = rng.standard_normal(3)
+        direction /= np.linalg.norm(direction)
+        for _ in range(20):
+            position = rng.uniform(0, n - 1, size=3)
+            skip = tree.skip_distance(*position, direction)
+            if skip <= 0.0:
+                continue  # region interesting: nothing is claimed
+            steps = int(skip)
+            for m in range(min(steps, 8) + 1):
+                x, y, z = position + m * direction
+                if 0 <= x <= n - 1 and 0 <= y <= n - 1 and 0 <= z <= n - 1:
+                    assert volume.trilinear(x, y, z) == 0.0
+
+    @given(random_volumes())
+    @settings(max_examples=20, deadline=None)
+    def test_minmax_invariants(self, volume):
+        tree = MinMaxOctree(volume)
+        for node in tree.nodes:
+            assert node.min_opacity <= node.max_opacity
+            for child in node.children:
+                assert child.min_opacity >= node.min_opacity - 1e-12
+                assert child.max_opacity <= node.max_opacity + 1e-12
+
+    @given(random_volumes())
+    @settings(max_examples=20, deadline=None)
+    def test_children_partition_parent(self, volume):
+        """Children tile the parent's voxel box exactly."""
+        tree = MinMaxOctree(volume)
+        for node in tree.nodes:
+            if node.is_leaf:
+                continue
+            parent_voxels = (
+                (node.hi[0] - node.lo[0])
+                * (node.hi[1] - node.lo[1])
+                * (node.hi[2] - node.lo[2])
+            )
+            child_voxels = sum(
+                (c.hi[0] - c.lo[0]) * (c.hi[1] - c.lo[1]) * (c.hi[2] - c.lo[2])
+                for c in node.children
+            )
+            assert child_voxels == parent_voxels
+
+
+class TestCameraGeometry:
+    @given(
+        st.floats(min_value=0.0, max_value=6.28),
+        st.integers(min_value=2, max_value=32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rays_parallel_and_unit(self, angle, size):
+        camera = Camera(angle=angle, image_size=size)
+        _, d0 = camera.ray((16, 16, 16), 0, 0)
+        _, d1 = camera.ray((16, 16, 16), size - 1, size - 1)
+        np.testing.assert_allclose(d0, d1)  # orthographic
+        assert np.linalg.norm(d0) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.0, max_value=6.28))
+    @settings(max_examples=30, deadline=None)
+    def test_center_ray_passes_near_volume_center(self, angle):
+        shape = (17, 17, 17)
+        camera = Camera(angle=angle, image_size=17)
+        origin, direction = camera.ray(shape, 8, 8)
+        center = np.array([8.5, 8.5, 8.5])
+        to_center = center - origin
+        distance = np.linalg.norm(
+            to_center - (to_center @ direction) * direction
+        )
+        assert distance < 1.5

@@ -1,0 +1,157 @@
+"""Tests for unstructured meshes, RCB partitioning, and the Section 4.3
+penalty measurements."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.cg.solver import conjugate_gradient
+from repro.apps.cg.unstructured import (
+    clustered_mesh,
+    communication_fraction,
+    delaunay_mesh,
+    edge_cut,
+    random_partition,
+    recursive_coordinate_bisection,
+    regular_mesh,
+    work_imbalance,
+)
+from repro.experiments import cg_unstructured
+
+
+class TestMeshes:
+    def test_delaunay_symmetric_adjacency(self):
+        mesh = delaunay_mesh(200, seed=1)
+        for i, adj in enumerate(mesh.neighbors):
+            for j in adj:
+                assert i in mesh.neighbors[j]
+
+    def test_delaunay_connected_degrees(self):
+        mesh = delaunay_mesh(200, seed=2)
+        assert all(len(adj) >= 2 for adj in mesh.neighbors)
+        # Planar triangulations average degree < 6.
+        assert mesh.degrees().mean() < 6.5
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError):
+            delaunay_mesh(3)
+
+    def test_regular_mesh_structure(self):
+        mesh = regular_mesh(5)
+        assert mesh.num_points == 25
+        assert mesh.num_edges == 2 * 5 * 4  # horizontal + vertical
+
+    def test_clustered_mesh_density_contrast(self):
+        mesh = clustered_mesh(600, seed=3)
+        # Nearest-neighbour distances vary much more than uniform.
+        from scipy.spatial import cKDTree
+
+        tree = cKDTree(mesh.points)
+        dists, _ = tree.query(mesh.points, k=2)
+        nn = dists[:, 1]
+        uniform = delaunay_mesh(600, seed=3)
+        tree_u = cKDTree(uniform.points)
+        dists_u, _ = tree_u.query(uniform.points, k=2)
+        nn_u = dists_u[:, 1]
+        assert nn.std() / nn.mean() > nn_u.std() / nn_u.mean()
+
+    def test_clustered_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            clustered_mesh(100, cluster_fraction=1.5)
+
+    def test_matvec_spd(self):
+        mesh = delaunay_mesh(100, seed=4)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(mesh.num_points)
+        y = rng.standard_normal(mesh.num_points)
+        assert np.dot(mesh.laplacian_matvec(x), y) == pytest.approx(
+            np.dot(x, mesh.laplacian_matvec(y))
+        )
+        assert np.dot(x, mesh.laplacian_matvec(x)) > 0
+
+    def test_cg_solves_unstructured(self):
+        mesh = delaunay_mesh(150, seed=5)
+        b = np.random.default_rng(1).standard_normal(mesh.num_points)
+        result = conjugate_gradient(mesh.laplacian_matvec, b, tol=1e-10)
+        assert result.converged
+
+
+class TestRCB:
+    def test_partition_counts_balanced(self):
+        mesh = delaunay_mesh(512, seed=6)
+        assignment = recursive_coordinate_bisection(mesh.points, 8)
+        counts = np.bincount(assignment, minlength=8)
+        assert counts.max() - counts.min() <= 1
+
+    def test_all_parts_used(self):
+        mesh = delaunay_mesh(256, seed=7)
+        assignment = recursive_coordinate_bisection(mesh.points, 16)
+        assert set(assignment) == set(range(16))
+
+    def test_rejects_non_power_of_two(self):
+        mesh = delaunay_mesh(64, seed=8)
+        with pytest.raises(ValueError):
+            recursive_coordinate_bisection(mesh.points, 6)
+
+    def test_rcb_beats_random_cut(self):
+        mesh = delaunay_mesh(800, seed=9)
+        rcb = recursive_coordinate_bisection(mesh.points, 16)
+        rand = random_partition(mesh.num_points, 16, seed=9)
+        assert edge_cut(mesh, rcb) < edge_cut(mesh, rand) / 3
+
+    @given(st.integers(min_value=64, max_value=400), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_rcb_is_partition(self, n, seed):
+        mesh = delaunay_mesh(n, seed=seed)
+        assignment = recursive_coordinate_bisection(mesh.points, 4)
+        assert assignment.shape == (n,)
+        assert assignment.min() >= 0 and assignment.max() <= 3
+
+
+class TestMetrics:
+    def test_single_partition_no_cut(self):
+        mesh = delaunay_mesh(100, seed=10)
+        assignment = np.zeros(100, dtype=np.int64)
+        assert edge_cut(mesh, assignment) == 0
+        assert communication_fraction(mesh, assignment) == 0.0
+        assert work_imbalance(mesh, assignment) == pytest.approx(1.0)
+
+    def test_remote_weight_increases_imbalance(self):
+        mesh = clustered_mesh(400, seed=11)
+        assignment = recursive_coordinate_bisection(mesh.points, 8)
+        plain = work_imbalance(mesh, assignment)
+        weighted = work_imbalance(mesh, assignment, remote_edge_weight=6.0)
+        assert weighted >= plain
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return cg_unstructured.run(side=32, num_parts=8)
+
+    def test_unstructured_communicates_more(self, result):
+        penalty = result.comparison(
+            "communication penalty: unstructured / regular"
+        ).measured_value
+        assert penalty > 1.1
+
+    def test_clustered_worse_than_uniform(self, result):
+        uniform = result.comparison(
+            "communication penalty: unstructured / regular"
+        ).measured_value
+        clustered = result.comparison(
+            "communication penalty: clustered / regular"
+        ).measured_value
+        assert clustered > uniform
+
+    def test_random_partition_catastrophic(self, result):
+        penalty = result.comparison(
+            "random-partition communication penalty"
+        ).measured_value
+        assert penalty > 3
+
+    def test_solver_converges(self, result):
+        assert result.comparison(
+            "CG converges on the unstructured operator"
+        ).measured_value == 1.0

@@ -1,0 +1,369 @@
+"""Tests for the volume rendering substrate: volumes, octree, renderer,
+partitioning/stealing, trace and model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.volrend.model import VolrendModel
+from repro.apps.volrend.octree import MinMaxOctree
+from repro.apps.volrend.partition import (
+    ImagePartition,
+    simulate_ray_stealing,
+)
+from repro.apps.volrend.render import Camera, RayCaster, render_frame
+from repro.apps.volrend.trace import VolrendTraceGenerator
+from repro.apps.volrend.volume import (
+    Volume,
+    opaque_volume,
+    synthetic_head,
+    transparent_volume,
+)
+from repro.core.grain import GrainConfig
+from repro.units import GB, KB
+
+
+class TestVolume:
+    def test_opacity_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            Volume(opacities=np.full((2, 2, 2), 1.5))
+
+    def test_requires_3d(self):
+        with pytest.raises(ValueError):
+            Volume(opacities=np.zeros((4, 4)))
+
+    def test_voxel_index_row_major(self):
+        volume = transparent_volume(4)
+        assert volume.voxel_index(1, 2, 3) == 1 * 16 + 2 * 4 + 3
+
+    def test_data_bytes_two_per_voxel(self):
+        assert transparent_volume(4).data_bytes == 64 * 2
+
+    def test_trilinear_at_grid_points(self, head_volume):
+        for (i, j, k) in [(0, 0, 0), (3, 5, 7), (10, 10, 10)]:
+            assert head_volume.trilinear(i, j, k) == pytest.approx(
+                float(head_volume.opacities[i, j, k])
+            )
+
+    def test_trilinear_outside_is_zero(self, head_volume):
+        assert head_volume.trilinear(-1.0, 0, 0) == 0.0
+        assert head_volume.trilinear(0, 0, 1000.0) == 0.0
+
+    @given(
+        st.floats(min_value=0, max_value=22.9),
+        st.floats(min_value=0, max_value=22.9),
+        st.floats(min_value=0, max_value=22.9),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_trilinear_within_corner_bounds(self, x, y, z):
+        volume = synthetic_head(24)
+        value = volume.trilinear(x, y, z)
+        corners = [
+            float(volume.opacities[c]) for c in volume.corner_voxels(x, y, z)
+        ]
+        assert min(corners) - 1e-9 <= value <= max(corners) + 1e-9
+
+    def test_corner_voxels_count(self, head_volume):
+        assert len(head_volume.corner_voxels(1.5, 2.5, 3.5)) == 8
+
+    def test_phantom_structure(self):
+        volume = synthetic_head(32)
+        # Corners (air) transparent; center (brain) mildly opaque.
+        assert volume.opacities[0, 0, 0] == 0.0
+        assert 0 < volume.opacities[16, 16, 16] < 0.2
+
+    def test_phantom_deterministic(self):
+        a = synthetic_head(16, seed=1).opacities
+        b = synthetic_head(16, seed=1).opacities
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMinMaxOctree:
+    def test_root_extrema(self, head_volume):
+        tree = MinMaxOctree(head_volume)
+        assert tree.root.min_opacity == float(head_volume.opacities.min())
+        assert tree.root.max_opacity == float(head_volume.opacities.max())
+
+    def test_node_extrema_correct(self, head_volume):
+        tree = MinMaxOctree(head_volume)
+        for node in tree.nodes[:50]:
+            sub = head_volume.opacities[
+                node.lo[0] : node.hi[0],
+                node.lo[1] : node.hi[1],
+                node.lo[2] : node.hi[2],
+            ]
+            assert node.min_opacity == pytest.approx(float(sub.min()))
+            assert node.max_opacity == pytest.approx(float(sub.max()))
+
+    def test_transparent_volume_single_node(self):
+        tree = MinMaxOctree(transparent_volume(16))
+        assert tree.root.is_leaf or tree.root.max_opacity == 0.0
+
+    def test_deepest_transparent_node(self):
+        tree = MinMaxOctree(synthetic_head(16))
+        node = tree.deepest_transparent_node(0.5, 0.5, 0.5)  # air corner
+        assert node is not None and node.is_transparent
+        center = tree.deepest_transparent_node(8.0, 8.0, 8.0)  # brain
+        assert center is None
+
+    def test_skip_distance_zero_in_interesting_region(self):
+        tree = MinMaxOctree(synthetic_head(16))
+        assert tree.skip_distance(8.0, 8.0, 8.0, np.array([1.0, 0, 0])) == 0.0
+
+    def test_skipped_samples_are_exactly_transparent(self):
+        volume = synthetic_head(24)
+        tree = MinMaxOctree(volume)
+        direction = np.array([1.0, 0.0, 0.0])
+        for y in (0.5, 3.2, 11.9):
+            x, z = 0.5, 2.7
+            skip = tree.skip_distance(x, y, z, direction)
+            steps = int(skip)
+            for m in range(steps + 1):
+                assert volume.trilinear(x + m, y, z) == 0.0
+
+    def test_path_to_terminates(self, head_volume):
+        tree = MinMaxOctree(head_volume)
+        path = tree.path_to(5.0, 5.0, 5.0)
+        assert path[0] is tree.root
+        assert path[-1].is_transparent or path[-1].is_leaf
+
+    def test_rejects_bad_leaf_size(self, head_volume):
+        with pytest.raises(ValueError):
+            MinMaxOctree(head_volume, leaf_size=0)
+
+
+class TestRenderer:
+    def test_octree_identical_to_brute_force(self):
+        volume = synthetic_head(24)
+        with_octree = render_frame(volume, angle=0.4, image_size=24, use_octree=True)
+        reference = render_frame(volume, angle=0.4, image_size=24, use_octree=False)
+        np.testing.assert_array_equal(with_octree, reference)
+
+    def test_transparent_renders_black(self):
+        image = render_frame(transparent_volume(8), image_size=8)
+        assert image.max() == 0.0
+
+    def test_opaque_renders_solid_center(self):
+        image = render_frame(opaque_volume(8), image_size=8)
+        assert image[4, 4] == pytest.approx(1.0)
+
+    def test_early_termination_bounds_samples(self):
+        volume = opaque_volume(16)
+        caster = RayCaster(volume)
+        origin = np.array([-5.0, 7.5, 7.5])
+        caster.cast(origin, np.array([1.0, 0.0, 0.0]))
+        assert caster.samples_taken <= 4  # terminates almost immediately
+
+    def test_octree_skips_samples(self):
+        volume = synthetic_head(24)
+        camera = Camera(angle=0.3, image_size=24)
+        skipping = RayCaster(volume, MinMaxOctree(volume))
+        brute = RayCaster(volume)
+        skipping.render(camera)
+        brute.render(camera)
+        assert skipping.samples_taken < brute.samples_taken
+        assert skipping.samples_skipped > 0
+
+    def test_miss_ray_returns_zero(self):
+        volume = opaque_volume(8)
+        caster = RayCaster(volume)
+        # Ray parallel to the box but outside it.
+        assert caster.cast(np.array([-5.0, 50.0, 4.0]), np.array([1.0, 0, 0])) == 0.0
+
+    def test_opacity_in_unit_range(self):
+        image = render_frame(synthetic_head(16), image_size=16)
+        assert image.min() >= 0.0
+        assert image.max() <= 1.0
+
+    def test_block_render_matches_full(self):
+        volume = synthetic_head(16)
+        camera = Camera(angle=0.2, image_size=16)
+        caster = RayCaster(volume, MinMaxOctree(volume))
+        full = caster.render(camera)
+        partial = np.zeros((16, 16))
+        caster.render(camera, pixels=partial, pixel_range=(range(8), range(16)))
+        np.testing.assert_array_equal(partial[:8], full[:8])
+
+
+class TestImagePartition:
+    def test_blocks_tile_image(self):
+        part = ImagePartition(16, 4)
+        covered = set()
+        for pid in range(4):
+            rows, cols = part.block(pid)
+            for r in rows:
+                for c in cols:
+                    assert (r, c) not in covered
+                    covered.add((r, c))
+        assert len(covered) == 256
+
+    def test_owner_consistent_with_block(self):
+        part = ImagePartition(16, 16)
+        for pid in range(16):
+            rows, cols = part.block(pid)
+            assert part.owner(cols[0], rows[0]) == pid
+
+    def test_rays_per_processor(self):
+        assert ImagePartition(64, 16).rays_per_processor() == 256
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            ImagePartition(16, 6)
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            ImagePartition(10, 16)
+
+
+class TestRayStealing:
+    def test_balanced_load_no_stealing(self):
+        costs = [np.ones(10) for _ in range(4)]
+        outcome = simulate_ray_stealing(costs)
+        assert outcome.rays_stolen == 0
+        assert outcome.balance_efficiency == pytest.approx(1.0)
+
+    def test_imbalanced_load_steals(self):
+        costs = [np.ones(100), np.ones(1)]
+        outcome = simulate_ray_stealing(costs)
+        assert outcome.rays_stolen > 20
+        assert outcome.balance_efficiency > 0.85
+
+    def test_steal_overhead_reduces_stealing_benefit(self):
+        costs = [np.ones(100), np.ones(1)]
+        cheap = simulate_ray_stealing(costs, steal_overhead=0.0)
+        pricey = simulate_ray_stealing(costs, steal_overhead=5.0)
+        assert pricey.rays_stolen <= cheap.rays_stolen
+
+    def test_steal_fraction(self):
+        costs = [np.ones(30), np.zeros(0)]
+        outcome = simulate_ray_stealing([np.ones(30), np.ones(0)])
+        assert 0 <= outcome.steal_fraction <= 1
+
+    def test_finish_times_tighten(self):
+        rng = np.random.default_rng(1)
+        costs = [rng.uniform(0.5, 2.0, size=50) * (pid + 1) for pid in range(4)]
+        outcome = simulate_ray_stealing(costs)
+        static_finish = np.array([c.sum() for c in costs])
+        static_eff = static_finish.mean() / static_finish.max()
+        assert outcome.balance_efficiency > static_eff
+
+
+class TestTraceGenerator:
+    def test_trace_regions_disjoint(self):
+        volume = synthetic_head(16)
+        gen = VolrendTraceGenerator(volume, num_processors=4, image_size=16)
+        trace = gen.trace_for_processor(0, frames=1)
+        assert len(trace) > 100
+        assert gen.rays_cast == 64  # 8x8 block
+
+    def test_frames_multiply_rays(self):
+        volume = synthetic_head(16)
+        gen = VolrendTraceGenerator(volume, num_processors=4, image_size=16)
+        gen.trace_for_processor(0, frames=3)
+        assert gen.rays_cast == 3 * 64
+
+    def test_invalid_pid(self):
+        gen = VolrendTraceGenerator(synthetic_head(16), num_processors=4)
+        with pytest.raises(IndexError):
+            gen.trace_for_processor(4)
+
+    def test_lev2_knee_grows_with_volume(self):
+        """The essence of the paper's Section 7.2 scaling claim."""
+        from repro.mem.stack_distance import StackDistanceProfiler
+
+        knees = []
+        for n in (24, 48):
+            gen = VolrendTraceGenerator(
+                synthetic_head(n), num_processors=4, image_size=n
+            )
+            trace = gen.trace_for_processor(0, frames=1)
+            profile = StackDistanceProfiler(
+                count_reads_only=True, warmup=len(trace) // 4
+            ).profile(trace)
+            caps = [2**k for k in range(9, 18)]
+            rates = [profile.misses_at(c // 8) / max(profile.total, 1) for c in caps]
+            floor = min(rates)
+            reach = next(
+                cap for cap, rate in zip(caps, rates) if rate <= 1.3 * floor
+            )
+            knees.append(reach)
+        assert knees[1] > knees[0]
+
+
+class TestModel:
+    def test_paper_lev2_formula(self):
+        """4000 + 110n: 70 KB for the 600^3 prototypical problem and
+        ~16 KB for the 113-deep head (n~110 effective)."""
+        assert VolrendModel(n=600).lev2_bytes() == pytest.approx(70 * KB, rel=0.05)
+        assert VolrendModel(n=113).lev2_bytes() == pytest.approx(16.4 * KB, rel=0.05)
+
+    def test_1024_cubed_is_116kb(self):
+        assert VolrendModel(n=1024).lev2_bytes() == pytest.approx(116 * KB, rel=0.05)
+
+    def test_ratio_independent_of_n_p(self):
+        model = VolrendModel()
+        assert model.flops_per_word(GrainConfig(GB, 64)) == model.flops_per_word(
+            GrainConfig(8 * GB, 16384)
+        )
+
+    def test_prototypical_rays(self):
+        """600^3 on 1024 processors: ~1000 rays each; on 16K: ~66."""
+        model = VolrendModel(n=600, num_processors=1024)
+        assert model.units_per_processor(GrainConfig(GB, 1024)) == pytest.approx(
+            1000, rel=0.25
+        )
+        assert model.units_per_processor(GrainConfig(GB, 16384)) == pytest.approx(
+            66, rel=0.25
+        )
+
+    def test_grain_scaling_cube_root(self):
+        model = VolrendModel()
+        assert model.grain_for_scaled_dataset(8.0) == pytest.approx(
+            2 * model.dataset_bytes / model.num_processors, rel=1e-9
+        )
+
+    def test_for_dataset(self):
+        assert VolrendModel.for_dataset(GB).n == pytest.approx(600, rel=0.15)
+
+    def test_fine_grain_verdict_poor(self):
+        model = VolrendModel(n=600, num_processors=1024)
+        assessments = model.grain_assessments()
+        assert assessments[2].verdict.name == "POOR"  # 66 rays: too few
+
+    def test_miss_rate_model_monotone(self):
+        model = VolrendModel(n=64, num_processors=4)
+        caps = [2**k for k in range(6, 22)]
+        rates = [model.miss_rate_model(c) for c in caps]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_important_is_lev2(self):
+        assert VolrendModel().working_sets().important_working_set.level == 2
+
+
+class TestPGM:
+    def test_roundtrip(self, tmp_path):
+        from repro.apps.volrend.render import load_pgm, save_pgm
+
+        image = render_frame(synthetic_head(12), image_size=12)
+        path = tmp_path / "frame.pgm"
+        save_pgm(image, path)
+        loaded = load_pgm(path)
+        assert loaded.shape == image.shape
+        np.testing.assert_allclose(loaded, image, atol=1 / 255 + 1e-9)
+
+    def test_rejects_non_2d(self, tmp_path):
+        from repro.apps.volrend.render import save_pgm
+
+        with pytest.raises(ValueError):
+            save_pgm(np.zeros((2, 2, 2)), tmp_path / "x.pgm")
+
+    def test_rejects_non_pgm(self, tmp_path):
+        from repro.apps.volrend.render import load_pgm
+
+        path = tmp_path / "bad.pgm"
+        path.write_bytes(b"P6\n1 1\n255\nxxx")
+        with pytest.raises(ValueError):
+            load_pgm(path)

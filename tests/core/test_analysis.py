@@ -1,0 +1,71 @@
+"""Tests for the application-characterization orchestration."""
+
+import pytest
+
+from repro.core.analysis import ApplicationModel, characterize
+from repro.core.grain import GrainConfig, GrainVerdict, LoadBalanceModel
+from repro.core.working_set import WorkingSet, WorkingSetHierarchy
+from repro.units import GB, KB
+
+
+class ToyModel(ApplicationModel):
+    """A minimal model: easy communication, balance degrades with P."""
+
+    name = "Toy"
+    metric = "miss_rate"
+    load_model = LoadBalanceModel("widgets", good_threshold=100, poor_threshold=10)
+
+    def working_sets(self):
+        hierarchy = WorkingSetHierarchy(
+            application=self.name, problem="toy", dataset_bytes=GB,
+            per_processor_bytes=GB / 1024,
+        )
+        hierarchy.add(WorkingSet(1, "core", 4 * KB, 0.05, important=True))
+        return hierarchy
+
+    def flops_per_word(self, config: GrainConfig) -> float:
+        return 100.0
+
+    def units_per_processor(self, config: GrainConfig) -> float:
+        return 1_000_000 / config.num_processors
+
+    def grain_notes(self, config: GrainConfig) -> str:
+        return "note!" if config.num_processors > 10_000 else ""
+
+
+class TestCharacterize:
+    def test_produces_all_assessments(self):
+        result = characterize(ToyModel())
+        assert len(result.assessments) == 3
+        assert result.model_name == "Toy"
+
+    def test_verdicts_degrade_with_p(self):
+        result = characterize(ToyModel())
+        verdicts = [a.verdict for a in result.assessments]
+        assert verdicts[0] is GrainVerdict.GOOD
+        assert verdicts[2] is GrainVerdict.MARGINAL  # 61 widgets/processor
+
+    def test_desirable_grain(self):
+        result = characterize(ToyModel())
+        assert result.desirable_grain.num_processors == 1024
+
+    def test_custom_configs(self):
+        configs = [GrainConfig(GB, 2, "two")]
+        result = characterize(ToyModel(), configs)
+        assert len(result.assessments) == 1
+        assert result.assessments[0].config.label == "two"
+
+    def test_notes_propagate(self):
+        result = characterize(ToyModel())
+        assert result.assessments[2].notes == "note!"
+
+    def test_describe(self):
+        text = characterize(ToyModel()).describe()
+        assert "Toy" in text
+        assert "desirable grain" in text
+
+
+class TestAbstractness:
+    def test_cannot_instantiate_base(self):
+        with pytest.raises(TypeError):
+            ApplicationModel()  # type: ignore[abstract]

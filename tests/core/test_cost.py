@@ -1,0 +1,90 @@
+"""Tests for the cost-performance design model."""
+
+import math
+
+import pytest
+
+from repro.apps.lu.model import LUModel
+from repro.core.cost import (
+    ComponentPrices,
+    NodeDesign,
+    best_design,
+    enumerate_designs,
+    evaluate_design,
+)
+from repro.units import GB, KB, MB
+
+
+PRICES = ComponentPrices()
+
+
+class TestPrices:
+    def test_node_cost(self):
+        cost = PRICES.node_cost(cache_bytes=64 * KB, memory_bytes=16 * MB)
+        assert cost == pytest.approx(1000 + 64 + 640)
+
+    def test_memory_cost_fraction(self):
+        design = NodeDesign(64, cache_bytes=0.0001, memory_bytes=25 * MB)
+        assert design.memory_cost_fraction(PRICES) == pytest.approx(0.5, abs=0.01)
+
+    def test_total_cost_scales_with_p(self):
+        a = NodeDesign(64, 64 * KB, 16 * MB)
+        b = NodeDesign(128, 64 * KB, 16 * MB)
+        assert b.total_cost(PRICES) == pytest.approx(2 * a.total_cost(PRICES))
+
+
+class TestEnumerate:
+    def test_budget_respected(self):
+        designs = enumerate_designs(1_000_000, GB)
+        for design in designs:
+            assert design.total_cost(PRICES) <= 1_000_000 * 1.001
+
+    def test_unaffordable_processor_counts_skipped(self):
+        designs = enumerate_designs(100_000, GB)
+        assert all(d.num_processors * 1000 < 100_000 for d in designs)
+
+    def test_more_budget_more_designs(self):
+        few = enumerate_designs(200_000, GB)
+        many = enumerate_designs(5_000_000, GB)
+        assert len(many) > len(few)
+
+
+class TestEvaluate:
+    MODEL = LUModel.for_dataset(GB, block_size=16, num_processors=1024)
+
+    def _evaluate(self, design):
+        return evaluate_design(
+            self.MODEL,
+            design,
+            GB,
+            self.MODEL.flops(),
+            self.MODEL.miss_rate_model,
+        )
+
+    def test_infeasible_when_memory_short(self):
+        tiny = NodeDesign(64, 4 * KB, 1 * MB)  # 64 MB total for 1 GB problem
+        evaluation = self._evaluate(tiny)
+        assert not evaluation.feasible
+        assert evaluation.time_units == math.inf
+
+    def test_bigger_cache_not_slower(self):
+        small = self._evaluate(NodeDesign(1024, 4 * KB, 4 * MB))
+        large = self._evaluate(NodeDesign(1024, 256 * KB, 4 * MB))
+        assert large.time_units <= small.time_units
+
+    def test_more_processors_faster_when_balanced(self):
+        few = self._evaluate(NodeDesign(256, 64 * KB, 8 * MB))
+        many = self._evaluate(NodeDesign(1024, 64 * KB, 2 * MB))
+        assert many.time_units < few.time_units
+
+    def test_best_design_requires_feasible(self):
+        infeasible = self._evaluate(NodeDesign(64, 4 * KB, 1 * MB))
+        with pytest.raises(ValueError):
+            best_design([infeasible])
+
+    def test_best_design_picks_minimum(self):
+        evals = [
+            self._evaluate(NodeDesign(256, 64 * KB, 8 * MB)),
+            self._evaluate(NodeDesign(1024, 64 * KB, 2 * MB)),
+        ]
+        assert best_design(evals) is min(evals, key=lambda e: e.time_units)

@@ -1,0 +1,131 @@
+"""Tests for grain-size configuration and verdict logic."""
+
+import pytest
+
+from repro.core.grain import (
+    GrainConfig,
+    GrainVerdict,
+    LoadBalanceModel,
+    assess_grain,
+    combine_verdicts,
+    desirable_grain_size,
+    prototypical_configs,
+)
+from repro.core.machine import SustainabilityBand
+from repro.units import GB, KB, MB
+
+
+class TestGrainConfig:
+    def test_memory_per_processor(self):
+        config = GrainConfig(GB, 1024)
+        assert config.memory_per_processor == pytest.approx(MB)
+
+    def test_str_mentions_grain(self):
+        assert "1.0 MB" in str(GrainConfig(GB, 1024, "proto"))
+
+    def test_prototypical_trio(self):
+        configs = prototypical_configs()
+        assert [c.num_processors for c in configs] == [64, 1024, 16384]
+        assert configs[0].memory_per_processor == pytest.approx(16 * MB)
+        assert configs[2].memory_per_processor == pytest.approx(64 * KB)
+
+
+class TestLoadBalance:
+    MODEL = LoadBalanceModel("units", good_threshold=100, poor_threshold=10)
+
+    def test_good(self):
+        assert self.MODEL.assess(500) is GrainVerdict.GOOD
+
+    def test_marginal(self):
+        assert self.MODEL.assess(50) is GrainVerdict.MARGINAL
+
+    def test_poor(self):
+        assert self.MODEL.assess(5) is GrainVerdict.POOR
+
+    def test_boundaries_inclusive(self):
+        assert self.MODEL.assess(100) is GrainVerdict.GOOD
+        assert self.MODEL.assess(10) is GrainVerdict.MARGINAL
+
+
+class TestCombineVerdicts:
+    def test_worst_wins(self):
+        assert (
+            combine_verdicts(SustainabilityBand.EASY, GrainVerdict.POOR)
+            is GrainVerdict.POOR
+        )
+        assert (
+            combine_verdicts(
+                SustainabilityBand.EXTREMELY_DIFFICULT, GrainVerdict.GOOD
+            )
+            is GrainVerdict.POOR
+        )
+
+    def test_both_good(self):
+        assert (
+            combine_verdicts(SustainabilityBand.EASY, GrainVerdict.GOOD)
+            is GrainVerdict.GOOD
+        )
+
+    def test_marginal_band(self):
+        assert (
+            combine_verdicts(SustainabilityBand.SUSTAINABLE, GrainVerdict.GOOD)
+            is GrainVerdict.MARGINAL
+        )
+
+
+class TestAssess:
+    MODEL = LoadBalanceModel("units", 100, 10)
+
+    def test_assessment_fields(self):
+        config = GrainConfig(GB, 1024)
+        assessment = assess_grain(config, 200.0, 500.0, self.MODEL, notes="hi")
+        assert assessment.band is SustainabilityBand.EASY
+        assert assessment.verdict is GrainVerdict.GOOD
+        assert "hi" in str(assessment)
+
+    def test_communication_bound(self):
+        assessment = assess_grain(GrainConfig(GB, 1024), 5.0, 500.0, self.MODEL)
+        assert assessment.verdict is GrainVerdict.POOR
+
+
+class TestDesirableGrain:
+    MODEL = LoadBalanceModel("units", 100, 10)
+
+    def _assess(self, config, ratio, units):
+        return assess_grain(config, ratio, units, self.MODEL)
+
+    def test_prefers_finest_good(self):
+        configs = prototypical_configs()
+        assessments = [
+            self._assess(configs[0], 1000, 10_000),
+            self._assess(configs[1], 500, 1_000),
+            self._assess(configs[2], 100, 500),
+        ]
+        assert desirable_grain_size(assessments) is configs[2].__class__(
+            configs[2].total_data_bytes, configs[2].num_processors, configs[2].label
+        ) or desirable_grain_size(assessments) == configs[2]
+
+    def test_falls_back_to_marginal(self):
+        configs = prototypical_configs()
+        assessments = [
+            self._assess(configs[0], 50, 50),  # marginal
+            self._assess(configs[1], 5, 5),  # poor
+            self._assess(configs[2], 5, 5),  # poor
+        ]
+        assert desirable_grain_size(assessments) == configs[0]
+
+    def test_good_preferred_over_finer_marginal(self):
+        """LU's judgement: 1 MB easy, 64 KB survivable — desirable is 1 MB."""
+        configs = prototypical_configs()
+        assessments = [
+            self._assess(configs[0], 1000, 10_000),  # good
+            self._assess(configs[1], 200, 500),  # good
+            self._assess(configs[2], 60, 30),  # marginal
+        ]
+        assert desirable_grain_size(assessments) == configs[1]
+
+    def test_all_poor_raises(self):
+        configs = prototypical_configs()
+        assessments = [self._assess(c, 1.0, 1.0) for c in configs]
+        with pytest.raises(ValueError):
+            desirable_grain_size(assessments)

@@ -1,0 +1,97 @@
+"""Tests for knee detection on miss-rate curves."""
+
+import numpy as np
+import pytest
+
+from repro.core.curves import MissRateCurve
+from repro.core.knee import Knee, find_knees, match_knee
+
+
+def step_curve(capacities, plateaus):
+    """Build a curve from (threshold, rate) plateau pairs."""
+    def model(cache_bytes):
+        rate = plateaus[0][1]
+        for threshold, value in plateaus:
+            if cache_bytes >= threshold:
+                rate = value
+        return rate
+    return MissRateCurve.from_model(model, capacities)
+
+
+CAPS = [2**k for k in range(4, 16)]
+
+
+class TestFindKnees:
+    def test_single_step(self):
+        curve = step_curve(CAPS, [(0, 1.0), (1024, 0.1)])
+        knees = find_knees(curve)
+        assert len(knees) == 1
+        assert knees[0].capacity_bytes == 1024
+        assert knees[0].miss_rate_before == pytest.approx(1.0)
+        assert knees[0].miss_rate_after == pytest.approx(0.1)
+
+    def test_two_steps(self):
+        curve = step_curve(CAPS, [(0, 1.0), (256, 0.5), (8192, 0.05)])
+        knees = find_knees(curve)
+        assert [k.capacity_bytes for k in knees] == [256, 8192]
+
+    def test_flat_curve_has_no_knees(self):
+        curve = step_curve(CAPS, [(0, 0.3)])
+        assert find_knees(curve) == []
+
+    def test_small_drops_ignored(self):
+        # 10% relative drops stay below the default 25% threshold.
+        rates = np.linspace(1.0, 0.9, len(CAPS))
+        curve = MissRateCurve(np.array(CAPS), rates)
+        assert find_knees(curve) == []
+
+    def test_adjacent_steep_steps_merged(self):
+        rates = np.array([1.0] * 4 + [0.5, 0.2, 0.1] + [0.1] * 5)
+        curve = MissRateCurve(np.array(CAPS), rates)
+        knees = find_knees(curve)
+        assert len(knees) == 1
+        assert knees[0].miss_rate_before == pytest.approx(1.0)
+        assert knees[0].miss_rate_after == pytest.approx(0.1)
+
+    def test_merge_disabled(self):
+        rates = np.array([1.0] * 4 + [0.5, 0.2, 0.1] + [0.1] * 5)
+        curve = MissRateCurve(np.array(CAPS), rates)
+        knees = find_knees(curve, merge_adjacent=False)
+        assert len(knees) == 3
+
+    def test_abs_threshold_suppresses_noise_floor(self):
+        rates = np.array([1.0] * 6 + [0.002, 0.001] + [0.001] * 4)
+        curve = MissRateCurve(np.array(CAPS), rates)
+        knees = find_knees(curve, abs_threshold=0.01)
+        # The big 1.0 -> 0.002 drop survives; the 0.002 -> 0.001 does not.
+        assert len(knees) == 1
+
+    def test_short_curve(self):
+        curve = MissRateCurve(np.array([64]), np.array([1.0]))
+        assert find_knees(curve) == []
+
+    def test_knee_properties(self):
+        knee = Knee(capacity_bytes=1024, miss_rate_before=0.4, miss_rate_after=0.1)
+        assert knee.drop == pytest.approx(0.3)
+        assert knee.drop_ratio == pytest.approx(4.0)
+        assert "1.0 KB" in str(knee)
+
+    def test_drop_ratio_infinite_at_zero_floor(self):
+        knee = Knee(1024, 0.4, 0.0)
+        assert knee.drop_ratio == float("inf")
+
+
+class TestMatchKnee:
+    def test_picks_nearest_in_log_space(self):
+        knees = [Knee(256, 1.0, 0.5), Knee(8192, 0.5, 0.05)]
+        assert match_knee(knees, 300).capacity_bytes == 256
+        assert match_knee(knees, 6000).capacity_bytes == 8192
+
+    def test_tolerance_enforced(self):
+        knees = [Knee(256, 1.0, 0.5)]
+        with pytest.raises(LookupError):
+            match_knee(knees, 100_000, tolerance_factor=4.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(LookupError):
+            match_knee([], 1024)

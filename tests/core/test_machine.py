@@ -1,0 +1,77 @@
+"""Tests for machine models and sustainability bands — checked against
+the paper's own Paragon/CM-5 arithmetic (Section 2.3)."""
+
+import pytest
+
+from repro.core.machine import (
+    CM5,
+    CommunicationPattern,
+    PARAGON,
+    SustainabilityBand,
+    classify_ratio,
+    MachineSpec,
+)
+
+
+class TestParagon:
+    def test_nearest_neighbor_ratio_is_8(self):
+        ratio = PARAGON.sustainable_ratio(CommunicationPattern.NEAREST_NEIGHBOR)
+        assert ratio == pytest.approx(8.0)
+
+    def test_general_ratio_is_64_at_1024_nodes(self):
+        ratio = PARAGON.sustainable_ratio(CommunicationPattern.GENERAL, 1024)
+        assert ratio == pytest.approx(64.0)
+
+    def test_bisection_links_64(self):
+        bandwidth = PARAGON.bisection_limited_bandwidth(1024)
+        # 64 links / 512 processors = 1/8 of the 200 MB/s channel.
+        assert bandwidth == pytest.approx(25.0)
+
+    def test_bisection_needs_square_mesh(self):
+        with pytest.raises(ValueError):
+            PARAGON.bisection_limited_bandwidth(1000)
+
+
+class TestCM5:
+    def test_nearest_neighbor_about_50(self):
+        ratio = CM5.sustainable_ratio(CommunicationPattern.NEAREST_NEIGHBOR)
+        assert ratio == pytest.approx(51.2)
+
+    def test_general_uses_explicit_bandwidth(self):
+        ratio = CM5.sustainable_ratio(CommunicationPattern.GENERAL)
+        # 128 MFLOPS at 5 MB/s: ~205 FLOPs per double word (the paper's
+        # "about 100 FLOPs per word" counts 4-byte words).
+        assert ratio == pytest.approx(204.8)
+
+
+class TestBands:
+    def test_boundaries(self):
+        assert classify_ratio(5) is SustainabilityBand.EXTREMELY_DIFFICULT
+        assert classify_ratio(15) is SustainabilityBand.SUSTAINABLE
+        assert classify_ratio(75) is SustainabilityBand.SUSTAINABLE
+        assert classify_ratio(76) is SustainabilityBand.EASY
+
+    def test_paper_examples(self):
+        assert classify_ratio(200) is SustainabilityBand.EASY  # LU prototypical
+        assert classify_ratio(33) is SustainabilityBand.SUSTAINABLE  # FFT
+        assert classify_ratio(8) is SustainabilityBand.EXTREMELY_DIFFICULT
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            classify_ratio(-1)
+
+
+class TestCustomMachine:
+    def test_faster_network_raises_sustainability(self):
+        fast = MachineSpec("fast", mflops_per_node=200.0, nn_bandwidth_mbps=800.0)
+        assert fast.sustainable_ratio(
+            CommunicationPattern.NEAREST_NEIGHBOR
+        ) == pytest.approx(2.0)
+
+    def test_ratio_scales_with_flops(self):
+        a = MachineSpec("a", 100.0, 100.0)
+        b = MachineSpec("b", 400.0, 100.0)
+        pattern = CommunicationPattern.NEAREST_NEIGHBOR
+        assert b.sustainable_ratio(pattern) == pytest.approx(
+            4 * a.sustainable_ratio(pattern)
+        )

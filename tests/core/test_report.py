@@ -1,0 +1,51 @@
+"""Tests for report formatting helpers."""
+
+import numpy as np
+
+from repro.core.curves import MissRateCurve
+from repro.core.report import banner, format_curve_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "b"], [[1, "x"], [22, "yy"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "|" in lines[0]
+        assert set(lines[1]) <= set("-+")
+        assert len(lines) == 4
+
+    def test_column_width_from_rows(self):
+        text = format_table(["h"], [["wide-cell"]])
+        assert "wide-cell" in text
+
+    def test_empty_rows(self):
+        text = format_table(["only", "header"], [])
+        assert "only" in text
+
+
+class TestCurveSeries:
+    def test_union_of_capacities(self):
+        a = MissRateCurve(np.array([64, 256]), np.array([1.0, 0.5]), label="a")
+        b = MissRateCurve(np.array([128, 256]), np.array([0.8, 0.4]), label="b")
+        text = format_curve_series([a, b])
+        assert "64 B" in text
+        assert "128 B" in text
+        assert "a" in text and "b" in text
+
+    def test_unlabeled_series_get_names(self):
+        a = MissRateCurve(np.array([64]), np.array([1.0]))
+        text = format_curve_series([a])
+        assert "series0" in text
+
+
+class TestBanner:
+    def test_centered(self):
+        text = banner("Title", width=40)
+        assert "Title" in text
+        assert len(text) == 40
+
+    def test_long_title_not_truncated(self):
+        assert "very long experiment title" in banner(
+            "very long experiment title", width=10
+        )

@@ -1,0 +1,105 @@
+"""Tests for the MC/TC scaling models and the monotone solver."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scaling import (
+    MemoryConstrainedScaling,
+    ProblemScaler,
+    TimeConstrainedScaling,
+    growth_exponent,
+    solve_monotone,
+)
+
+
+LU_SCALER = ProblemScaler(
+    name="LU",
+    data_bytes=lambda n: 8.0 * n * n,
+    work_ops=lambda n: 2.0 * n**3 / 3.0,
+    n0=1000.0,
+    p0=64,
+)
+
+
+class TestSolveMonotone:
+    def test_linear(self):
+        assert solve_monotone(lambda x: 2 * x, 10.0, lo=0.0, hi=1.0) == pytest.approx(5.0)
+
+    def test_expands_bracket(self):
+        assert solve_monotone(lambda x: x, 1e6, lo=0.0, hi=1.0) == pytest.approx(1e6, rel=1e-6)
+
+    def test_target_below_lo_raises(self):
+        with pytest.raises(ValueError):
+            solve_monotone(lambda x: x, 0.5, lo=1.0, hi=2.0)
+
+    @given(st.floats(min_value=1.1, max_value=1e6))
+    @settings(max_examples=50, deadline=None)
+    def test_inverts_cubic(self, target):
+        x = solve_monotone(lambda v: v**3, target, lo=1.0, hi=2.0)
+        assert x**3 == pytest.approx(target, rel=1e-6)
+
+
+class TestMemoryConstrained:
+    def test_keeps_grain_fixed(self):
+        scaled = MemoryConstrainedScaling().scale(LU_SCALER, 256)
+        base_grain = LU_SCALER.data_bytes(LU_SCALER.n0) / LU_SCALER.p0
+        assert scaled.memory_per_processor == pytest.approx(base_grain, rel=1e-6)
+
+    def test_lu_n_grows_as_sqrt_p(self):
+        scaled = MemoryConstrainedScaling().scale(LU_SCALER, 256)
+        assert scaled.n == pytest.approx(1000 * 2, rel=1e-6)  # 4x procs -> 2x n
+
+    def test_lu_time_grows_under_mc(self):
+        """The paper: LU work (n^3) outgrows memory (n^2), so MC scaling
+        inflates execution time."""
+        base_time = LU_SCALER.work_ops(LU_SCALER.n0) / LU_SCALER.p0
+        scaled = MemoryConstrainedScaling().scale(LU_SCALER, 1024)
+        assert scaled.time_units > 2 * base_time
+
+    def test_identity_at_base(self):
+        scaled = MemoryConstrainedScaling().scale(LU_SCALER, 64)
+        assert scaled.n == pytest.approx(1000, rel=1e-6)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            MemoryConstrainedScaling().scale(LU_SCALER, 0)
+
+
+class TestTimeConstrained:
+    def test_keeps_time_fixed(self):
+        scaled = TimeConstrainedScaling().scale(LU_SCALER, 512)
+        base_time = LU_SCALER.work_ops(LU_SCALER.n0) / LU_SCALER.p0
+        assert scaled.time_units == pytest.approx(base_time, rel=1e-6)
+
+    def test_lu_grain_shrinks_under_tc(self):
+        """The paper: under TC scaling the per-processor data set for LU
+        shrinks — an argument for finer-grained nodes."""
+        base_grain = LU_SCALER.data_bytes(LU_SCALER.n0) / LU_SCALER.p0
+        scaled = TimeConstrainedScaling().scale(LU_SCALER, 4096)
+        assert scaled.memory_per_processor < base_grain
+
+    def test_tc_n_growth_is_cuberoot_for_lu(self):
+        scaled = TimeConstrainedScaling().scale(LU_SCALER, 64 * 8)
+        assert scaled.n == pytest.approx(1000 * 2, rel=1e-6)  # 8x procs -> 2x n
+
+    def test_tc_slower_than_mc(self):
+        mc = MemoryConstrainedScaling().scale(LU_SCALER, 4096)
+        tc = TimeConstrainedScaling().scale(LU_SCALER, 4096)
+        assert tc.n < mc.n
+
+
+class TestGrowthExponent:
+    def test_power_laws(self):
+        assert growth_exponent(lambda n: n**2, 100.0) == pytest.approx(2.0)
+        assert growth_exponent(lambda n: 5 * n**3, 50.0) == pytest.approx(3.0)
+
+    def test_log_law_is_sublinear(self):
+        exponent = growth_exponent(lambda n: math.log2(n), 4096.0)
+        assert 0 < exponent < 0.2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            growth_exponent(lambda n: 0.0, 10.0)

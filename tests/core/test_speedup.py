@@ -1,0 +1,85 @@
+"""Tests for the speedup projection."""
+
+import math
+
+import pytest
+
+from repro.apps.fft.model import FFTModel
+from repro.apps.lu.model import LUModel
+from repro.apps.volrend.model import VolrendModel
+from repro.core.machine import CM5, CommunicationPattern
+from repro.core.speedup import project_speedup, utilization_summary
+from repro.units import GB
+
+
+class TestProjection:
+    def test_single_processor_baseline(self):
+        model = LUModel.for_dataset(GB)
+        points = project_speedup(model, GB, [1])
+        assert points[0].speedup == pytest.approx(1.0)
+        assert points[0].comm_fraction == pytest.approx(0.0)
+
+    def test_speedup_grows_with_p_when_easy(self):
+        model = LUModel.for_dataset(GB)
+        points = project_speedup(model, GB, [64, 256, 1024])
+        speedups = [p.speedup for p in points]
+        assert speedups[0] < speedups[1] < speedups[2]
+
+    def test_lu_prototypical_efficiency_good(self):
+        """'A 1024-processor machine with 1 Mbyte of data per processor
+        would produce good processor utilization' (Section 3.3)."""
+        model = LUModel.for_dataset(GB)
+        (point,) = project_speedup(model, GB, [1024])
+        assert point.efficiency > 0.8
+
+    def test_fft_communication_bound(self):
+        """The FFT's ratio (~33) is below the Paragon's general-traffic
+        sustainability at large P: projected efficiency collapses
+        relative to LU's."""
+        fft = FFTModel.for_dataset(GB)
+        lu = LUModel.for_dataset(GB)
+        (fft_point,) = project_speedup(
+            fft, GB, [1024], pattern=CommunicationPattern.GENERAL
+        )
+        (lu_point,) = project_speedup(
+            lu, GB, [1024], pattern=CommunicationPattern.GENERAL
+        )
+        assert fft_point.efficiency < lu_point.efficiency
+        assert fft_point.comm_fraction > lu_point.comm_fraction
+
+    def test_load_imbalance_caps_speedup(self):
+        """Volume rendering at 16K processors: too few rays."""
+        model = VolrendModel.for_dataset(GB)
+        (coarse,) = project_speedup(model, GB, [1024])
+        (fine,) = project_speedup(model, GB, [16384])
+        assert fine.efficiency < coarse.efficiency
+
+    def test_serial_fraction_bounds_speedup(self):
+        model = LUModel.for_dataset(GB)
+        (point,) = project_speedup(
+            model, GB, [4096], serial_fraction=lambda p: 0.01
+        )
+        assert point.speedup < 100.5  # Amdahl bound 1/0.01
+
+    def test_non_square_p_falls_back(self):
+        model = LUModel.for_dataset(GB)
+        points = project_speedup(
+            model, GB, [1000], pattern=CommunicationPattern.GENERAL
+        )
+        assert points[0].speedup > 1
+
+    def test_cm5_harsher_than_paragon(self):
+        model = FFTModel.for_dataset(GB)
+        (paragon,) = project_speedup(
+            model, GB, [1024], pattern=CommunicationPattern.GENERAL
+        )
+        (cm5,) = project_speedup(
+            model, GB, [1024], machine=CM5,
+            pattern=CommunicationPattern.GENERAL,
+        )
+        assert cm5.efficiency < paragon.efficiency
+
+    def test_summary_renders(self):
+        model = LUModel.for_dataset(GB)
+        text = utilization_summary(project_speedup(model, GB, [64, 1024]))
+        assert "P=" in text and "efficiency" in text

@@ -1,0 +1,67 @@
+"""Tests for size/unit helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.units import (
+    DOUBLE_WORD,
+    GB,
+    KB,
+    MB,
+    bytes_from_doublewords,
+    doublewords,
+    format_size,
+    parse_size,
+)
+
+
+class TestConversions:
+    def test_doublewords(self):
+        assert doublewords(80) == 10
+        assert bytes_from_doublewords(10) == 80
+
+    def test_roundtrip(self):
+        assert bytes_from_doublewords(doublewords(1234.0)) == 1234.0
+
+    def test_constants(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert DOUBLE_WORD == 8
+
+
+class TestFormat:
+    def test_bytes(self):
+        assert format_size(260) == "260 B"
+
+    def test_kb(self):
+        assert format_size(80 * KB) == "80.0 KB"
+
+    def test_mb(self):
+        assert format_size(1.5 * MB) == "1.5 MB"
+
+    def test_gb(self):
+        assert format_size(GB) == "1.0 GB"
+
+    def test_tb(self):
+        assert format_size(18 * 1024 * GB) == "18.0 TB"
+
+
+class TestParse:
+    def test_plain_bytes(self):
+        assert parse_size("512") == 512
+
+    def test_kb(self):
+        assert parse_size("64KB") == 64 * KB
+
+    def test_spaces_and_case(self):
+        assert parse_size("1 mb") == MB
+
+    def test_b_suffix(self):
+        assert parse_size("100B") == 100
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_parse_format_consistency(self, kbytes):
+        text = f"{kbytes}KB"
+        assert parse_size(text) == kbytes * KB

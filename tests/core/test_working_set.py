@@ -1,0 +1,81 @@
+"""Tests for working-set hierarchy records."""
+
+import pytest
+
+from repro.core.working_set import WorkingSet, WorkingSetHierarchy
+from repro.units import KB, MB
+
+
+def make_hierarchy():
+    hierarchy = WorkingSetHierarchy(
+        application="demo",
+        problem="toy",
+        dataset_bytes=64 * MB,
+        per_processor_bytes=MB,
+    )
+    hierarchy.add(WorkingSet(2, "block", 2 * KB, 0.06, important=True))
+    hierarchy.add(WorkingSet(1, "columns", 256, 0.5))
+    hierarchy.add(WorkingSet(3, "partition", MB, 0.001))
+    return hierarchy
+
+
+class TestHierarchy:
+    def test_levels_sorted(self):
+        hierarchy = make_hierarchy()
+        assert [ws.level for ws in hierarchy.levels] == [1, 2, 3]
+
+    def test_level_lookup(self):
+        assert make_hierarchy().level(2).name == "block"
+
+    def test_level_missing(self):
+        with pytest.raises(KeyError):
+            make_hierarchy().level(9)
+
+    def test_important_working_set(self):
+        assert make_hierarchy().important_working_set.level == 2
+
+    def test_no_important_raises(self):
+        hierarchy = WorkingSetHierarchy("x", "y")
+        hierarchy.add(WorkingSet(1, "a", 100, 0.5))
+        with pytest.raises(ValueError):
+            hierarchy.important_working_set
+
+    def test_cache_recommendation_applies_slack(self):
+        hierarchy = make_hierarchy()
+        assert hierarchy.cache_size_recommendation(slack=2.0) == pytest.approx(4 * KB)
+
+    def test_cache_recommendation_rejects_sub_unity_slack(self):
+        with pytest.raises(ValueError):
+            make_hierarchy().cache_size_recommendation(slack=0.5)
+
+    def test_bimodality(self):
+        """The paper's observation: one huge working set dwarfs the
+        small ones."""
+        assert make_hierarchy().is_bimodal()
+
+    def test_not_bimodal_when_sizes_close(self):
+        hierarchy = WorkingSetHierarchy("x", "y")
+        hierarchy.add(WorkingSet(1, "a", 1000, 0.5))
+        hierarchy.add(WorkingSet(2, "b", 2000, 0.1))
+        assert not hierarchy.is_bimodal()
+
+    def test_single_level_not_bimodal(self):
+        hierarchy = WorkingSetHierarchy("x", "y")
+        hierarchy.add(WorkingSet(1, "a", 1000, 0.5))
+        assert not hierarchy.is_bimodal()
+
+    def test_describe_mentions_everything(self):
+        text = make_hierarchy().describe()
+        assert "demo" in text
+        assert "lev2WS" in text
+        assert "1.0 MB" in text
+
+
+class TestWorkingSet:
+    def test_str_marks_important(self):
+        ws = WorkingSet(2, "block", 2048, 0.06, important=True)
+        assert "*" in str(ws)
+
+    def test_str_plain(self):
+        ws = WorkingSet(1, "cols", 256, 0.5)
+        assert "*" not in str(ws).split(":")[0]

@@ -1,0 +1,226 @@
+"""Integration tests for the extension experiments: prefetchability,
+hierarchy design, cost model, scaling study, and the CG blocking
+ablation."""
+
+import pytest
+
+from repro.experiments import (
+    cg_blocking,
+    cost_model,
+    hierarchy_design,
+    prefetch_study,
+    scaling_study,
+)
+from repro.units import KB
+
+
+class TestPrefetchStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return prefetch_study.run()
+
+    def test_regular_kernels_highly_coverable(self, result):
+        for name in ("LU", "CG", "FFT"):
+            coverage = result.comparison(f"{name}: stride coverage").measured_value
+            assert coverage > 0.6, name
+
+    def test_barnes_hut_poorly_coverable(self, result):
+        coverage = result.comparison("Barnes-Hut: stride coverage").measured_value
+        assert coverage < 0.35
+
+    def test_dichotomy_gap_positive(self, result):
+        gap = result.comparison("regular-vs-irregular separation").measured_value
+        assert gap > 0
+
+
+class TestHierarchyDesign:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return hierarchy_design.run()
+
+    def test_every_important_ws_cached(self, result):
+        for name in ("LU", "CG", "FFT", "Barnes-Hut", "Volume Rendering"):
+            level = result.comparison(f"{name}: important WS level").measured_value
+            assert level <= 2, name  # L1 or L2, never memory
+
+    def test_profile_matches_simulation_exactly(self, result):
+        for comp in result.comparisons:
+            if "local miss rate" in comp.quantity:
+                assert comp.ratio == pytest.approx(1.0, abs=1e-9), comp.quantity
+
+    def test_global_rate_below_l1_rate(self, result):
+        for label in ("LU (n=96, B=8)", "Barnes-Hut (n=256)"):
+            l1 = result.comparison(
+                f"{label}: L1 local miss rate (profile vs sim)"
+            ).measured_value
+            overall = result.comparison(f"{label}: global miss rate").measured_value
+            assert overall < l1
+
+
+class TestCostModel:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return cost_model.run()
+
+    def test_equal_split_is_competitive(self, result):
+        worst = result.comparison(
+            "worst equal-split penalty across applications"
+        ).measured_value
+        assert worst < 2.0  # "within a small constant factor"
+
+    def test_every_application_scored(self, result):
+        table = result.tables["per-application optimal designs"]
+        for name in ("LU", "CG", "FFT", "Barnes-Hut", "Volume Rendering"):
+            assert name in table
+
+
+class TestScalingStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return scaling_study.run()
+
+    def test_regular_kernel_ws_invariant(self, result):
+        assert result.comparison(
+            "LU lev2WS invariance (100x n, 1024x P)"
+        ).measured_value == pytest.approx(1.0)
+        assert result.comparison(
+            "FFT lev1WS invariance (2^10 x n, 1024x P)"
+        ).measured_value == pytest.approx(1.0)
+
+    def test_bh_paper_trajectories(self, result):
+        assert result.comparison("BH MC theta at 1M particles").ratio == pytest.approx(
+            1.0, abs=0.05
+        )
+        assert result.comparison(
+            "BH TC theta at 1K processors"
+        ).ratio == pytest.approx(1.0, abs=0.08)
+
+    def test_bh_billion_particle_ws_under_300kb(self, result):
+        comp = result.comparison("BH lev2WS at ~1G particles (MC)")
+        assert comp.measured_value < 300 * KB
+
+    def test_lu_mc_time_inflates(self, result):
+        assert result.comparison(
+            "LU MC time inflation at 16x processors"
+        ).measured_value == pytest.approx(4.0, rel=0.01)
+
+    def test_vr_cube_root_growth(self, result):
+        assert result.comparison(
+            "VR lev2WS growth for 8x data"
+        ).measured_value == pytest.approx(2.0, abs=0.1)
+
+
+class TestCGBlocking:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return cg_blocking.run(grid_sizes=(64, 128), tile=8)
+
+    def test_unblocked_knee_scales_with_n(self, result):
+        growth = result.comparison("unblocked knee growth (2x n)").measured_value
+        assert growth >= 1.5
+
+    def test_blocked_knee_constant(self, result):
+        growth = result.comparison("blocked knee growth (2x n)").measured_value
+        assert growth == pytest.approx(1.0, abs=0.5)
+
+    def test_blocking_shrinks_cache_requirement(self, result):
+        shrink = result.comparison(
+            "blocked knee / unblocked knee at largest n"
+        ).measured_value
+        assert shrink < 0.5
+
+
+class TestCGUnstructured:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import cg_unstructured
+
+        return cg_unstructured.run(side=32, num_parts=8)
+
+    def test_runs_and_renders(self, result):
+        text = result.render()
+        assert "partition quality" in text
+
+
+class TestAllCache:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import all_cache
+
+        return all_cache.run()
+
+    def test_speedup_at_256kb(self, result):
+        comp = result.comparison("all-cache speedup at 256 KB partitions")
+        assert comp.measured_value > 2.0
+
+    def test_crossover_in_small_partition_regime(self, result):
+        comp = result.comparison("largest cost-effective all-cache partition")
+        # Cost-effective only for partitions up to a few MB — the
+        # TC-scaling regime the paper points at.
+        assert 64 * KB <= comp.measured_value <= 8 * 1024 * KB
+
+    def test_conventional_wins_at_large_partitions(self, result):
+        table = result.tables["design-point comparison"]
+        last_row = table.strip().splitlines()[-1]
+        assert "conventional" in last_row
+
+
+class TestLineSizeStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import line_size_study
+
+        return line_size_study.run()
+
+    def test_streaming_kernels_scale_with_line(self, result):
+        for name in ("LU", "CG", "FFT"):
+            reduction = result.comparison(
+                f"{name}: miss reduction, 8B -> 64B lines"
+            ).measured_value
+            assert reduction > 5, name
+
+    def test_irregular_apps_have_interior_optimum(self, result):
+        for name in ("Barnes-Hut", "Volume Rendering"):
+            best = result.comparison(f"{name}: best line size").measured_value
+            assert best <= 32, name
+
+    def test_streaming_prefers_long_lines(self, result):
+        for name in ("LU", "CG", "FFT"):
+            best = result.comparison(f"{name}: best line size").measured_value
+            assert best >= 64, name
+
+    def test_dichotomy(self, result):
+        gap = result.comparison(
+            "streaming vs Barnes-Hut line-size benefit"
+        ).measured_value
+        assert gap > 2
+
+
+class TestTable1Concurrency:
+    def test_concurrency_exponents_verified(self):
+        from repro.experiments import table1
+
+        result = table1.run()
+        for name, expected in [
+            ("LU", 2.0),
+            ("CG", 2.0),
+            ("FFT", 1.0),
+            ("Barnes-Hut", 1.0),
+            ("Volume Rendering", 2.0),
+        ]:
+            comp = result.comparison(f"{name}: concurrency exponent")
+            assert comp.measured_value == pytest.approx(expected, abs=0.05), name
+
+
+class TestTable2Growth:
+    def test_ws_growth_columns_verified(self):
+        from repro.experiments import table2
+
+        result = table2.run()
+        for name in ("LU", "CG", "FFT"):
+            comp = result.comparison(f"{name}: WS growth for 8x data")
+            assert comp.measured_value == pytest.approx(1.0, abs=0.02), name
+        bh = result.comparison("Barnes-Hut: WS growth for 8x data")
+        assert 1.05 < bh.measured_value < 1.3
+        vr = result.comparison("Volume Rendering: WS growth for 8x data")
+        assert vr.measured_value == pytest.approx(2.0, abs=0.15)

@@ -1,0 +1,104 @@
+"""Tests for the experiment result structures and the run-everything
+entry point."""
+
+import numpy as np
+import pytest
+
+from repro.core.curves import MissRateCurve
+from repro.experiments.runner import ExperimentResult, SeriesComparison
+
+
+class TestSeriesComparison:
+    def test_ratio(self):
+        comp = SeriesComparison("x", paper_value=10.0, measured_value=12.0)
+        assert comp.ratio == pytest.approx(1.2)
+
+    def test_ratio_without_paper_value(self):
+        comp = SeriesComparison("x", paper_value=None, measured_value=5.0)
+        assert comp.ratio is None
+
+    def test_ratio_with_zero_paper_value(self):
+        comp = SeriesComparison("x", paper_value=0.0, measured_value=5.0)
+        assert comp.ratio is None
+
+    def test_row_formats(self):
+        comp = SeriesComparison(
+            "knee", paper_value=2200.0, measured_value=2304.0,
+            unit="bytes", note="close",
+        )
+        row = comp.row()
+        assert row[0] == "knee"
+        assert "2200" in row[1]
+        assert row[5] == "close"
+
+    def test_row_without_paper(self):
+        row = SeriesComparison("x", None, 1.0).row()
+        assert row[1] == "-"
+        assert row[4] == "-"
+
+
+class TestExperimentResult:
+    def _result(self):
+        result = ExperimentResult(experiment_id="demo", title="Demo")
+        result.curves.append(
+            MissRateCurve(
+                np.array([64, 128]), np.array([1.0, 0.5]), label="series"
+            )
+        )
+        result.comparisons.append(SeriesComparison("q", 1.0, 1.1, "u"))
+        result.tables["extra"] = "a | b"
+        result.notes.append("a note")
+        return result
+
+    def test_render_includes_everything(self):
+        text = self._result().render()
+        assert "demo" in text
+        assert "series" in text
+        assert "paper vs measured" in text
+        assert "extra" in text
+        assert "note: a note" in text
+
+    def test_comparison_lookup(self):
+        result = self._result()
+        assert result.comparison("q").measured_value == 1.1
+        with pytest.raises(KeyError):
+            result.comparison("missing")
+
+
+class TestMainEntry:
+    def test_unknown_experiment_rejected(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["not-an-experiment"]) == 2
+        assert "unknown experiments" in capsys.readouterr().out
+
+    def test_runs_selected_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "table1 completed" in out
+
+    def test_quick_flag_accepted(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--quick", "table2"]) == 0
+        assert "table2 completed" in capsys.readouterr().out
+
+    def test_experiment_registry_complete(self):
+        """Every experiment module in the package is registered."""
+        import pkgutil
+
+        import repro.experiments as package
+        from repro.experiments.__main__ import EXPERIMENTS
+
+        modules = {
+            name
+            for _, name, _ in pkgutil.iter_modules(package.__path__)
+            if name not in ("runner", "__main__")
+        }
+        registered = {
+            module.__name__.rsplit(".", 1)[-1]
+            for module, _ in EXPERIMENTS.values()
+        }
+        assert modules == registered

@@ -1,0 +1,150 @@
+"""Unit and property-based tests for the LRU ordering structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.lru import LRUList
+
+
+class TestBasics:
+    def test_empty(self):
+        lru = LRUList()
+        assert len(lru) == 0
+        assert 1 not in lru
+
+    def test_touch_inserts(self):
+        lru = LRUList()
+        assert lru.touch(5) is False
+        assert 5 in lru
+        assert len(lru) == 1
+
+    def test_touch_hit(self):
+        lru = LRUList()
+        lru.touch(5)
+        assert lru.touch(5) is True
+        assert len(lru) == 1
+
+    def test_mru_lru_order(self):
+        lru = LRUList()
+        for key in (1, 2, 3):
+            lru.touch(key)
+        assert lru.mru_key() == 3
+        assert lru.lru_key() == 1
+
+    def test_touch_moves_to_front(self):
+        lru = LRUList()
+        for key in (1, 2, 3):
+            lru.touch(key)
+        lru.touch(1)
+        assert lru.mru_key() == 1
+        assert lru.lru_key() == 2
+
+    def test_evict_lru(self):
+        lru = LRUList()
+        for key in (1, 2, 3):
+            lru.touch(key)
+        assert lru.evict_lru() == 1
+        assert 1 not in lru
+        assert len(lru) == 2
+
+    def test_evict_order_is_fifo_without_reuse(self):
+        lru = LRUList()
+        for key in range(5):
+            lru.touch(key)
+        assert [lru.evict_lru() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_evict_empty_raises(self):
+        with pytest.raises(KeyError):
+            LRUList().evict_lru()
+
+    def test_lru_key_empty_raises(self):
+        with pytest.raises(KeyError):
+            LRUList().lru_key()
+
+    def test_mru_key_empty_raises(self):
+        with pytest.raises(KeyError):
+            LRUList().mru_key()
+
+    def test_remove_middle(self):
+        lru = LRUList()
+        for key in (1, 2, 3):
+            lru.touch(key)
+        lru.remove(2)
+        assert 2 not in lru
+        assert list(lru.keys_mru_to_lru()) == [3, 1]
+
+    def test_remove_head_and_tail(self):
+        lru = LRUList()
+        for key in (1, 2, 3):
+            lru.touch(key)
+        lru.remove(3)
+        lru.remove(1)
+        assert list(lru.keys_mru_to_lru()) == [2]
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            LRUList().remove(42)
+
+    def test_single_element_evict(self):
+        lru = LRUList()
+        lru.touch(9)
+        assert lru.evict_lru() == 9
+        assert len(lru) == 0
+
+    def test_reinsert_after_evict(self):
+        lru = LRUList()
+        lru.touch(1)
+        lru.evict_lru()
+        assert lru.touch(1) is False  # miss again
+
+    def test_keys_mru_to_lru(self):
+        lru = LRUList()
+        for key in (4, 7, 2):
+            lru.touch(key)
+        assert list(lru.keys_mru_to_lru()) == [2, 7, 4]
+
+
+@st.composite
+def operations(draw):
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["touch", "evict", "remove"]),
+                st.integers(min_value=0, max_value=15),
+            ),
+            max_size=200,
+        )
+    )
+    return ops
+
+
+class TestProperties:
+    @given(operations())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_reference_model(self, ops):
+        """The linked structure behaves exactly like an ordered list."""
+        lru = LRUList()
+        model = []  # MRU first
+        for op, key in ops:
+            if op == "touch":
+                hit = lru.touch(key)
+                assert hit == (key in model)
+                if key in model:
+                    model.remove(key)
+                model.insert(0, key)
+            elif op == "evict" and model:
+                assert lru.evict_lru() == model.pop()
+            elif op == "remove" and key in model:
+                lru.remove(key)
+                model.remove(key)
+            lru.check_invariants()
+            assert list(lru.keys_mru_to_lru()) == model
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_length_equals_distinct_keys(self, keys):
+        lru = LRUList()
+        for key in keys:
+            lru.touch(key)
+        assert len(lru) == len(set(keys))

@@ -1,0 +1,100 @@
+"""Tests for set-associative and direct-mapped caches."""
+
+import pytest
+
+from repro.mem.cache import FullyAssociativeCache
+from repro.mem.setassoc import SetAssociativeCache
+from repro.mem.trace import Trace, TraceBuilder
+from tests.conftest import random_trace
+
+
+class TestConstruction:
+    def test_direct_mapped_flag(self):
+        cache = SetAssociativeCache(64, block_size=8, associativity=1)
+        assert cache.is_direct_mapped
+        assert cache.num_sets == 8
+
+    def test_rejects_non_dividing_associativity(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(64, block_size=8, associativity=3)
+
+    def test_rejects_zero_associativity(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(64, block_size=8, associativity=0)
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(64, block_size=9)
+
+    def test_rejects_empty_cache(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(4, block_size=8)
+
+
+class TestConflicts:
+    def test_direct_mapped_conflict(self):
+        """Two blocks mapping to the same set thrash a direct-mapped
+        cache even though it has free space elsewhere."""
+        cache = SetAssociativeCache(64, block_size=8, associativity=1)
+        # Blocks 0 and 8 both map to set 0 of 8 sets.
+        for _ in range(4):
+            cache.access(0 * 8)
+            cache.access(8 * 8)
+        assert cache.stats.misses == 8  # every access misses
+
+    def test_two_way_absorbs_that_conflict(self):
+        cache = SetAssociativeCache(64, block_size=8, associativity=2)
+        for _ in range(4):
+            cache.access(0 * 8)
+            cache.access(4 * 8)  # same set in a 4-set cache
+        assert cache.stats.misses == 2  # cold only
+
+    def test_full_associativity_equals_fa_cache(self):
+        trace = random_trace(3000, 50, seed=11)
+        num_blocks = 16
+        setassoc = SetAssociativeCache(
+            num_blocks * 8, block_size=8, associativity=num_blocks
+        )
+        fa = FullyAssociativeCache(num_blocks * 8, block_size=8)
+        setassoc.run(trace)
+        fa.run(trace)
+        assert setassoc.stats.misses == fa.stats.misses
+        assert setassoc.stats.read_misses == fa.stats.read_misses
+
+    def test_direct_mapped_never_beats_full_on_uniform(self):
+        trace = random_trace(5000, 64, seed=5)
+        dm = SetAssociativeCache(32 * 8, block_size=8, associativity=1)
+        fa = FullyAssociativeCache(32 * 8, block_size=8)
+        dm.run(trace)
+        fa.run(trace)
+        # On uniform random traffic LRU's recency is optimal on average.
+        assert dm.stats.misses >= fa.stats.misses * 0.95
+
+    def test_cold_miss_classification(self):
+        cache = SetAssociativeCache(64, block_size=8, associativity=1)
+        cache.access(0)
+        cache.access(64)  # conflicts with block 0
+        cache.access(0)  # conflict miss, not cold
+        assert cache.stats.cold_misses == 2
+        assert cache.stats.misses == 3
+
+
+class TestLifecycle:
+    def test_reset_stats(self):
+        cache = SetAssociativeCache(64, block_size=8)
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+        assert cache.access(0) is True
+
+    def test_flush(self):
+        cache = SetAssociativeCache(64, block_size=8)
+        cache.access(0)
+        cache.flush()
+        assert cache.access(0) is False
+
+    def test_run_returns_stats(self):
+        builder = TraceBuilder()
+        builder.read_range(0, 16)
+        stats = SetAssociativeCache(256, block_size=8).run(builder.build())
+        assert stats.reads == 16

@@ -1,0 +1,66 @@
+"""Tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.mem.tracefile import FORMAT_VERSION, load_metadata, load_trace, save_trace
+from repro.mem.trace import Trace, TraceBuilder
+from tests.conftest import random_trace
+
+
+class TestRoundtrip:
+    def test_addresses_and_kinds_preserved(self, tmp_path):
+        trace = random_trace(500, 100, seed=1)
+        path = tmp_path / "t.npz"
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        np.testing.assert_array_equal(loaded.addrs, trace.addrs)
+        np.testing.assert_array_equal(loaded.kinds, trace.kinds)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "e.npz"
+        save_trace(path, Trace.from_addresses([]))
+        assert len(load_trace(path)) == 0
+
+    def test_metadata_roundtrip(self, tmp_path):
+        trace = random_trace(10, 10)
+        path = tmp_path / "m.npz"
+        save_trace(path, trace, metadata={"app": "LU", "n": 96, "B": 8})
+        assert load_metadata(path) == {"app": "LU", "n": 96, "B": 8}
+
+    def test_default_metadata_empty(self, tmp_path):
+        path = tmp_path / "d.npz"
+        save_trace(path, random_trace(10, 10))
+        assert load_metadata(path) == {}
+
+    def test_version_checked(self, tmp_path):
+        trace = random_trace(10, 10)
+        path = tmp_path / "v.npz"
+        np.savez_compressed(
+            path,
+            addrs=trace.addrs,
+            kinds=trace.kinds,
+            version=np.int64(FORMAT_VERSION + 1),
+            metadata=np.frombuffer(b"{}", dtype=np.uint8),
+        )
+        with pytest.raises(ValueError):
+            load_trace(path)
+        with pytest.raises(ValueError):
+            load_metadata(path)
+
+    def test_profiling_after_reload(self, tmp_path):
+        """A reloaded trace profiles identically."""
+        from repro.mem.stack_distance import profile_trace
+
+        builder = TraceBuilder()
+        for _ in range(3):
+            builder.read_range(0, 32)
+        trace = builder.build()
+        path = tmp_path / "p.npz"
+        save_trace(path, trace)
+        original = profile_trace(trace)
+        reloaded = profile_trace(load_trace(path))
+        np.testing.assert_array_equal(
+            original.depth_histogram, reloaded.depth_histogram
+        )
+        assert original.cold_misses == reloaded.cold_misses

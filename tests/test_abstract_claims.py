@@ -1,0 +1,96 @@
+"""The paper's abstract, as executable assertions.
+
+Each test corresponds to a sentence of the abstract/conclusions and
+checks it against the analytical models at prototypical scale (the
+trace-level evidence lives in tests/apps and tests/experiments).
+"""
+
+import pytest
+
+from repro.core.analysis import characterize
+from repro.core.grain import GrainVerdict, prototypical_configs
+from repro.experiments.table2 import prototypical_models
+from repro.units import GB, KB, MB
+
+
+@pytest.fixture(scope="module")
+def characterizations():
+    configs = prototypical_configs(GB)
+    return {
+        model.name: characterize(model, configs)
+        for model in prototypical_models()
+    }
+
+
+class TestAbstract:
+    def test_all_applications_have_working_set_hierarchies(
+        self, characterizations
+    ):
+        """'all the applications have a hierarchy of well-defined
+        per-processor working sets'"""
+        for name, char in characterizations.items():
+            assert len(char.working_sets.levels) >= 2, name
+
+    def test_working_sets_bimodal(self, characterizations):
+        """'the working sets of all the applications are bimodally
+        distributed ... a few small working sets and one large one'"""
+        for name, char in characterizations.items():
+            assert char.working_sets.is_bimodal(gap_factor=4.0), name
+
+    def test_important_working_sets_small(self, characterizations):
+        """'very small caches ... are adequate for all but two of the
+        application classes' — and even those two stay under ~100 KB at
+        prototypical scale."""
+        for name, char in characterizations.items():
+            important = char.working_sets.important_working_set
+            assert important.size_bytes < 100 * KB, name
+
+    def test_three_classes_have_constant_working_sets(self, characterizations):
+        """LU, CG and FFT working sets 'do not increase with the problem
+        or machine size'."""
+        for name in ("LU", "CG", "FFT"):
+            important = characterizations[name].working_sets.important_working_set
+            assert "const" in important.scaling, name
+
+    def test_two_exceptions_scale_slowly(self, characterizations):
+        """Barnes-Hut (log) and volume rendering (cube root) 'scale
+        quite slowly with problem size'."""
+        bh = characterizations["Barnes-Hut"].working_sets.important_working_set
+        vr = characterizations[
+            "Volume Rendering"
+        ].working_sets.important_working_set
+        assert "log" in bh.scaling
+        assert "cbrt" in vr.scaling or "1/3" in vr.scaling
+
+    def test_fine_grained_machines_appropriate(self, characterizations):
+        """'relatively fine-grained machines, with large numbers of
+        processors and quite small amounts of memory per processor, are
+        appropriate for all the applications' — every application's
+        desirable grain is at most 1 MB/processor."""
+        for name, char in characterizations.items():
+            grain = char.desirable_grain
+            assert grain.memory_per_processor <= 1.05 * MB, name
+            assert grain.num_processors >= 1024, name
+
+    def test_prototypical_configuration_never_poor(self, characterizations):
+        """The 1024-processor, 1 MB/node machine earns at least a
+        MARGINAL verdict everywhere (GOOD for all but the FFT)."""
+        for name, char in characterizations.items():
+            verdict = char.assessments[1].verdict
+            assert verdict is not GrainVerdict.POOR, name
+            if name != "FFT":
+                assert verdict is GrainVerdict.GOOD, name
+
+    def test_fft_is_the_communication_exception(self, characterizations):
+        """'the communication volume inherent in the [FFT] is
+        sufficiently high that communication costs will certainly
+        dominate' — its prototypical ratio sits in the hard-to-sustain
+        band while every other application's is easy."""
+        ratios = {
+            name: char.assessments[1].flops_per_word
+            for name, char in characterizations.items()
+        }
+        assert ratios["FFT"] < 75
+        for name, ratio in ratios.items():
+            if name != "FFT":
+                assert ratio > 75, name
