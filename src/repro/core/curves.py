@@ -105,6 +105,24 @@ class MissRateCurve:
             return float("inf")
         return self.ceiling / self.floor
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used by campaign checkpoints)."""
+        return {
+            "capacities": [int(c) for c in self.capacities],
+            "miss_rates": [float(r) for r in self.miss_rates],
+            "metric": self.metric,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MissRateCurve":
+        return cls(
+            np.asarray(payload["capacities"], dtype=np.int64),
+            np.asarray(payload["miss_rates"], dtype=float),
+            metric=str(payload.get("metric", "miss_rate")),
+            label=str(payload.get("label", "")),
+        )
+
     def knees(self, **kwargs) -> List["Knee"]:
         """Detect knees (working-set boundaries); see
         :func:`repro.core.knee.find_knees`."""

@@ -1,16 +1,30 @@
-"""Run every experiment and print the consolidated reproduction report.
+"""Run the experiment campaign and print the consolidated report.
+
+The campaign runs on the fault-tolerant engine in
+:mod:`repro.runtime.engine`: each experiment is isolated, failures are
+captured and retried with exponential backoff (degrading to the quick
+parameterization), per-experiment wall-clock budgets bound hangs, and
+completed results are checkpointed for resume.
 
 Usage::
 
-    python -m repro.experiments            # everything (minutes)
-    python -m repro.experiments fig2 table2 ...   # a subset
-    python -m repro.experiments --quick    # reduced trace sizes (~1 min)
+    python -m repro.experiments                  # everything (minutes)
+    python -m repro.experiments fig2 table2 ...  # a subset
+    python -m repro.experiments --quick          # reduced sizes (~1 min)
+    python -m repro.experiments --list           # enumerate experiment ids
+    python -m repro.experiments --budget-seconds 120 --run-dir runs/full
+    python -m repro.experiments --resume runs/full   # skip finished ids
+
+Exit status: 0 when every experiment finished (possibly degraded),
+1 when any experiment ultimately failed after retries, 2 on usage
+errors.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
-import time
+from typing import List, Optional
 
 from repro.experiments import (
     all_cache,
@@ -33,8 +47,12 @@ from repro.experiments import (
     table2,
     volrend_stealing,
 )
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.engine import CampaignEngine, EngineConfig, ExperimentOutcome
 
-#: id -> kwargs overriding the defaults for a fast smoke run.
+#: id -> kwargs overriding the defaults for a fast smoke run; also the
+#: degradation target when a full-size experiment fails or runs over
+#: budget.
 QUICK_OVERRIDES = {
     "fig2": {"validate_n": 64},
     "fig4": {"validate_n": 64},
@@ -71,24 +89,124 @@ EXPERIMENTS = {
 }
 
 
-def main(argv: list) -> int:
-    quick = "--quick" in argv
-    argv = [a for a in argv if a != "--quick"]
-    wanted = argv or list(EXPERIMENTS)
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help="experiment ids to run (default: all; see --list)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run every experiment at its reduced-size parameterization",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_ids",
+        help="list experiment ids and exit",
+    )
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget per experiment attempt (default: unlimited)",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts per experiment before it counts as failed (default: 3)",
+    )
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="checkpoint completed results into DIR",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="resume a checkpointed campaign: skip experiments already "
+        "completed in DIR and checkpoint new results there",
+    )
+    return parser
+
+
+def _print_event(event: str, payload: object) -> None:
+    if event == "resume" and isinstance(payload, ExperimentOutcome):
+        print(
+            f"[{payload.experiment_id} already completed "
+            f"({payload.status}); skipping]\n"
+        )
+    elif event == "finish" and isinstance(payload, ExperimentOutcome):
+        if payload.resumed:
+            return
+        if payload.succeeded and payload.result is not None:
+            print(payload.result.render())
+            tag = " (degraded)" if payload.status == "degraded" else ""
+            print(
+                f"[{payload.experiment_id} completed{tag} in "
+                f"{payload.elapsed_seconds:.1f}s]\n"
+            )
+        else:
+            print(f"[{payload.experiment_id} FAILED after "
+                  f"{payload.attempts} attempt(s)]")
+            for failure in payload.failures:
+                print(f"  {failure.summary()}")
+            print()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    try:
+        args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+
+    if args.list_ids:
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+
+    if args.budget_seconds is not None and args.budget_seconds <= 0:
+        print("--budget-seconds must be positive")
+        return 2
+    if args.max_attempts < 1:
+        print("--max-attempts must be >= 1")
+        return 2
+
+    wanted = args.experiments or list(EXPERIMENTS)
     unknown = [name for name in wanted if name not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; choices: {list(EXPERIMENTS)}")
         return 2
-    for name in wanted:
-        module, kwargs = EXPERIMENTS[name]
-        if quick:
-            kwargs = {**kwargs, **QUICK_OVERRIDES.get(name, {})}
-        started = time.time()
-        result = module.run(**kwargs)
-        elapsed = time.time() - started
-        print(result.render())
-        print(f"[{name} completed in {elapsed:.1f}s]\n")
-    return 0
+
+    run_dir = args.resume or args.run_dir
+    store = CheckpointStore(run_dir) if run_dir else None
+    engine = CampaignEngine(
+        EXPERIMENTS,
+        quick_overrides=QUICK_OVERRIDES,
+        config=EngineConfig(
+            quick=args.quick,
+            budget_seconds=args.budget_seconds,
+            max_attempts=args.max_attempts,
+        ),
+        store=store,
+        on_event=_print_event,
+    )
+    report = engine.run(wanted)
+    if report.degraded_ids or report.failed_ids:
+        print(report.render())
+    return 0 if report.succeeded else 1
 
 
 def cli() -> int:

@@ -51,6 +51,27 @@ class SeriesComparison:
             self.note,
         ]
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (used by campaign checkpoints)."""
+        return {
+            "quantity": self.quantity,
+            "paper_value": self.paper_value,
+            "measured_value": self.measured_value,
+            "unit": self.unit,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SeriesComparison":
+        paper = payload.get("paper_value")
+        return cls(
+            quantity=str(payload["quantity"]),
+            paper_value=None if paper is None else float(paper),
+            measured_value=float(payload["measured_value"]),
+            unit=str(payload.get("unit", "")),
+            note=str(payload.get("note", "")),
+        )
+
 
 @dataclass
 class ExperimentResult:
@@ -98,3 +119,28 @@ class ExperimentResult:
             if comp.quantity == quantity:
                 return comp
         raise KeyError(f"no comparison named {quantity!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (used by campaign checkpoints)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "curves": [curve.to_dict() for curve in self.curves],
+            "comparisons": [comp.to_dict() for comp in self.comparisons],
+            "tables": dict(self.tables),
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExperimentResult":
+        return cls(
+            experiment_id=str(payload["experiment_id"]),
+            title=str(payload["title"]),
+            curves=[MissRateCurve.from_dict(c) for c in payload.get("curves", [])],
+            comparisons=[
+                SeriesComparison.from_dict(c)
+                for c in payload.get("comparisons", [])
+            ],
+            tables=dict(payload.get("tables", {})),
+            notes=list(payload.get("notes", [])),
+        )

@@ -11,11 +11,13 @@ identical miss rates in one pass.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
 from repro.mem.lru import LRUList
 from repro.mem.trace import READ, Trace
+from repro.runtime.budget import CHECK_MASK, Budget, active_budget
 
 
 @dataclass
@@ -65,9 +67,18 @@ class FullyAssociativeCache:
 
     def __init__(self, capacity_bytes: int, block_size: int = 8) -> None:
         if block_size <= 0 or (block_size & (block_size - 1)) != 0:
-            raise ValueError("block_size must be a positive power of two")
+            raise ValueError(
+                f"block_size must be a positive power of two (got {block_size})"
+            )
+        if capacity_bytes <= 0:
+            raise ValueError(
+                f"capacity_bytes must be positive (got {capacity_bytes})"
+            )
         if capacity_bytes < block_size:
-            raise ValueError("capacity must hold at least one block")
+            raise ValueError(
+                f"capacity must hold at least one block "
+                f"(capacity_bytes={capacity_bytes} < block_size={block_size})"
+            )
         self.capacity_bytes = capacity_bytes
         self.block_size = block_size
         self.num_blocks = capacity_bytes // block_size
@@ -98,8 +109,17 @@ class FullyAssociativeCache:
                 self._lru.evict_lru()
         return hit
 
-    def run(self, trace: Trace) -> CacheStats:
-        """Run a whole trace through the cache; returns cumulative stats."""
+    def run(self, trace: Trace, budget: Optional[Budget] = None) -> CacheStats:
+        """Run a whole trace through the cache; returns cumulative stats.
+
+        Args:
+            trace: The reference stream.
+            budget: Optional wall-clock :class:`Budget` polled every
+                few thousand references (defaults to the ambient
+                campaign budget, if any).
+        """
+        if budget is None:
+            budget = active_budget()
         blocks = trace.block_ids(self.block_size)
         kinds = trace.kinds
         lru = self._lru
@@ -107,7 +127,9 @@ class FullyAssociativeCache:
         num_blocks = self.num_blocks
         stats = self.stats
         reads = writes = read_misses = write_misses = cold = 0
-        for block, kind in zip(blocks.tolist(), kinds.tolist()):
+        for i, (block, kind) in enumerate(zip(blocks.tolist(), kinds.tolist())):
+            if budget is not None and not (i & CHECK_MASK):
+                budget.check("fully associative cache simulation")
             if kind == READ:
                 reads += 1
             else:

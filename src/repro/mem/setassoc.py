@@ -10,9 +10,12 @@ the limited-associativity instrument used to reproduce that study
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.mem.cache import CacheStats
 from repro.mem.lru import LRUList
 from repro.mem.trace import READ, Trace
+from repro.runtime.budget import CHECK_MASK, Budget, active_budget
 
 
 class SetAssociativeCache:
@@ -34,14 +37,26 @@ class SetAssociativeCache:
         associativity: int = 1,
     ) -> None:
         if block_size <= 0 or (block_size & (block_size - 1)) != 0:
-            raise ValueError("block_size must be a positive power of two")
+            raise ValueError(
+                f"block_size must be a positive power of two (got {block_size})"
+            )
+        if capacity_bytes <= 0:
+            raise ValueError(
+                f"capacity_bytes must be positive (got {capacity_bytes})"
+            )
         num_blocks = capacity_bytes // block_size
         if num_blocks < 1:
-            raise ValueError("capacity must hold at least one block")
+            raise ValueError(
+                f"capacity must hold at least one block "
+                f"(capacity_bytes={capacity_bytes} < block_size={block_size})"
+            )
         if associativity < 1:
-            raise ValueError("associativity must be >= 1")
+            raise ValueError(f"associativity must be >= 1 (got {associativity})")
         if num_blocks % associativity != 0:
-            raise ValueError("associativity must divide the number of blocks")
+            raise ValueError(
+                f"associativity must divide the number of blocks "
+                f"({associativity} does not divide {num_blocks})"
+            )
         self.capacity_bytes = capacity_bytes
         self.block_size = block_size
         self.associativity = associativity
@@ -76,11 +91,22 @@ class SetAssociativeCache:
                 cache_set.evict_lru()
         return hit
 
-    def run(self, trace: Trace) -> CacheStats:
-        """Run a whole trace through the cache; returns cumulative stats."""
-        for block, kind in zip(
-            trace.block_ids(self.block_size).tolist(), trace.kinds.tolist()
+    def run(self, trace: Trace, budget: Optional[Budget] = None) -> CacheStats:
+        """Run a whole trace through the cache; returns cumulative stats.
+
+        Args:
+            trace: The reference stream.
+            budget: Optional wall-clock :class:`Budget` polled every
+                few thousand references (defaults to the ambient
+                campaign budget, if any).
+        """
+        if budget is None:
+            budget = active_budget()
+        for i, (block, kind) in enumerate(
+            zip(trace.block_ids(self.block_size).tolist(), trace.kinds.tolist())
         ):
+            if budget is not None and not (i & CHECK_MASK):
+                budget.check("set-associative cache simulation")
             self.access(block * self.block_size, kind)
         return self.stats
 

@@ -26,6 +26,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.mem.trace import READ, Trace
+from repro.runtime.budget import CHECK_MASK, Budget, active_budget
 
 
 class _FenwickTree:
@@ -158,8 +159,21 @@ class StackDistanceProfiler:
         self.count_reads_only = count_reads_only
         self.warmup = warmup
 
-    def profile(self, trace: Trace) -> StackDistanceProfile:
-        """Profile a trace; returns the full stack-depth distribution."""
+    def profile(
+        self, trace: Trace, budget: Optional[Budget] = None
+    ) -> StackDistanceProfile:
+        """Profile a trace; returns the full stack-depth distribution.
+
+        Args:
+            trace: The reference stream.
+            budget: Optional wall-clock :class:`Budget` polled
+                cooperatively every few thousand references (defaults
+                to the ambient campaign budget, if any); raises
+                :class:`~repro.runtime.errors.BudgetExceeded` when the
+                deadline passes.
+        """
+        if budget is None:
+            budget = active_budget()
         blocks = trace.block_ids(self.block_size).tolist()
         kinds = trace.kinds.tolist()
         n = len(blocks)
@@ -172,6 +186,8 @@ class StackDistanceProfiler:
         count_reads_only = self.count_reads_only
         warmup = self.warmup
         for t in range(n):
+            if budget is not None and not (t & CHECK_MASK):
+                budget.check("stack-distance profiling")
             block = blocks[t]
             counted = t >= warmup and (
                 not count_reads_only or kinds[t] == READ
@@ -207,6 +223,7 @@ def profile_trace(
     block_size: int = 8,
     count_reads_only: bool = False,
     warmup: int = 0,
+    budget: Optional[Budget] = None,
 ) -> StackDistanceProfile:
     """Convenience wrapper: profile ``trace`` with a fresh profiler."""
     profiler = StackDistanceProfiler(
@@ -214,7 +231,7 @@ def profile_trace(
         count_reads_only=count_reads_only,
         warmup=warmup,
     )
-    return profiler.profile(trace)
+    return profiler.profile(trace, budget=budget)
 
 
 def default_capacity_grid(

@@ -13,9 +13,11 @@ record type used at the edges of the API.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.runtime.budget import Budget, active_budget
 
 #: Access kinds.  Stored in a uint8 column of the trace.
 READ = 0
@@ -159,7 +161,9 @@ class Trace:
         )
 
 
-def interleave_round_robin(traces: Sequence[Trace]) -> List[Tuple[int, Access]]:
+def interleave_round_robin(
+    traces: Sequence[Trace], budget: Optional[Budget] = None
+) -> List[Tuple[int, Access]]:
     """Round-robin interleaving of per-processor traces.
 
     Produces a list of ``(processor_id, access)`` pairs, the canonical
@@ -167,11 +171,21 @@ def interleave_round_robin(traces: Sequence[Trace]) -> List[Tuple[int, Access]]:
     Round-robin interleaving models processors proceeding in lock-step,
     a reasonable approximation for the regular SPMD computations studied
     in the paper.
+
+    Args:
+        traces: One trace per processor.
+        budget: Optional wall-clock :class:`Budget` polled once per
+            interleaving round (defaults to the ambient campaign
+            budget, if any).
     """
+    if budget is None:
+        budget = active_budget()
     merged: List[Tuple[int, Access]] = []
     cursors = [0] * len(traces)
     remaining = sum(len(t) for t in traces)
     while remaining:
+        if budget is not None:
+            budget.check("trace interleaving")
         for pid, trace in enumerate(traces):
             cursor = cursors[pid]
             if cursor < len(trace):

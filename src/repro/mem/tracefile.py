@@ -4,12 +4,28 @@ Application traces can take minutes to generate (the Barnes-Hut force
 phase at Figure-6 scale emits millions of references); saving them lets
 experiments and notebooks iterate on the *analysis* without re-running
 the application.  Traces are stored as compressed ``.npz`` archives
-with a format version and optional metadata.
+with a format version, CRC32 content checksums, and optional metadata.
+
+Integrity guarantees (format version 2):
+
+- **Atomic save** — the archive is written to a temporary file in the
+  destination directory and moved into place with ``os.replace``, so
+  an interrupted :func:`save_trace` never leaves a truncated ``.npz``
+  where a valid one was expected.
+- **Checksummed load** — the stored CRC32 over the canonicalized
+  ``addrs``/``kinds`` arrays (and a separate one over the metadata) is
+  verified on load; any mismatch, missing field, or undecodable
+  archive raises :class:`TraceFileCorruptError` instead of returning
+  silently wrong data.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import zipfile
+import zlib
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -17,8 +33,25 @@ import numpy as np
 
 from repro.mem.trace import Trace
 
-#: Bumped when the on-disk layout changes.
-FORMAT_VERSION = 1
+#: Bumped when the on-disk layout changes.  Version 2 added the CRC32
+#: content checksums; version-1 archives (no checksum) are rejected.
+FORMAT_VERSION = 2
+
+
+class TraceFileCorruptError(ValueError):
+    """A trace archive failed its integrity check.
+
+    Subclasses :class:`ValueError` so callers that guarded the old
+    format errors keep working.
+    """
+
+
+def _array_checksum(addrs: np.ndarray, kinds: np.ndarray) -> int:
+    """CRC32 over the canonical little-endian bytes of both arrays."""
+    canonical_addrs = np.ascontiguousarray(addrs, dtype="<i8")
+    canonical_kinds = np.ascontiguousarray(kinds, dtype=np.uint8)
+    crc = zlib.crc32(canonical_addrs.tobytes())
+    return zlib.crc32(canonical_kinds.tobytes(), crc)
 
 
 def save_trace(
@@ -26,7 +59,11 @@ def save_trace(
     trace: Trace,
     metadata: Optional[Dict[str, object]] = None,
 ) -> None:
-    """Write ``trace`` to ``path`` (.npz, compressed).
+    """Write ``trace`` to ``path`` (.npz, compressed, atomic).
+
+    The archive is staged in a temporary file and renamed into place:
+    an interruption leaves either the previous file or nothing, never
+    a half-written archive.
 
     Args:
         path: Destination file (suffix .npz recommended).
@@ -34,37 +71,105 @@ def save_trace(
         metadata: JSON-serializable description (problem parameters,
             generator name, ...), stored alongside the arrays.
     """
-    payload = json.dumps(metadata or {})
-    np.savez_compressed(
-        Path(path),
-        addrs=trace.addrs,
-        kinds=trace.kinds,
-        version=np.int64(FORMAT_VERSION),
-        metadata=np.frombuffer(payload.encode("utf-8"), dtype=np.uint8),
+    path = Path(path)
+    payload = json.dumps(metadata or {}).encode("utf-8")
+    parent = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=parent
     )
-
-
-def load_trace(path: Union[str, Path]) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
-    with np.load(Path(path)) as archive:
-        version = int(archive["version"])
-        if version != FORMAT_VERSION:
-            raise ValueError(
-                f"trace file format {version} unsupported (expected {FORMAT_VERSION})"
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                addrs=trace.addrs,
+                kinds=trace.kinds,
+                version=np.int64(FORMAT_VERSION),
+                checksum=np.int64(_array_checksum(trace.addrs, trace.kinds)),
+                meta_checksum=np.int64(zlib.crc32(payload)),
+                metadata=np.frombuffer(payload, dtype=np.uint8),
             )
-        return Trace(
-            archive["addrs"].astype(np.int64),
-            archive["kinds"].astype(np.uint8),
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _open_archive(path: Path):
+    """np.load with decode failures mapped to TraceFileCorruptError."""
+    try:
+        return np.load(path)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, OSError, EOFError, ValueError) as exc:
+        raise TraceFileCorruptError(
+            f"trace file {path} is not a readable archive: {exc}"
         )
 
 
-def load_metadata(path: Union[str, Path]) -> Dict[str, object]:
-    """Read only the metadata of a saved trace."""
-    with np.load(Path(path)) as archive:
-        version = int(archive["version"])
-        if version != FORMAT_VERSION:
-            raise ValueError(
-                f"trace file format {version} unsupported (expected {FORMAT_VERSION})"
+def _check_version(archive, path: Path) -> None:
+    if "version" not in archive.files:
+        raise TraceFileCorruptError(f"trace file {path} has no format version")
+    version = int(archive["version"])
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"trace file format {version} unsupported (expected {FORMAT_VERSION})"
+        )
+
+
+def _field(archive, name: str, path: Path) -> np.ndarray:
+    if name not in archive.files:
+        raise TraceFileCorruptError(f"trace file {path} is missing {name!r}")
+    try:
+        return archive[name]
+    except (zipfile.BadZipFile, OSError, EOFError, zlib.error, ValueError) as exc:
+        raise TraceFileCorruptError(
+            f"trace file {path} field {name!r} is undecodable: {exc}"
+        )
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises:
+        TraceFileCorruptError: When the archive is truncated,
+            undecodable, missing fields, or fails its checksum.
+        ValueError: When the archive is valid but of an unsupported
+            format version.
+    """
+    path = Path(path)
+    with _open_archive(path) as archive:
+        _check_version(archive, path)
+        addrs = _field(archive, "addrs", path).astype(np.int64)
+        kinds = _field(archive, "kinds", path).astype(np.uint8)
+        stored = int(_field(archive, "checksum", path))
+        actual = _array_checksum(addrs, kinds)
+        if stored != actual:
+            raise TraceFileCorruptError(
+                f"trace file {path} failed its checksum "
+                f"(stored {stored:#010x}, recomputed {actual:#010x})"
             )
-        raw = bytes(archive["metadata"].tobytes())
-        return json.loads(raw.decode("utf-8")) if raw else {}
+        return Trace(addrs, kinds)
+
+
+def load_metadata(path: Union[str, Path]) -> Dict[str, object]:
+    """Read only the metadata of a saved trace (checksum-verified)."""
+    path = Path(path)
+    with _open_archive(path) as archive:
+        _check_version(archive, path)
+        raw = bytes(_field(archive, "metadata", path).tobytes())
+        stored = int(_field(archive, "meta_checksum", path))
+        if stored != zlib.crc32(raw):
+            raise TraceFileCorruptError(
+                f"trace file {path} metadata failed its checksum"
+            )
+        try:
+            return json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TraceFileCorruptError(
+                f"trace file {path} metadata is undecodable: {exc}"
+            )

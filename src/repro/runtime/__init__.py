@@ -1,0 +1,95 @@
+"""Fault-tolerant campaign runtime.
+
+The paper's evaluation is a long trace-driven campaign: 19 experiments,
+several of which generate millions of references (Barnes-Hut force
+phases, Figure-6 scale).  This subpackage turns that campaign from a
+fragile for-loop into a pipeline that survives partial failure:
+
+- :mod:`repro.runtime.errors` — the error taxonomy
+  (:class:`TraceGenerationError`, :class:`SimulationError`,
+  :class:`AnalysisError`, :class:`BudgetExceeded`) and the structured
+  :class:`ExperimentFailure` record the engine captures instead of
+  letting one exception abort the whole run.
+- :mod:`repro.runtime.budget` — cooperative wall-clock budgets.  A
+  :class:`Budget` is installed around each experiment; the
+  trace-simulation loops in :mod:`repro.mem` poll it and raise
+  :class:`BudgetExceeded` when the deadline passes, so a runaway
+  experiment cannot hang the campaign.
+- :mod:`repro.runtime.checkpoint` — completed results are serialized
+  to a run directory with atomic write-rename and a content checksum;
+  ``python -m repro.experiments --resume <run-dir>`` skips them.
+- :mod:`repro.runtime.faults` — deterministic fault injection
+  (crashes, hangs, corrupted trace files) so the recovery paths are
+  themselves testable.
+- :mod:`repro.runtime.engine` — the :class:`CampaignEngine` that ties
+  it together: isolation per experiment, retry with exponential
+  backoff, and graceful degradation to the quick parameterization.
+
+Layering note: :mod:`repro.mem` polls the ambient budget, so this
+package's ``__init__`` eagerly imports only the dependency-free
+``errors`` and ``budget`` modules; the engine/checkpoint/faults names
+(which sit *above* :mod:`repro.experiments`) are loaded lazily on first
+attribute access to keep the import graph acyclic.
+"""
+
+from importlib import import_module
+
+from repro.runtime.budget import Budget, activate, active_budget, check_active_budget
+from repro.runtime.errors import (
+    AnalysisError,
+    BudgetExceeded,
+    CheckpointCorruptError,
+    ExperimentError,
+    ExperimentFailure,
+    SimulationError,
+    TraceGenerationError,
+    classify_exception,
+)
+
+#: name -> defining module, for the lazily imported upper layer.
+_LAZY = {
+    "CheckpointStore": "repro.runtime.checkpoint",
+    "FaultInjector": "repro.runtime.faults",
+    "FaultSpec": "repro.runtime.faults",
+    "corrupt_file": "repro.runtime.faults",
+    "CampaignEngine": "repro.runtime.engine",
+    "CampaignReport": "repro.runtime.engine",
+    "EngineConfig": "repro.runtime.engine",
+    "ExperimentOutcome": "repro.runtime.engine",
+}
+
+__all__ = [
+    "AnalysisError",
+    "Budget",
+    "BudgetExceeded",
+    "CampaignEngine",
+    "CampaignReport",
+    "CheckpointCorruptError",
+    "CheckpointStore",
+    "EngineConfig",
+    "ExperimentError",
+    "ExperimentFailure",
+    "ExperimentOutcome",
+    "FaultInjector",
+    "FaultSpec",
+    "SimulationError",
+    "TraceGenerationError",
+    "activate",
+    "active_budget",
+    "check_active_budget",
+    "classify_exception",
+    "corrupt_file",
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,201 @@
+"""Checkpoint/resume persistence for experiment campaigns.
+
+Each completed experiment is written to ``<run_dir>/results/<id>.json``
+as soon as it finishes, so a crashed or interrupted campaign can be
+resumed with ``python -m repro.experiments --resume <run_dir>``: the
+engine consults :meth:`CheckpointStore.completed_ids` and re-runs only
+the unfinished experiments.
+
+Integrity matters as much as existence — a half-written checkpoint
+must never masquerade as a finished experiment.  Two mechanisms
+guarantee that:
+
+- **Atomic write-rename**: the JSON is written to a temporary file in
+  the same directory, flushed and fsynced, then moved into place with
+  ``os.replace``.  An interruption leaves either the old file or no
+  file, never a truncated one.
+- **Content checksum**: the envelope stores a SHA-256 of the payload;
+  :meth:`CheckpointStore.load` recomputes and compares it, raising
+  :class:`~repro.runtime.errors.CheckpointCorruptError` on mismatch
+  (or on any undecodable file).
+
+Failed attempts are also recorded, under ``<run_dir>/failures/``, for
+forensics only — they never count as completed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.runtime.errors import CheckpointCorruptError
+
+#: Bumped when the checkpoint envelope layout changes.
+CHECKPOINT_FORMAT = 1
+
+_RESULTS_DIR = "results"
+_FAILURES_DIR = "failures"
+_MANIFEST = "manifest.json"
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` via temp file + ``os.replace``.
+
+    The temporary file lives in the destination directory so the final
+    rename is atomic on POSIX filesystems.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _payload_digest(payload: Dict[str, object]) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CheckpointStore:
+    """Atomic, checksummed persistence of campaign outcomes.
+
+    Args:
+        run_dir: Root directory of one campaign run.  Created on
+            first write.
+    """
+
+    def __init__(self, run_dir: Union[str, Path]) -> None:
+        self.run_dir = Path(run_dir)
+
+    # -- paths -------------------------------------------------------
+
+    @property
+    def results_dir(self) -> Path:
+        return self.run_dir / _RESULTS_DIR
+
+    @property
+    def failures_dir(self) -> Path:
+        return self.run_dir / _FAILURES_DIR
+
+    def result_path(self, experiment_id: str) -> Path:
+        return self.results_dir / f"{experiment_id}.json"
+
+    def failure_path(self, experiment_id: str) -> Path:
+        return self.failures_dir / f"{experiment_id}.json"
+
+    # -- envelope ----------------------------------------------------
+
+    def _write_envelope(self, path: Path, payload: Dict[str, object]) -> None:
+        envelope = {
+            "format": CHECKPOINT_FORMAT,
+            "sha256": _payload_digest(payload),
+            "payload": payload,
+        }
+        atomic_write_text(path, json.dumps(envelope, indent=1, sort_keys=True))
+
+    def _read_envelope(self, path: Path) -> Dict[str, object]:
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise CheckpointCorruptError(f"cannot read checkpoint {path}: {exc}")
+        try:
+            envelope = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise CheckpointCorruptError(
+                f"checkpoint {path} is not valid JSON: {exc}"
+            )
+        if not isinstance(envelope, dict) or "payload" not in envelope:
+            raise CheckpointCorruptError(
+                f"checkpoint {path} has no payload envelope"
+            )
+        fmt = envelope.get("format")
+        if fmt != CHECKPOINT_FORMAT:
+            raise CheckpointCorruptError(
+                f"checkpoint {path} has format {fmt!r} "
+                f"(expected {CHECKPOINT_FORMAT})"
+            )
+        payload = envelope["payload"]
+        digest = _payload_digest(payload)
+        if digest != envelope.get("sha256"):
+            raise CheckpointCorruptError(
+                f"checkpoint {path} failed its integrity check "
+                f"(stored sha256 {envelope.get('sha256')!r}, "
+                f"recomputed {digest!r})"
+            )
+        return payload
+
+    # -- outcomes ----------------------------------------------------
+
+    def save_outcome(self, outcome) -> Path:
+        """Persist a finished (ok/degraded) outcome; returns its path."""
+        path = self.result_path(outcome.experiment_id)
+        self._write_envelope(path, outcome.to_dict())
+        return path
+
+    def save_failure(self, outcome) -> Path:
+        """Persist a failed outcome for forensics (never a checkpoint)."""
+        path = self.failure_path(outcome.experiment_id)
+        self._write_envelope(path, outcome.to_dict())
+        return path
+
+    def load_outcome(self, experiment_id: str):
+        """Load one completed outcome; raises on corruption."""
+        from repro.runtime.engine import ExperimentOutcome
+
+        payload = self._read_envelope(self.result_path(experiment_id))
+        return ExperimentOutcome.from_dict(payload)
+
+    def completed_ids(self) -> List[str]:
+        """Experiment ids with a (valid) result checkpoint on disk.
+
+        Corrupt checkpoints are *not* reported as completed, so a
+        resumed campaign re-runs the experiment instead of trusting a
+        damaged file.
+        """
+        if not self.results_dir.is_dir():
+            return []
+        done = []
+        for path in sorted(self.results_dir.glob("*.json")):
+            try:
+                self._read_envelope(path)
+            except CheckpointCorruptError:
+                continue
+            done.append(path.stem)
+        return done
+
+    def has_result(self, experiment_id: str) -> bool:
+        path = self.result_path(experiment_id)
+        if not path.is_file():
+            return False
+        try:
+            self._read_envelope(path)
+        except CheckpointCorruptError:
+            return False
+        return True
+
+    # -- manifest ----------------------------------------------------
+
+    def write_manifest(self, manifest: Dict[str, object]) -> None:
+        self._write_envelope(self.run_dir / _MANIFEST, manifest)
+
+    def read_manifest(self) -> Optional[Dict[str, object]]:
+        path = self.run_dir / _MANIFEST
+        if not path.is_file():
+            return None
+        return self._read_envelope(path)

@@ -1,0 +1,352 @@
+"""The fault-tolerant campaign engine.
+
+Replaces the fragile "for experiment in list: run()" loop of
+``python -m repro.experiments`` with a pipeline that survives partial
+failure:
+
+- **Isolation** — each experiment runs as its own unit of work; any
+  exception is captured into a structured
+  :class:`~repro.runtime.errors.ExperimentFailure` (classified via the
+  taxonomy) and the campaign moves on to the next experiment.
+- **Budgets** — every attempt runs under a wall-clock
+  :class:`~repro.runtime.budget.Budget` installed as the ambient
+  budget, which the simulation loops in :mod:`repro.mem` poll
+  cooperatively; a hang surfaces as
+  :class:`~repro.runtime.errors.BudgetExceeded`.
+- **Retry with graceful degradation** — a failed or over-budget
+  full-size experiment is retried after exponential backoff with its
+  quick (reduced-scale) parameterization, and a success obtained that
+  way is annotated as *degraded* rather than silently passed off as a
+  full-quality result.
+- **Checkpoint/resume** — finished results are persisted through a
+  :class:`~repro.runtime.checkpoint.CheckpointStore` the moment they
+  complete, and already-checkpointed experiments are skipped on
+  resume.
+
+Sleep and clock are injectable so the retry/backoff/deadline behaviour
+is deterministic under test.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments.runner import ExperimentResult
+from repro.runtime.budget import Budget, activate
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.errors import ExperimentFailure
+from repro.runtime.faults import FaultInjector
+
+#: Outcome statuses.
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_FAILED = "failed"
+
+
+@dataclass
+class EngineConfig:
+    """Campaign-wide policy knobs.
+
+    Attributes:
+        quick: Run every experiment at its quick parameterization from
+            the start (results are *not* marked degraded: quick was
+            asked for, not fallen back to).
+        budget_seconds: Wall-clock allowance per attempt (None =
+            unlimited).
+        max_attempts: Total attempts per experiment (first try
+            included).
+        backoff_base_seconds: Sleep before the first retry.
+        backoff_factor: Multiplier applied per subsequent retry.
+        sleep, clock: Injectable time sources (tests pass fakes).
+    """
+
+    quick: bool = False
+    budget_seconds: Optional[float] = None
+    max_attempts: int = 3
+    backoff_base_seconds: float = 0.5
+    backoff_factor: float = 2.0
+    sleep: Callable[[float], None] = time.sleep
+    clock: Callable[[], float] = time.monotonic
+
+    def __post_init__(self) -> None:
+        if self.budget_seconds is not None and self.budget_seconds <= 0:
+            raise ValueError(
+                f"budget_seconds must be positive (got {self.budget_seconds})"
+            )
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_seconds < 0:
+            raise ValueError("backoff_base_seconds must be >= 0")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def backoff_delay(self, retry_index: int) -> float:
+        """Delay before the ``retry_index``-th retry (0-based)."""
+        return self.backoff_base_seconds * self.backoff_factor**retry_index
+
+
+@dataclass
+class ExperimentOutcome:
+    """Everything the campaign knows about one experiment.
+
+    Attributes:
+        experiment_id: The experiment.
+        status: ``"ok"``, ``"degraded"``, or ``"failed"``.
+        result: The :class:`ExperimentResult` (None when failed).
+        failures: Captured failures, one per unsuccessful attempt.
+        attempts: Attempts actually made.
+        elapsed_seconds: Total wall-clock spent on the experiment.
+        resumed: True when the outcome was loaded from a checkpoint
+            instead of re-run.
+    """
+
+    experiment_id: str
+    status: str
+    result: Optional[ExperimentResult] = None
+    failures: List[ExperimentFailure] = field(default_factory=list)
+    attempts: int = 0
+    elapsed_seconds: float = 0.0
+    resumed: bool = False
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status in (STATUS_OK, STATUS_DEGRADED)
+
+    def summary(self) -> str:
+        extra = " (resumed)" if self.resumed else ""
+        return (
+            f"{self.experiment_id}: {self.status}{extra} "
+            f"[{self.attempts} attempt(s), {self.elapsed_seconds:.1f}s, "
+            f"{len(self.failures)} failure(s)]"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "experiment_id": self.experiment_id,
+            "status": self.status,
+            "result": None if self.result is None else self.result.to_dict(),
+            "failures": [f.to_dict() for f in self.failures],
+            "attempts": self.attempts,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExperimentOutcome":
+        result = payload.get("result")
+        return cls(
+            experiment_id=str(payload["experiment_id"]),
+            status=str(payload["status"]),
+            result=None if result is None else ExperimentResult.from_dict(result),
+            failures=[
+                ExperimentFailure.from_dict(f)
+                for f in payload.get("failures", [])
+            ],
+            attempts=int(payload.get("attempts", 0)),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+        )
+
+
+@dataclass
+class CampaignReport:
+    """The aggregate outcome of one campaign run."""
+
+    outcomes: List[ExperimentOutcome] = field(default_factory=list)
+
+    @property
+    def ok_ids(self) -> List[str]:
+        return [o.experiment_id for o in self.outcomes if o.status == STATUS_OK]
+
+    @property
+    def degraded_ids(self) -> List[str]:
+        return [
+            o.experiment_id for o in self.outcomes if o.status == STATUS_DEGRADED
+        ]
+
+    @property
+    def failed_ids(self) -> List[str]:
+        return [o.experiment_id for o in self.outcomes if o.status == STATUS_FAILED]
+
+    @property
+    def succeeded(self) -> bool:
+        """True when every experiment finished (possibly degraded)."""
+        return not self.failed_ids
+
+    def outcome(self, experiment_id: str) -> ExperimentOutcome:
+        for outcome in self.outcomes:
+            if outcome.experiment_id == experiment_id:
+                return outcome
+        raise KeyError(f"no outcome for experiment {experiment_id!r}")
+
+    def render(self) -> str:
+        """Human-readable campaign summary."""
+        lines = ["== campaign summary =="]
+        for outcome in self.outcomes:
+            lines.append("  " + outcome.summary())
+            for failure in outcome.failures:
+                lines.append("    " + failure.summary())
+        lines.append(
+            f"  total: {len(self.ok_ids)} ok, {len(self.degraded_ids)} degraded,"
+            f" {len(self.failed_ids)} failed"
+        )
+        return "\n".join(lines)
+
+
+class CampaignEngine:
+    """Run an experiment campaign with isolation, retry, and resume.
+
+    Args:
+        registry: experiment id -> ``(runner, kwargs)``.  ``runner`` is
+            anything with a ``run(**kwargs) -> ExperimentResult``
+            (the modules in :mod:`repro.experiments`), or a bare
+            callable.
+        quick_overrides: experiment id -> kwargs overriding the
+            full-scale defaults for a reduced-size run; used both by
+            ``--quick`` and as the degradation target after failures.
+        config: Policy knobs (:class:`EngineConfig`).
+        store: Optional checkpoint store enabling persist + resume.
+        faults: Optional fault injector (tests of the engine itself).
+        on_event: Optional callback ``(event, outcome_or_failure)``
+            used by the CLI for progress lines; events are
+            ``"start"``, ``"retry"``, ``"finish"``, ``"resume"``.
+    """
+
+    def __init__(
+        self,
+        registry: Mapping[str, Tuple[object, Dict[str, object]]],
+        quick_overrides: Optional[Mapping[str, Dict[str, object]]] = None,
+        config: Optional[EngineConfig] = None,
+        store: Optional[CheckpointStore] = None,
+        faults: Optional[FaultInjector] = None,
+        on_event: Optional[Callable[[str, object], None]] = None,
+    ) -> None:
+        self.registry = dict(registry)
+        self.quick_overrides = dict(quick_overrides or {})
+        self.config = config or EngineConfig()
+        self.store = store
+        self.faults = faults
+        self.on_event = on_event
+
+    # -- public API --------------------------------------------------
+
+    def run(self, experiment_ids: Optional[Sequence[str]] = None) -> CampaignReport:
+        """Run (or resume) the campaign over ``experiment_ids``.
+
+        Unknown ids raise ``KeyError`` before anything runs; failures
+        *during* experiments never escape — they are captured into the
+        returned report.
+        """
+        wanted = list(experiment_ids) if experiment_ids else list(self.registry)
+        unknown = [i for i in wanted if i not in self.registry]
+        if unknown:
+            raise KeyError(
+                f"unknown experiments: {unknown}; choices: {list(self.registry)}"
+            )
+        if self.store is not None:
+            self.store.write_manifest(
+                {
+                    "experiments": wanted,
+                    "quick": self.config.quick,
+                    "budget_seconds": self.config.budget_seconds,
+                    "max_attempts": self.config.max_attempts,
+                }
+            )
+        report = CampaignReport()
+        for experiment_id in wanted:
+            report.outcomes.append(self.run_one(experiment_id))
+        return report
+
+    def run_one(self, experiment_id: str) -> ExperimentOutcome:
+        """Run one experiment through the full recovery policy."""
+        if self.store is not None and self.store.has_result(experiment_id):
+            outcome = self.store.load_outcome(experiment_id)
+            outcome.resumed = True
+            self._emit("resume", outcome)
+            return outcome
+
+        runner, base_kwargs = self.registry[experiment_id]
+        config = self.config
+        started = config.clock()
+        failures: List[ExperimentFailure] = []
+        outcome: Optional[ExperimentOutcome] = None
+
+        for attempt in range(1, config.max_attempts + 1):
+            # First attempt runs full-scale (unless the whole campaign
+            # is quick); retries degrade to the quick parameterization.
+            degraded = attempt > 1 and not config.quick
+            kwargs = dict(base_kwargs)
+            if config.quick or degraded:
+                kwargs.update(self.quick_overrides.get(experiment_id, {}))
+            self._emit("retry" if attempt > 1 else "start", experiment_id)
+            attempt_started = config.clock()
+            budget = Budget(config.budget_seconds, clock=config.clock)
+            try:
+                with activate(budget):
+                    if self.faults is not None:
+                        self.faults.before_attempt(experiment_id, attempt, budget)
+                    result = self._invoke(runner, kwargs)
+            except BaseException as exc:  # noqa: BLE001 — isolation is the point
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                failure = ExperimentFailure.from_exception(
+                    experiment_id,
+                    exc,
+                    attempt=attempt,
+                    degraded=degraded,
+                    elapsed_seconds=config.clock() - attempt_started,
+                )
+                failures.append(failure)
+                if attempt < config.max_attempts:
+                    config.sleep(config.backoff_delay(attempt - 1))
+                continue
+            if degraded:
+                result.notes.append(
+                    f"DEGRADED result: full-scale run failed "
+                    f"({failures[-1].category}); reran with quick "
+                    f"parameterization on attempt {attempt}"
+                )
+            outcome = ExperimentOutcome(
+                experiment_id=experiment_id,
+                status=STATUS_DEGRADED if degraded else STATUS_OK,
+                result=result,
+                failures=failures,
+                attempts=attempt,
+                elapsed_seconds=config.clock() - started,
+            )
+            break
+
+        if outcome is None:
+            outcome = ExperimentOutcome(
+                experiment_id=experiment_id,
+                status=STATUS_FAILED,
+                result=None,
+                failures=failures,
+                attempts=config.max_attempts,
+                elapsed_seconds=config.clock() - started,
+            )
+
+        if self.store is not None:
+            if outcome.succeeded:
+                self.store.save_outcome(outcome)
+            else:
+                self.store.save_failure(outcome)
+        self._emit("finish", outcome)
+        return outcome
+
+    # -- internals ---------------------------------------------------
+
+    @staticmethod
+    def _invoke(runner: object, kwargs: Dict[str, object]) -> ExperimentResult:
+        run = getattr(runner, "run", runner)
+        result = run(**kwargs)
+        if not isinstance(result, ExperimentResult):
+            raise TypeError(
+                f"experiment runner {runner!r} returned {type(result).__name__},"
+                " expected ExperimentResult"
+            )
+        return result
+
+    def _emit(self, event: str, payload: object) -> None:
+        if self.on_event is not None:
+            self.on_event(event, payload)

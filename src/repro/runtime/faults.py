@@ -1,0 +1,151 @@
+"""Deterministic fault injection for the campaign engine.
+
+Recovery code that is never exercised is broken code.  This module
+injects the three failure modes the engine must survive — crashes,
+hangs, and corrupted trace archives — at precisely controlled points,
+so the isolation/retry/degradation/checkpoint paths are themselves
+under test (the same philosophy as the checkpointed workload harnesses
+used by production-scale studies; cf. PAPERS.md).
+
+A :class:`FaultInjector` is handed to the
+:class:`~repro.runtime.engine.CampaignEngine`; before each attempt of
+each experiment the engine calls :meth:`FaultInjector.before_attempt`,
+which consults the plan and triggers the configured fault:
+
+- ``"crash"`` — raise a taxonomy exception
+  (:class:`~repro.runtime.errors.SimulationError` by default).
+- ``"hang"`` — spin on the attempt's budget until the cooperative
+  deadline check raises :class:`~repro.runtime.errors.BudgetExceeded`,
+  exactly as a runaway simulation loop would.
+- ``"corrupt-trace"`` — write a real trace archive, flip a byte in it,
+  and load it back, so the failure travels the genuine
+  :class:`~repro.mem.tracefile.TraceFileCorruptError` path.
+
+Every fault fires on the first ``fail_attempts`` attempts and then
+stands down, which lets tests script "fails once, succeeds degraded"
+scenarios deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.runtime.budget import Budget
+from repro.runtime.errors import ExperimentError, SimulationError
+
+FAULT_KINDS = ("crash", "hang", "corrupt-trace")
+
+
+def corrupt_file(path: Union[str, Path], offset: int = -1, flip: int = 0xFF) -> None:
+    """Flip one byte of ``path`` in place (bit-level corruption).
+
+    Args:
+        path: File to damage.
+        offset: Byte offset; negative offsets index from the end.
+        flip: XOR mask applied to the byte (default inverts it).
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"cannot corrupt empty file {path}")
+    data[offset] ^= flip
+    path.write_bytes(bytes(data))
+
+
+@dataclass
+class FaultSpec:
+    """What to inject into one experiment.
+
+    Attributes:
+        kind: ``"crash"``, ``"hang"``, or ``"corrupt-trace"``.
+        fail_attempts: How many initial attempts the fault hits; later
+            attempts run clean (so retry/degradation can succeed).
+        exception: Exception class raised by ``"crash"`` faults.
+        message: Message for ``"crash"`` faults.
+    """
+
+    kind: str
+    fail_attempts: int = 1
+    exception: type = SimulationError
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choices: {FAULT_KINDS}"
+            )
+        if self.fail_attempts < 1:
+            raise ValueError("fail_attempts must be >= 1")
+
+
+@dataclass
+class FaultInjector:
+    """Injects planned faults into campaign attempts.
+
+    Attributes:
+        plan: experiment id -> :class:`FaultSpec`.
+        workspace: Directory for the corrupt-trace scratch archive
+            (required only when the plan contains ``"corrupt-trace"``).
+        triggered: Log of ``(experiment_id, attempt, kind)`` tuples,
+            appended every time a fault fires — lets tests assert the
+            exact injection sequence.
+    """
+
+    plan: Dict[str, FaultSpec] = field(default_factory=dict)
+    workspace: Optional[Path] = None
+    triggered: List[Tuple[str, int, str]] = field(default_factory=list)
+
+    def before_attempt(
+        self, experiment_id: str, attempt: int, budget: Budget
+    ) -> None:
+        """Fire the planned fault for this attempt, if any."""
+        spec = self.plan.get(experiment_id)
+        if spec is None or attempt > spec.fail_attempts:
+            return
+        self.triggered.append((experiment_id, attempt, spec.kind))
+        if spec.kind == "crash":
+            raise spec.exception(
+                f"{spec.message} (experiment {experiment_id}, attempt {attempt})"
+            )
+        if spec.kind == "hang":
+            self._hang(experiment_id, budget)
+            return
+        if spec.kind == "corrupt-trace":
+            self._corrupt_trace(experiment_id)
+
+    def _hang(self, experiment_id: str, budget: Budget) -> None:
+        """Busy-wait on the budget like a runaway simulation loop."""
+        if budget.seconds is None:
+            # Refuse to spin forever: an unbudgeted hang would do
+            # exactly what the engine exists to prevent.
+            raise ExperimentError(
+                f"hang fault for {experiment_id!r} requires a finite budget"
+            )
+        while True:
+            budget.check(f"injected hang in {experiment_id}")
+
+    def _corrupt_trace(self, experiment_id: str) -> None:
+        """Round-trip a trace through a deliberately damaged archive."""
+        import numpy as np
+
+        from repro.mem.trace import Trace
+        from repro.mem.tracefile import load_trace, save_trace
+
+        if self.workspace is None:
+            raise ExperimentError(
+                "corrupt-trace fault requires a workspace directory"
+            )
+        workspace = Path(self.workspace)
+        workspace.mkdir(parents=True, exist_ok=True)
+        path = workspace / f"{experiment_id}-injected.npz"
+        trace = Trace(
+            np.arange(0, 256 * 8, 8, dtype=np.int64),
+            np.zeros(256, dtype=np.uint8),
+        )
+        save_trace(path, trace)
+        # Flip a byte in the middle of the archive: inside the
+        # compressed array data, so decompression or the checksum fails.
+        corrupt_file(path, offset=path.stat().st_size // 2)
+        load_trace(path)  # raises TraceFileCorruptError

@@ -85,6 +85,56 @@ class TestMainEntry:
         assert main(["--quick", "table2"]) == 0
         assert "table2 completed" in capsys.readouterr().out
 
+    def test_list_enumerates_ids(self, capsys):
+        from repro.experiments.__main__ import EXPERIMENTS, main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == list(EXPERIMENTS)
+
+    def test_unknown_flag_rejected(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--no-such-flag"]) == 2
+
+    def test_budget_flag_accepted(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--quick", "--budget-seconds", "300", "table1"]) == 0
+        assert "table1 completed" in capsys.readouterr().out
+
+    def test_nonpositive_budget_rejected(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--budget-seconds", "0", "table1"]) == 2
+        assert "must be positive" in capsys.readouterr().out
+        assert main(["--max-attempts", "0", "table1"]) == 2
+
+    def test_failure_yields_nonzero_exit(self, capsys, monkeypatch):
+        import repro.experiments.__main__ as entry
+
+        class Doomed:
+            def run(self, **kwargs):
+                raise RuntimeError("always fails")
+
+        monkeypatch.setitem(entry.EXPERIMENTS, "doomed", (Doomed(), {}))
+        monkeypatch.setitem(entry.QUICK_OVERRIDES, "doomed", {})
+        assert entry.main(["--max-attempts", "1", "doomed", "table1"]) == 1
+        out = capsys.readouterr().out
+        # The healthy experiment still completed despite the failure.
+        assert "doomed FAILED" in out
+        assert "table1 completed" in out
+        assert "campaign summary" in out
+
+    def test_run_dir_and_resume(self, capsys, tmp_path):
+        from repro.experiments.__main__ import main
+
+        run_dir = str(tmp_path / "run")
+        assert main(["--quick", "--run-dir", run_dir, "table1"]) == 0
+        capsys.readouterr()
+        assert main(["--quick", "--resume", run_dir, "table1"]) == 0
+        assert "already completed" in capsys.readouterr().out
+
     def test_experiment_registry_complete(self):
         """Every experiment module in the package is registered."""
         import pkgutil

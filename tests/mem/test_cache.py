@@ -13,8 +13,24 @@ class TestConstruction:
             FullyAssociativeCache(1024, block_size=12)
 
     def test_rejects_capacity_below_block(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="at least one block"):
             FullyAssociativeCache(4, block_size=8)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            FullyAssociativeCache(0)
+        with pytest.raises(ValueError, match="must be positive"):
+            FullyAssociativeCache(-1024)
+
+    def test_rejects_zero_block_size(self):
+        with pytest.raises(ValueError, match="power of two"):
+            FullyAssociativeCache(1024, block_size=0)
+
+    def test_error_messages_carry_offending_values(self):
+        with pytest.raises(ValueError, match="12"):
+            FullyAssociativeCache(1024, block_size=12)
+        with pytest.raises(ValueError, match="-8"):
+            FullyAssociativeCache(-8)
 
     def test_num_blocks(self):
         cache = FullyAssociativeCache(1024, block_size=8)

@@ -30,6 +30,16 @@ class TestConstruction:
         with pytest.raises(ValueError):
             SetAssociativeCache(4, block_size=8)
 
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            SetAssociativeCache(0)
+        with pytest.raises(ValueError, match="must be positive"):
+            SetAssociativeCache(-64)
+
+    def test_non_dividing_associativity_message_names_values(self):
+        with pytest.raises(ValueError, match="3 does not divide 8"):
+            SetAssociativeCache(64, block_size=8, associativity=3)
+
 
 class TestConflicts:
     def test_direct_mapped_conflict(self):

@@ -64,3 +64,135 @@ class TestRoundtrip:
             original.depth_histogram, reloaded.depth_histogram
         )
         assert original.cold_misses == reloaded.cold_misses
+
+
+class TestIntegrity:
+    """Format v2: checksums detect corruption; saves are atomic."""
+
+    def _saved(self, tmp_path, with_metadata=False):
+        trace = random_trace(2000, 300, seed=9)
+        path = tmp_path / "t.npz"
+        metadata = {"app": "LU", "n": 96} if with_metadata else None
+        save_trace(path, trace, metadata=metadata)
+        return path, trace
+
+    def test_bit_flip_raises_corrupt_error(self, tmp_path):
+        from repro.mem.tracefile import TraceFileCorruptError
+
+        path, _ = self._saved(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFileCorruptError):
+            load_trace(path)
+
+    def test_truncated_archive_raises_corrupt_error(self, tmp_path):
+        from repro.mem.tracefile import TraceFileCorruptError
+
+        path, _ = self._saved(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceFileCorruptError):
+            load_trace(path)
+
+    def test_garbage_file_raises_corrupt_error(self, tmp_path):
+        from repro.mem.tracefile import TraceFileCorruptError
+
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(TraceFileCorruptError):
+            load_trace(path)
+        with pytest.raises(TraceFileCorruptError):
+            load_metadata(path)
+
+    def test_missing_checksum_field_raises(self, tmp_path):
+        from repro.mem.tracefile import TraceFileCorruptError
+
+        trace = random_trace(10, 10)
+        path = tmp_path / "nochecksum.npz"
+        np.savez_compressed(
+            path,
+            addrs=trace.addrs,
+            kinds=trace.kinds,
+            version=np.int64(FORMAT_VERSION),
+            metadata=np.frombuffer(b"{}", dtype=np.uint8),
+        )
+        with pytest.raises(TraceFileCorruptError):
+            load_trace(path)
+
+    def test_wrong_checksum_raises(self, tmp_path):
+        from repro.mem.tracefile import TraceFileCorruptError
+
+        trace = random_trace(10, 10)
+        path = tmp_path / "badsum.npz"
+        np.savez_compressed(
+            path,
+            addrs=trace.addrs,
+            kinds=trace.kinds,
+            version=np.int64(FORMAT_VERSION),
+            checksum=np.int64(12345),
+            meta_checksum=np.int64(0),
+            metadata=np.frombuffer(b"", dtype=np.uint8),
+        )
+        with pytest.raises(TraceFileCorruptError, match="checksum"):
+            load_trace(path)
+
+    def test_metadata_checksum_verified(self, tmp_path):
+        import zlib
+
+        from repro.mem.tracefile import TraceFileCorruptError
+
+        trace = random_trace(10, 10)
+        path = tmp_path / "badmeta.npz"
+        payload = b'{"app": "LU"}'
+        np.savez_compressed(
+            path,
+            addrs=trace.addrs,
+            kinds=trace.kinds,
+            version=np.int64(FORMAT_VERSION),
+            checksum=np.int64(0),
+            meta_checksum=np.int64(zlib.crc32(payload) ^ 0xFF),
+            metadata=np.frombuffer(payload, dtype=np.uint8),
+        )
+        with pytest.raises(TraceFileCorruptError, match="metadata"):
+            load_metadata(path)
+
+    def test_corrupt_file_helper_integration(self, tmp_path):
+        """The fault harness's corrupt_file damages real archives."""
+        from repro.mem.tracefile import TraceFileCorruptError
+        from repro.runtime.faults import corrupt_file
+
+        path, _ = self._saved(tmp_path)
+        corrupt_file(path, offset=path.stat().st_size // 2)
+        with pytest.raises(TraceFileCorruptError):
+            load_trace(path)
+
+    def test_interrupted_save_preserves_previous_file(self, tmp_path, monkeypatch):
+        path, original = self._saved(tmp_path)
+
+        def crashing_savez(handle, **arrays):
+            handle.write(b"partial garbage")
+            raise OSError("simulated crash mid-save")
+
+        monkeypatch.setattr(np, "savez_compressed", crashing_savez)
+        with pytest.raises(OSError):
+            save_trace(path, random_trace(50, 10, seed=3))
+        monkeypatch.undo()
+        reloaded = load_trace(path)  # previous archive still intact
+        np.testing.assert_array_equal(reloaded.addrs, original.addrs)
+
+    def test_interrupted_save_leaves_no_temp_files(self, tmp_path, monkeypatch):
+        import os
+
+        def crashing_savez(handle, **arrays):
+            raise OSError("simulated crash mid-save")
+
+        monkeypatch.setattr(np, "savez_compressed", crashing_savez)
+        with pytest.raises(OSError):
+            save_trace(tmp_path / "t.npz", random_trace(50, 10))
+        monkeypatch.undo()
+        assert os.listdir(tmp_path) == []
+
+    def test_metadata_roundtrip_with_checksum(self, tmp_path):
+        path, _ = self._saved(tmp_path, with_metadata=True)
+        assert load_metadata(path) == {"app": "LU", "n": 96}

@@ -1,0 +1,75 @@
+"""Shared helpers for the runtime (campaign engine) tests.
+
+Everything here is deterministic: clocks are fake (advance a fixed
+amount per call) and sleeps are recorded, never executed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.experiments.runner import ExperimentResult
+
+
+class FakeClock:
+    """A monotonic clock advancing ``step`` seconds per reading."""
+
+    def __init__(self, step: float = 0.01) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class SleepRecorder:
+    """Records requested sleeps instead of sleeping."""
+
+    def __init__(self) -> None:
+        self.calls: List[float] = []
+
+    def __call__(self, seconds: float) -> None:
+        self.calls.append(seconds)
+
+
+def make_result(experiment_id: str, **marks) -> ExperimentResult:
+    """A minimal ExperimentResult whose notes record the run kwargs."""
+    result = ExperimentResult(experiment_id=experiment_id, title=f"fake {experiment_id}")
+    for key, value in sorted(marks.items()):
+        result.notes.append(f"param {key}={value}")
+    return result
+
+
+class FakeExperiment:
+    """Stands in for an experiment module: ``run(**kwargs)``.
+
+    Args:
+        experiment_id: Id echoed into the produced result.
+        fail_times: Raise ``error`` on the first N calls.
+        error: Exception instance to raise while failing.
+    """
+
+    def __init__(self, experiment_id: str, fail_times: int = 0, error=None):
+        self.experiment_id = experiment_id
+        self.fail_times = fail_times
+        self.error = error or RuntimeError("fake failure")
+        self.calls: List[dict] = []
+
+    def run(self, **kwargs) -> ExperimentResult:
+        self.calls.append(dict(kwargs))
+        if len(self.calls) <= self.fail_times:
+            raise self.error
+        return make_result(self.experiment_id, **kwargs)
+
+
+@pytest.fixture
+def fake_clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def sleep_recorder():
+    return SleepRecorder()

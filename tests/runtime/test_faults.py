@@ -1,0 +1,86 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.mem.tracefile import TraceFileCorruptError
+from repro.runtime.budget import Budget
+from repro.runtime.errors import (
+    BudgetExceeded,
+    ExperimentError,
+    TraceGenerationError,
+)
+from repro.runtime.faults import FaultInjector, FaultSpec, corrupt_file
+
+from tests.runtime.conftest import FakeClock
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meltdown")
+
+    def test_fail_attempts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="crash", fail_attempts=0)
+
+
+class TestCorruptFile:
+    def test_flips_one_byte(self, tmp_path):
+        path = tmp_path / "data.bin"
+        path.write_bytes(b"abcdef")
+        corrupt_file(path, offset=2)
+        data = path.read_bytes()
+        assert data != b"abcdef"
+        assert data[0:2] == b"ab" and data[3:] == b"def"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError):
+            corrupt_file(path)
+
+
+class TestFaultInjector:
+    def test_crash_raises_configured_exception(self):
+        injector = FaultInjector(
+            plan={"fig2": FaultSpec(kind="crash", exception=TraceGenerationError)}
+        )
+        with pytest.raises(TraceGenerationError, match="fig2"):
+            injector.before_attempt("fig2", 1, Budget.unlimited())
+        assert injector.triggered == [("fig2", 1, "crash")]
+
+    def test_fault_stands_down_after_fail_attempts(self):
+        injector = FaultInjector(plan={"fig2": FaultSpec(kind="crash")})
+        with pytest.raises(ExperimentError):
+            injector.before_attempt("fig2", 1, Budget.unlimited())
+        injector.before_attempt("fig2", 2, Budget.unlimited())  # clean
+        assert len(injector.triggered) == 1
+
+    def test_unplanned_experiment_untouched(self):
+        injector = FaultInjector(plan={"fig2": FaultSpec(kind="crash")})
+        injector.before_attempt("fig4", 1, Budget.unlimited())
+        assert injector.triggered == []
+
+    def test_hang_spins_until_budget_exceeded(self):
+        injector = FaultInjector(plan={"fig6": FaultSpec(kind="hang")})
+        budget = Budget(0.5, clock=FakeClock(step=0.05))
+        with pytest.raises(BudgetExceeded, match="injected hang"):
+            injector.before_attempt("fig6", 1, budget)
+
+    def test_hang_refuses_unlimited_budget(self):
+        injector = FaultInjector(plan={"fig6": FaultSpec(kind="hang")})
+        with pytest.raises(ExperimentError, match="finite budget"):
+            injector.before_attempt("fig6", 1, Budget.unlimited())
+
+    def test_corrupt_trace_travels_real_path(self, tmp_path):
+        injector = FaultInjector(
+            plan={"fig5": FaultSpec(kind="corrupt-trace")}, workspace=tmp_path
+        )
+        with pytest.raises(TraceFileCorruptError):
+            injector.before_attempt("fig5", 1, Budget.unlimited())
+        assert (tmp_path / "fig5-injected.npz").is_file()
+
+    def test_corrupt_trace_requires_workspace(self):
+        injector = FaultInjector(plan={"fig5": FaultSpec(kind="corrupt-trace")})
+        with pytest.raises(ExperimentError, match="workspace"):
+            injector.before_attempt("fig5", 1, Budget.unlimited())
