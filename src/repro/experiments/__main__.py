@@ -6,6 +6,14 @@ captured and retried with exponential backoff (degrading to the quick
 parameterization), per-experiment wall-clock budgets bound hangs, and
 completed results are checkpointed for resume.
 
+By default (``--jobs 1``) every attempt runs hard-isolated in its own
+supervised subprocess (:mod:`repro.runtime.workers`): ``--jobs N``
+runs N experiments concurrently, ``--hard-timeout-seconds`` kills
+non-cooperative hangs with SIGTERM→SIGKILL, and ``--max-rss-mb``
+rlimits each worker's address space so an OOM takes down one worker,
+not the campaign.  ``--jobs 0`` selects the legacy in-process serial
+backend (debugging).
+
 Usage::
 
     python -m repro.experiments                  # everything (minutes)
@@ -14,9 +22,13 @@ Usage::
     python -m repro.experiments --list           # enumerate experiment ids
     python -m repro.experiments --budget-seconds 120 --run-dir runs/full
     python -m repro.experiments --resume runs/full   # skip finished ids
+    python -m repro.experiments --jobs 4 --hard-timeout-seconds 600 \
+        --max-rss-mb 2048 --run-dir runs/par     # parallel + contained
 
 Exit status: 0 when every experiment finished (possibly degraded),
-1 when any experiment ultimately failed after retries, 2 on usage
+1 when any experiment ultimately failed after retries or the campaign
+was interrupted (Ctrl-C / SIGTERM — completed results are already
+checkpointed, so ``--resume`` finishes the remainder), 2 on usage
 errors.
 """
 
@@ -24,7 +36,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.experiments import (
     all_cache,
@@ -48,7 +60,26 @@ from repro.experiments import (
     volrend_stealing,
 )
 from repro.runtime.checkpoint import CheckpointStore
-from repro.runtime.engine import CampaignEngine, EngineConfig, ExperimentOutcome
+from repro.runtime.engine import (
+    CampaignEngine,
+    CampaignReport,
+    EngineConfig,
+    ExperimentOutcome,
+)
+from repro.runtime.events import EventLog
+from repro.runtime.faults import FaultInjector, FaultSpec
+
+#: ``--inject-fault`` kind names -> FaultSpec constructor kwargs.
+#: ``hang-hard`` is the non-cooperative variant only the worker
+#: backend's kill escalation can stop.
+INJECTABLE_FAULTS = {
+    "crash": {"kind": "crash"},
+    "hang": {"kind": "hang", "cooperative": True},
+    "hang-hard": {"kind": "hang", "cooperative": False},
+    "memhog": {"kind": "memhog"},
+    "die": {"kind": "die"},
+    "corrupt-trace": {"kind": "corrupt-trace"},
+}
 
 #: id -> kwargs overriding the defaults for a fast smoke run; also the
 #: degradation target when a full-size experiment fails or runs over
@@ -138,7 +169,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume a checkpointed campaign: skip experiments already "
         "completed in DIR and checkpoint new results there",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run N experiments concurrently, each attempt in its own "
+        "supervised subprocess; 0 = legacy in-process serial backend "
+        "(default: 1)",
+    )
+    parser.add_argument(
+        "--hard-timeout-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="hard per-attempt deadline enforced by killing the worker "
+        "(SIGTERM, then SIGKILL); catches hangs the cooperative budget "
+        "cannot see (default: 2x --budget-seconds + 30 when a budget "
+        "is set, else unlimited)",
+    )
+    parser.add_argument(
+        "--max-rss-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="address-space rlimit per worker in MiB; an OOM kills one "
+        "worker instead of the campaign (default: unlimited)",
+    )
+    parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="ID=KIND[:ATTEMPTS]",
+        dest="inject_faults",
+        help="testing/CI only: inject a fault into experiment ID for its "
+        f"first ATTEMPTS attempts (default 1); kinds: "
+        f"{', '.join(INJECTABLE_FAULTS)}",
+    )
     return parser
+
+
+def parse_fault_plan(entries: List[str]) -> Dict[str, FaultSpec]:
+    """Parse ``--inject-fault ID=KIND[:ATTEMPTS]`` flags into a plan.
+
+    Raises ``ValueError`` with a usage message on malformed entries.
+    """
+    plan: Dict[str, FaultSpec] = {}
+    for entry in entries:
+        experiment_id, sep, rest = entry.partition("=")
+        if not sep or not experiment_id or not rest:
+            raise ValueError(
+                f"--inject-fault {entry!r}: expected ID=KIND[:ATTEMPTS]"
+            )
+        kind, _, attempts_text = rest.partition(":")
+        if kind not in INJECTABLE_FAULTS:
+            raise ValueError(
+                f"--inject-fault {entry!r}: unknown kind {kind!r}; "
+                f"choices: {', '.join(INJECTABLE_FAULTS)}"
+            )
+        fail_attempts = 1
+        if attempts_text:
+            try:
+                fail_attempts = int(attempts_text)
+            except ValueError:
+                raise ValueError(
+                    f"--inject-fault {entry!r}: ATTEMPTS must be an integer"
+                )
+        plan[experiment_id] = FaultSpec(
+            fail_attempts=fail_attempts, **INJECTABLE_FAULTS[kind]
+        )
+    return plan
 
 
 def _print_event(event: str, payload: object) -> None:
@@ -147,6 +247,14 @@ def _print_event(event: str, payload: object) -> None:
             f"[{payload.experiment_id} already completed "
             f"({payload.status}); skipping]\n"
         )
+    elif event == "interrupted" and isinstance(payload, CampaignReport):
+        print(
+            f"\n[campaign interrupted: {len(payload.outcomes)} experiment(s) "
+            "finished and checkpointed; rerun with --resume to complete "
+            "the remainder]"
+        )
+        if payload.outcomes:
+            print(payload.render())
     elif event == "finish" and isinstance(payload, ExperimentOutcome):
         if payload.resumed:
             return
@@ -183,6 +291,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.max_attempts < 1:
         print("--max-attempts must be >= 1")
         return 2
+    if args.jobs < 0:
+        print("--jobs must be >= 0")
+        return 2
+    if args.hard_timeout_seconds is not None and args.hard_timeout_seconds <= 0:
+        print("--hard-timeout-seconds must be positive")
+        return 2
+    if args.max_rss_mb is not None and args.max_rss_mb <= 0:
+        print("--max-rss-mb must be positive")
+        return 2
+    try:
+        fault_plan = parse_fault_plan(args.inject_faults)
+    except ValueError as exc:
+        print(exc)
+        return 2
 
     wanted = args.experiments or list(EXPERIMENTS)
     unknown = [name for name in wanted if name not in EXPERIMENTS]
@@ -192,6 +314,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     run_dir = args.resume or args.run_dir
     store = CheckpointStore(run_dir) if run_dir else None
+    event_log = EventLog(store.events_path) if store is not None else None
     engine = CampaignEngine(
         EXPERIMENTS,
         quick_overrides=QUICK_OVERRIDES,
@@ -199,11 +322,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             quick=args.quick,
             budget_seconds=args.budget_seconds,
             max_attempts=args.max_attempts,
+            jobs=args.jobs,
+            hard_timeout_seconds=args.hard_timeout_seconds,
+            max_rss_mb=args.max_rss_mb,
         ),
         store=store,
+        faults=FaultInjector(plan=fault_plan) if fault_plan else None,
         on_event=_print_event,
+        event_log=event_log,
     )
-    report = engine.run(wanted)
+    try:
+        report = engine.run(wanted)
+    except KeyboardInterrupt:
+        # The engine has already killed workers, flushed completed
+        # outcomes, written the partial summary, and emitted the
+        # interrupted event (printed above).
+        return 1
+    finally:
+        if event_log is not None:
+            event_log.close()
     if report.degraded_ids or report.failed_ids:
         print(report.render())
     return 0 if report.succeeded else 1

@@ -1,12 +1,21 @@
-"""Common structure for experiment results.
+"""Common structure for experiment results, and the worker entry point.
 
 Every experiment driver produces an :class:`ExperimentResult` holding
 the measured/model series plus paper-vs-measured comparisons, so that
 tests, benchmarks and EXPERIMENTS.md all consume the same object.
+
+This module is also the *worker-side* entry point of the hard-isolation
+backend (:mod:`repro.runtime.workers`): ``python -m
+repro.experiments.runner`` reads one JSON
+:class:`~repro.runtime.workers.AttemptSpec` from stdin, applies its
+address-space rlimit to itself, rebuilds the experiment runner and
+kwargs, runs exactly one attempt under the cooperative budget, and
+writes one JSON payload to stdout (see :func:`worker_main`).
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -144,3 +153,121 @@ class ExperimentResult:
             tables=dict(payload.get("tables", {})),
             notes=list(payload.get("notes", [])),
         )
+
+
+# -- worker-side entry point (hard-isolation backend) ---------------------
+
+
+def worker_main(stdin_text: Optional[str] = None) -> int:
+    """Run one experiment attempt as a supervised worker process.
+
+    Protocol (see :mod:`repro.runtime.workers`): one JSON
+    ``AttemptSpec`` arrives on stdin; one JSON payload leaves on
+    stdout — ``{"ok": true, "result": ...}`` or ``{"ok": false,
+    "failure": ...}`` with a pre-classified ``ExperimentFailure``.
+    Exit status 0 means the payload was delivered (success *or*
+    classified failure); anything else is a crash for the supervisor to
+    classify.
+
+    Stdout hygiene: the payload channel is reserved by duplicating the
+    original stdout fd and pointing fd 1 (and ``sys.stdout``) at stderr
+    before any experiment code runs, so stray prints cannot corrupt the
+    protocol.
+
+    Args:
+        stdin_text: The spec JSON (tests); None reads ``sys.stdin``.
+    """
+    import json
+    import os
+
+    # Reserve the payload channel before anything can print.
+    payload_fd = os.dup(1)
+    os.dup2(2, 1)
+    sys.stdout = sys.stderr
+
+    from pathlib import Path
+
+    # Under ``python -m`` this file executes as ``__main__``; import the
+    # canonical class so isinstance checks match what experiments return.
+    from repro.experiments.runner import ExperimentResult as CanonicalResult
+    from repro.runtime.budget import Budget, activate
+    from repro.runtime.errors import ExperimentFailure, WorkerMemoryError
+    from repro.runtime.faults import FaultSpec, fire_fault
+    from repro.runtime.workers import (
+        AttemptSpec,
+        apply_address_space_limit,
+        resolve_runner_ref,
+    )
+
+    spec: Optional[AttemptSpec] = None
+    try:
+        raw = sys.stdin.read() if stdin_text is None else stdin_text
+        spec = AttemptSpec.from_json(raw)
+        apply_address_space_limit(spec.max_rss_mb)
+        runner = resolve_runner_ref(spec.runner)
+        budget = Budget(spec.budget_seconds)
+        with activate(budget):
+            if spec.fault is not None:
+                fire_fault(
+                    FaultSpec.from_dict(spec.fault),
+                    spec.experiment_id,
+                    spec.attempt,
+                    budget=budget,
+                    workspace=Path(spec.workspace) if spec.workspace else None,
+                    in_worker=True,
+                )
+            run = getattr(runner, "run", runner)
+            result = run(**spec.kwargs)
+        if not isinstance(result, CanonicalResult):
+            raise TypeError(
+                f"experiment runner {runner!r} returned "
+                f"{type(result).__name__}, expected ExperimentResult"
+            )
+        payload = {"ok": True, "result": result.to_dict()}
+    except MemoryError:
+        # Free whatever blew up before attempting any further work.
+        import gc
+
+        gc.collect()
+        experiment_id = spec.experiment_id if spec else "<unparsed spec>"
+        limit = spec.max_rss_mb if spec else None
+        detail = (
+            f"address-space rlimit of {limit} MiB"
+            if limit is not None
+            else "memory exhaustion (no rlimit configured)"
+        )
+        exc = WorkerMemoryError(
+            f"worker for {experiment_id} hit its {detail}; the allocation "
+            "failure was contained to this worker"
+        )
+        payload = {
+            "ok": False,
+            "failure": ExperimentFailure.from_exception(
+                experiment_id,
+                exc,
+                attempt=spec.attempt if spec else 1,
+                degraded=spec.degraded if spec else False,
+            ).to_dict(),
+        }
+    except BaseException as exc:  # noqa: BLE001 — classification is the point
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        experiment_id = spec.experiment_id if spec else "<unparsed spec>"
+        payload = {
+            "ok": False,
+            "failure": ExperimentFailure.from_exception(
+                experiment_id,
+                exc,
+                attempt=spec.attempt if spec else 1,
+                degraded=spec.degraded if spec else False,
+            ).to_dict(),
+        }
+
+    with os.fdopen(payload_fd, "w", encoding="utf-8") as out:
+        json.dump(payload, out)
+        out.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(worker_main())

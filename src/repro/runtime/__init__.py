@@ -24,6 +24,13 @@ fragile for-loop into a pipeline that survives partial failure:
 - :mod:`repro.runtime.engine` — the :class:`CampaignEngine` that ties
   it together: isolation per experiment, retry with exponential
   backoff, and graceful degradation to the quick parameterization.
+- :mod:`repro.runtime.workers` — hard process isolation: each attempt
+  in its own supervised subprocess with SIGTERM→SIGKILL deadlines,
+  address-space rlimits, and worker-death classification
+  (:class:`WorkerCrashError` / :class:`WorkerTimeoutError` /
+  :class:`WorkerMemoryError`); the default backend of the engine.
+- :mod:`repro.runtime.events` — structured JSONL event log
+  (``events.jsonl`` in the run directory) for campaign post-mortems.
 
 Layering note: :mod:`repro.mem` polls the ambient budget, so this
 package's ``__init__`` eagerly imports only the dependency-free
@@ -43,23 +50,37 @@ from repro.runtime.errors import (
     ExperimentFailure,
     SimulationError,
     TraceGenerationError,
+    WorkerCrashError,
+    WorkerError,
+    WorkerMemoryError,
+    WorkerTimeoutError,
     classify_exception,
 )
 
 #: name -> defining module, for the lazily imported upper layer.
 _LAZY = {
     "CheckpointStore": "repro.runtime.checkpoint",
+    "file_lock": "repro.runtime.checkpoint",
+    "EventLog": "repro.runtime.events",
+    "read_events": "repro.runtime.events",
     "FaultInjector": "repro.runtime.faults",
     "FaultSpec": "repro.runtime.faults",
     "corrupt_file": "repro.runtime.faults",
+    "fire_fault": "repro.runtime.faults",
     "CampaignEngine": "repro.runtime.engine",
     "CampaignReport": "repro.runtime.engine",
     "EngineConfig": "repro.runtime.engine",
     "ExperimentOutcome": "repro.runtime.engine",
+    "AttemptSpec": "repro.runtime.workers",
+    "WorkerPool": "repro.runtime.workers",
+    "WorkerSupervisor": "repro.runtime.workers",
+    "runner_ref": "repro.runtime.workers",
+    "resolve_runner_ref": "repro.runtime.workers",
 }
 
 __all__ = [
     "AnalysisError",
+    "AttemptSpec",
     "Budget",
     "BudgetExceeded",
     "CampaignEngine",
@@ -67,6 +88,7 @@ __all__ = [
     "CheckpointCorruptError",
     "CheckpointStore",
     "EngineConfig",
+    "EventLog",
     "ExperimentError",
     "ExperimentFailure",
     "ExperimentOutcome",
@@ -74,11 +96,22 @@ __all__ = [
     "FaultSpec",
     "SimulationError",
     "TraceGenerationError",
+    "WorkerCrashError",
+    "WorkerError",
+    "WorkerMemoryError",
+    "WorkerPool",
+    "WorkerSupervisor",
+    "WorkerTimeoutError",
     "activate",
     "active_budget",
     "check_active_budget",
     "classify_exception",
     "corrupt_file",
+    "file_lock",
+    "fire_fault",
+    "read_events",
+    "resolve_runner_ref",
+    "runner_ref",
 ]
 
 

@@ -25,14 +25,20 @@ forensics only — they never count as completed.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 from repro.runtime.errors import CheckpointCorruptError
+
+try:  # POSIX-only; the lock degrades to a no-op elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 #: Bumped when the checkpoint envelope layout changes.
 CHECKPOINT_FORMAT = 1
@@ -40,6 +46,32 @@ CHECKPOINT_FORMAT = 1
 _RESULTS_DIR = "results"
 _FAILURES_DIR = "failures"
 _MANIFEST = "manifest.json"
+_SUMMARY = "summary.json"
+_LOCKFILE = ".store.lock"
+_EVENTS = "events.jsonl"
+
+
+@contextlib.contextmanager
+def file_lock(path: Union[str, Path]) -> Iterator[None]:
+    """Advisory exclusive lock on ``path`` (created if missing).
+
+    Serializes checkpoint writes across *processes* as well as threads:
+    the parallel supervisor and any concurrent campaign sharing a run
+    directory take this lock around every envelope write, so two
+    flushes can never interleave inside one file.  No-op where
+    ``fcntl`` is unavailable (atomic rename still protects readers).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    with open(path, "a+b") as handle:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
 
 def atomic_write_text(path: Union[str, Path], text: str) -> None:
@@ -99,6 +131,19 @@ class CheckpointStore:
     def failure_path(self, experiment_id: str) -> Path:
         return self.failures_dir / f"{experiment_id}.json"
 
+    @property
+    def lock_path(self) -> Path:
+        return self.run_dir / _LOCKFILE
+
+    @property
+    def events_path(self) -> Path:
+        """Where the campaign's JSONL event log lives."""
+        return self.run_dir / _EVENTS
+
+    @property
+    def summary_path(self) -> Path:
+        return self.run_dir / _SUMMARY
+
     # -- envelope ----------------------------------------------------
 
     def _write_envelope(self, path: Path, payload: Dict[str, object]) -> None:
@@ -107,7 +152,10 @@ class CheckpointStore:
             "sha256": _payload_digest(payload),
             "payload": payload,
         }
-        atomic_write_text(path, json.dumps(envelope, indent=1, sort_keys=True))
+        # Single-writer discipline: the cross-process lock serializes
+        # every envelope flush touching this run directory.
+        with file_lock(self.lock_path):
+            atomic_write_text(path, json.dumps(envelope, indent=1, sort_keys=True))
 
     def _read_envelope(self, path: Path) -> Dict[str, object]:
         try:
@@ -189,7 +237,7 @@ class CheckpointStore:
             return False
         return True
 
-    # -- manifest ----------------------------------------------------
+    # -- manifest / summary ------------------------------------------
 
     def write_manifest(self, manifest: Dict[str, object]) -> None:
         self._write_envelope(self.run_dir / _MANIFEST, manifest)
@@ -199,3 +247,37 @@ class CheckpointStore:
         if not path.is_file():
             return None
         return self._read_envelope(path)
+
+    def write_summary(self, summary: Dict[str, object]) -> None:
+        """Persist the campaign-level summary (also on interruption)."""
+        self._write_envelope(self.summary_path, summary)
+
+    def read_summary(self) -> Optional[Dict[str, object]]:
+        if not self.summary_path.is_file():
+            return None
+        return self._read_envelope(self.summary_path)
+
+    # -- integrity ---------------------------------------------------
+
+    def verify_all(self) -> Dict[str, str]:
+        """Check every envelope in the store.
+
+        Returns a mapping of run-dir-relative path -> error message for
+        each file that fails its integrity check; an empty dict means
+        every envelope (manifest, summary, results, failures) verifies.
+        """
+        problems: Dict[str, str] = {}
+        candidates: List[Path] = []
+        for name in (_MANIFEST, _SUMMARY):
+            path = self.run_dir / name
+            if path.is_file():
+                candidates.append(path)
+        for directory in (self.results_dir, self.failures_dir):
+            if directory.is_dir():
+                candidates.extend(sorted(directory.glob("*.json")))
+        for path in candidates:
+            try:
+                self._read_envelope(path)
+            except CheckpointCorruptError as exc:
+                problems[str(path.relative_to(self.run_dir))] = str(exc)
+        return problems

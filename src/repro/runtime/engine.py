@@ -29,6 +29,7 @@ is deterministic under test.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -37,12 +38,32 @@ from repro.experiments.runner import ExperimentResult
 from repro.runtime.budget import Budget, activate
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.errors import ExperimentFailure
+from repro.runtime.events import EventLog
 from repro.runtime.faults import FaultInjector
 
 #: Outcome statuses.
 STATUS_OK = "ok"
 STATUS_DEGRADED = "degraded"
 STATUS_FAILED = "failed"
+
+
+class CampaignAborted(Exception):
+    """Internal: a supervisor thread observed the engine's abort flag.
+
+    Raised inside worker-pool threads after an interrupt so they
+    unwind without recording half-finished outcomes; never escapes the
+    pool."""
+
+
+#: Signature of an attempt runner: ``(experiment_id, attempt, degraded,
+#: kwargs, budget) -> (result, failure)`` with exactly one of the pair
+#: non-None.  The in-process backend and the worker pool both implement
+#: it, so the retry/degradation policy in :meth:`CampaignEngine.run_one`
+#: is backend-agnostic.
+AttemptRunner = Callable[
+    [str, int, bool, Dict[str, object], Budget],
+    Tuple[Optional[ExperimentResult], Optional[ExperimentFailure]],
+]
 
 
 @dataclass
@@ -54,11 +75,22 @@ class EngineConfig:
             the start (results are *not* marked degraded: quick was
             asked for, not fallen back to).
         budget_seconds: Wall-clock allowance per attempt (None =
-            unlimited).
+            unlimited), enforced cooperatively inside the attempt.
         max_attempts: Total attempts per experiment (first try
             included).
         backoff_base_seconds: Sleep before the first retry.
         backoff_factor: Multiplier applied per subsequent retry.
+        jobs: Concurrent experiments on the worker-pool backend (each
+            attempt in its own supervised subprocess); ``0`` selects
+            the in-process serial backend (debugging, fault-injection
+            tests, unshippable runners).
+        hard_timeout_seconds: Hard per-attempt wall-clock deadline
+            enforced by the supervisor with SIGTERM→SIGKILL (worker
+            backend only).  Defaults to ``2×budget_seconds + 30`` when
+            a budget is set, else unbounded.
+        max_rss_mb: Address-space rlimit per worker (MiB); an OOM then
+            kills one worker, not the campaign (worker backend only).
+        term_grace_seconds: Grace between SIGTERM and SIGKILL.
         sleep, clock: Injectable time sources (tests pass fakes).
     """
 
@@ -67,6 +99,10 @@ class EngineConfig:
     max_attempts: int = 3
     backoff_base_seconds: float = 0.5
     backoff_factor: float = 2.0
+    jobs: int = 1
+    hard_timeout_seconds: Optional[float] = None
+    max_rss_mb: Optional[int] = None
+    term_grace_seconds: float = 5.0
     sleep: Callable[[float], None] = time.sleep
     clock: Callable[[], float] = time.monotonic
 
@@ -81,6 +117,17 @@ class EngineConfig:
             raise ValueError("backoff_base_seconds must be >= 0")
         if self.backoff_factor < 1:
             raise ValueError("backoff_factor must be >= 1")
+        if self.jobs < 0:
+            raise ValueError(f"jobs must be >= 0 (got {self.jobs})")
+        if self.hard_timeout_seconds is not None and self.hard_timeout_seconds <= 0:
+            raise ValueError(
+                "hard_timeout_seconds must be positive "
+                f"(got {self.hard_timeout_seconds})"
+            )
+        if self.max_rss_mb is not None and self.max_rss_mb <= 0:
+            raise ValueError(f"max_rss_mb must be positive (got {self.max_rss_mb})")
+        if self.term_grace_seconds < 0:
+            raise ValueError("term_grace_seconds must be >= 0")
 
     def backoff_delay(self, retry_index: int) -> float:
         """Delay before the ``retry_index``-th retry (0-based)."""
@@ -209,7 +256,10 @@ class CampaignEngine:
         faults: Optional fault injector (tests of the engine itself).
         on_event: Optional callback ``(event, outcome_or_failure)``
             used by the CLI for progress lines; events are
-            ``"start"``, ``"retry"``, ``"finish"``, ``"resume"``.
+            ``"start"``, ``"retry"``, ``"finish"``, ``"resume"``,
+            ``"interrupted"``.
+        event_log: Optional :class:`~repro.runtime.events.EventLog`
+            receiving every engine/supervisor event as a JSONL line.
     """
 
     def __init__(
@@ -220,6 +270,7 @@ class CampaignEngine:
         store: Optional[CheckpointStore] = None,
         faults: Optional[FaultInjector] = None,
         on_event: Optional[Callable[[str, object], None]] = None,
+        event_log: Optional[EventLog] = None,
     ) -> None:
         self.registry = dict(registry)
         self.quick_overrides = dict(quick_overrides or {})
@@ -227,6 +278,13 @@ class CampaignEngine:
         self.store = store
         self.faults = faults
         self.on_event = on_event
+        self.event_log = event_log
+        # The store and callbacks are shared by worker-pool supervisor
+        # threads; serialize access so checkpoint flushes and progress
+        # lines never interleave.
+        self._store_lock = threading.RLock()
+        self._emit_lock = threading.Lock()
+        self._abort = threading.Event()
 
     # -- public API --------------------------------------------------
 
@@ -235,7 +293,16 @@ class CampaignEngine:
 
         Unknown ids raise ``KeyError`` before anything runs; failures
         *during* experiments never escape — they are captured into the
-        returned report.
+        returned report.  ``config.jobs == 0`` runs everything serially
+        in-process; otherwise up to ``jobs`` experiments run
+        concurrently, each attempt hard-isolated in its own supervised
+        subprocess (:mod:`repro.runtime.workers`).
+
+        A ``KeyboardInterrupt`` (Ctrl-C, or SIGTERM on the worker-pool
+        backend) is re-raised, but only after live workers are killed,
+        every already-finished outcome is flushed, a partial summary is
+        written to the store, and an ``interrupted`` event is emitted —
+        so ``--resume`` always has a valid store to start from.
         """
         wanted = list(experiment_ids) if experiment_ids else list(self.registry)
         unknown = [i for i in wanted if i not in self.registry]
@@ -250,55 +317,77 @@ class CampaignEngine:
                     "quick": self.config.quick,
                     "budget_seconds": self.config.budget_seconds,
                     "max_attempts": self.config.max_attempts,
+                    "jobs": self.config.jobs,
+                    "hard_timeout_seconds": self.config.hard_timeout_seconds,
+                    "max_rss_mb": self.config.max_rss_mb,
                 }
             )
-        report = CampaignReport()
-        for experiment_id in wanted:
-            report.outcomes.append(self.run_one(experiment_id))
+        self._abort.clear()
+        collected: List[ExperimentOutcome] = []
+        try:
+            if self.config.jobs == 0:
+                for experiment_id in wanted:
+                    collected.append(self.run_one(experiment_id))
+            else:
+                from repro.runtime.workers import WorkerPool
+
+                WorkerPool(self, jobs=self.config.jobs).run(wanted, collected)
+        except KeyboardInterrupt:
+            self._finalize_interrupt(collected, wanted)
+            raise
+        report = CampaignReport(outcomes=collected)
+        self._write_summary("complete", collected, wanted)
         return report
 
-    def run_one(self, experiment_id: str) -> ExperimentOutcome:
-        """Run one experiment through the full recovery policy."""
-        if self.store is not None and self.store.has_result(experiment_id):
-            outcome = self.store.load_outcome(experiment_id)
-            outcome.resumed = True
-            self._emit("resume", outcome)
-            return outcome
+    def run_one(
+        self,
+        experiment_id: str,
+        attempt_runner: Optional[AttemptRunner] = None,
+    ) -> ExperimentOutcome:
+        """Run one experiment through the full recovery policy.
 
-        runner, base_kwargs = self.registry[experiment_id]
+        ``attempt_runner`` executes a single attempt and is the backend
+        seam: None selects the in-process executor; the worker pool
+        passes its subprocess executor.
+        """
+        with self._store_lock:
+            if self.store is not None and self.store.has_result(experiment_id):
+                outcome = self.store.load_outcome(experiment_id)
+                outcome.resumed = True
+                self._emit("resume", outcome, experiment_id=experiment_id)
+                return outcome
+
+        run_attempt = attempt_runner or self._attempt_in_process
+        _, base_kwargs = self.registry[experiment_id]
         config = self.config
         started = config.clock()
         failures: List[ExperimentFailure] = []
         outcome: Optional[ExperimentOutcome] = None
 
         for attempt in range(1, config.max_attempts + 1):
+            self._check_abort()
             # First attempt runs full-scale (unless the whole campaign
             # is quick); retries degrade to the quick parameterization.
             degraded = attempt > 1 and not config.quick
             kwargs = dict(base_kwargs)
             if config.quick or degraded:
                 kwargs.update(self.quick_overrides.get(experiment_id, {}))
-            self._emit("retry" if attempt > 1 else "start", experiment_id)
-            attempt_started = config.clock()
+            self._emit(
+                "retry" if attempt > 1 else "start",
+                experiment_id,
+                experiment_id=experiment_id,
+                attempt=attempt,
+                degraded=degraded,
+            )
             budget = Budget(config.budget_seconds, clock=config.clock)
-            try:
-                with activate(budget):
-                    if self.faults is not None:
-                        self.faults.before_attempt(experiment_id, attempt, budget)
-                    result = self._invoke(runner, kwargs)
-            except BaseException as exc:  # noqa: BLE001 — isolation is the point
-                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
-                    raise
-                failure = ExperimentFailure.from_exception(
-                    experiment_id,
-                    exc,
-                    attempt=attempt,
-                    degraded=degraded,
-                    elapsed_seconds=config.clock() - attempt_started,
-                )
+            result, failure = run_attempt(
+                experiment_id, attempt, degraded, kwargs, budget
+            )
+            if failure is not None:
                 failures.append(failure)
+                self._check_abort()
                 if attempt < config.max_attempts:
-                    config.sleep(config.backoff_delay(attempt - 1))
+                    self._backoff_sleep(config.backoff_delay(attempt - 1))
                 continue
             if degraded:
                 result.notes.append(
@@ -327,14 +416,126 @@ class CampaignEngine:
             )
 
         if self.store is not None:
-            if outcome.succeeded:
-                self.store.save_outcome(outcome)
-            else:
-                self.store.save_failure(outcome)
-        self._emit("finish", outcome)
+            with self._store_lock:
+                if outcome.succeeded:
+                    path = self.store.save_outcome(outcome)
+                else:
+                    path = self.store.save_failure(outcome)
+            self.log_event(
+                "checkpointed",
+                experiment_id,
+                status=outcome.status,
+                path=str(path),
+            )
+        if outcome.status == STATUS_DEGRADED:
+            self.log_event(
+                "degraded",
+                experiment_id,
+                attempts=outcome.attempts,
+                last_failure=failures[-1].category if failures else None,
+            )
+        self._emit(
+            "finish",
+            outcome,
+            experiment_id=experiment_id,
+            status=outcome.status,
+            attempts=outcome.attempts,
+        )
         return outcome
 
+    # -- interruption ------------------------------------------------
+
+    def abort(self) -> None:
+        """Ask every in-flight supervisor thread to stand down."""
+        self._abort.set()
+
+    @property
+    def aborted(self) -> bool:
+        return self._abort.is_set()
+
+    def _check_abort(self) -> None:
+        if self._abort.is_set():
+            raise CampaignAborted()
+
+    def _backoff_sleep(self, delay: float) -> None:
+        """Backoff that an interrupt can cut short.
+
+        Injected fake sleeps (tests) are called as-is; the real sleep
+        waits on the abort flag so Ctrl-C does not stall on a pending
+        retry's backoff.
+        """
+        if self.config.sleep is not time.sleep:
+            self.config.sleep(delay)
+            self._check_abort()
+            return
+        if self._abort.wait(timeout=delay):
+            raise CampaignAborted()
+
+    def _finalize_interrupt(
+        self, collected: List[ExperimentOutcome], wanted: Sequence[str]
+    ) -> None:
+        """Flush what finished and mark the run interrupted (satellite
+        of the hard-isolation work: never lose completed outcomes to a
+        Ctrl-C)."""
+        self._write_summary("interrupted", collected, wanted)
+        partial = CampaignReport(outcomes=list(collected))
+        self._emit(
+            "interrupted",
+            partial,
+            completed=len(collected),
+            requested=len(wanted),
+        )
+
+    def _write_summary(
+        self,
+        status: str,
+        collected: List[ExperimentOutcome],
+        wanted: Sequence[str],
+    ) -> None:
+        if self.store is None:
+            return
+        with self._store_lock:
+            self.store.write_summary(
+                {
+                    "status": status,
+                    "requested": list(wanted),
+                    "completed": [o.experiment_id for o in collected],
+                    "statuses": {
+                        o.experiment_id: o.status for o in collected
+                    },
+                }
+            )
+
     # -- internals ---------------------------------------------------
+
+    def _attempt_in_process(
+        self,
+        experiment_id: str,
+        attempt: int,
+        degraded: bool,
+        kwargs: Dict[str, object],
+        budget: Budget,
+    ) -> Tuple[Optional[ExperimentResult], Optional[ExperimentFailure]]:
+        """The in-process attempt executor (``jobs == 0``)."""
+        runner, _ = self.registry[experiment_id]
+        config = self.config
+        attempt_started = config.clock()
+        try:
+            with activate(budget):
+                if self.faults is not None:
+                    self.faults.before_attempt(experiment_id, attempt, budget)
+                result = self._invoke(runner, kwargs)
+        except BaseException as exc:  # noqa: BLE001 — isolation is the point
+            if isinstance(exc, (KeyboardInterrupt, SystemExit, CampaignAborted)):
+                raise
+            return None, ExperimentFailure.from_exception(
+                experiment_id,
+                exc,
+                attempt=attempt,
+                degraded=degraded,
+                elapsed_seconds=config.clock() - attempt_started,
+            )
+        return result, None
 
     @staticmethod
     def _invoke(runner: object, kwargs: Dict[str, object]) -> ExperimentResult:
@@ -347,6 +548,21 @@ class CampaignEngine:
             )
         return result
 
-    def _emit(self, event: str, payload: object) -> None:
+    def log_event(
+        self, event: str, experiment_id: Optional[str] = None, **detail: object
+    ) -> None:
+        """Append to the JSONL event log (no-op without one)."""
+        if self.event_log is not None:
+            self.event_log.emit(event, experiment_id=experiment_id, **detail)
+
+    def _emit(
+        self,
+        event: str,
+        payload: object,
+        experiment_id: Optional[str] = None,
+        **detail: object,
+    ) -> None:
+        self.log_event(event, experiment_id=experiment_id, **detail)
         if self.on_event is not None:
-            self.on_event(event, payload)
+            with self._emit_lock:
+                self.on_event(event, payload)

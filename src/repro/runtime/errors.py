@@ -14,6 +14,12 @@ mechanism:
 - :class:`BudgetExceeded` — the experiment's wall-clock budget ran out
   (raised by the cooperative deadline checks in the simulation loops).
 
+The hard-isolation backend (:mod:`repro.runtime.workers`) adds a
+worker branch for failures of the containing *process* rather than the
+experiment code: :class:`WorkerCrashError` (died without a payload),
+:class:`WorkerTimeoutError` (killed at the hard deadline), and
+:class:`WorkerMemoryError` (hit its address-space rlimit).
+
 Exceptions that are not already taxonomy members are classified by
 walking their traceback and attributing the failure to the deepest
 ``repro`` layer that appears in it (:func:`classify_exception`).
@@ -62,6 +68,34 @@ class CheckpointCorruptError(ExperimentError):
     """A checkpoint file failed its integrity check on load."""
 
     category = "checkpoint-corrupt"
+
+
+class WorkerError(ExperimentError):
+    """Base class for failures of the *worker process* rather than the
+    experiment code it was running (hard-isolation backend)."""
+
+    category = "worker"
+
+
+class WorkerCrashError(WorkerError):
+    """A worker process died (exit code, signal, or unusable payload)
+    without delivering a classified result."""
+
+    category = "worker-crash"
+
+
+class WorkerTimeoutError(WorkerError):
+    """The supervisor killed a worker at its hard wall-clock deadline
+    (SIGTERM then SIGKILL) — the hang was not cooperatively catchable."""
+
+    category = "worker-timeout"
+
+
+class WorkerMemoryError(WorkerError):
+    """A worker hit its address-space rlimit (``--max-rss-mb``) and the
+    allocation failure was contained to that one worker."""
+
+    category = "worker-rlimit"
 
 
 #: Module-prefix -> taxonomy class, most specific attribution first.

@@ -1,0 +1,113 @@
+"""Structured JSONL event log for campaign post-mortems.
+
+A failed or interrupted campaign must be reconstructible without
+scraping stdout.  :class:`EventLog` appends one JSON object per engine
+event to ``events.jsonl`` inside the run directory:
+
+```
+{"seq": 3, "t_mono": 1.042, "t_wall": 1754450000.1,
+ "event": "worker-killed", "experiment_id": "fig6",
+ "attempt": 1, "signal": "SIGKILL"}
+```
+
+- ``seq`` is a strictly increasing sequence number, so interleavings
+  from the parallel supervisor threads have a total order even when
+  timestamps tie.
+- ``t_mono`` is a monotonic timestamp relative to the log's creation
+  (safe for measuring intervals); ``t_wall`` is Unix time (for
+  correlating with the outside world).
+- Everything else is the event name plus free-form detail fields.
+
+Writes are line-buffered, flushed per event, and serialized by a lock,
+so the log is safe to write from the worker-pool supervisor threads
+and each line is intact even if the supervisor itself is killed
+mid-campaign (the torn line, if any, is the last one — readers skip
+undecodable lines).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+#: Default filename inside a campaign run directory.
+EVENTS_FILENAME = "events.jsonl"
+
+
+class EventLog:
+    """Append-only JSONL log of engine events.
+
+    Args:
+        path: Destination file; parent directories are created.
+        clock: Monotonic time source (injectable for tests).
+        wall_clock: Wall time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        clock: Callable[[], float] = time.monotonic,
+        wall_clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._clock = clock
+        self._wall_clock = wall_clock
+        self._origin = clock()
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def emit(
+        self, event: str, experiment_id: Optional[str] = None, **detail: object
+    ) -> Dict[str, object]:
+        """Append one event line; returns the record that was written."""
+        with self._lock:
+            self._seq += 1
+            record: Dict[str, object] = {
+                "seq": self._seq,
+                "t_mono": self._clock() - self._origin,
+                "t_wall": self._wall_clock(),
+                "event": event,
+            }
+            if experiment_id is not None:
+                record["experiment_id"] = experiment_id
+            for key, value in detail.items():
+                if value is not None:
+                    record[key] = value
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+            return record
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse an events file, skipping any torn trailing line."""
+    events: List[Dict[str, object]] = []
+    path = Path(path)
+    if not path.is_file():
+        return events
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict):
+            events.append(record)
+    return events

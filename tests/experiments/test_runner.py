@@ -119,7 +119,11 @@ class TestMainEntry:
 
         monkeypatch.setitem(entry.EXPERIMENTS, "doomed", (Doomed(), {}))
         monkeypatch.setitem(entry.QUICK_OVERRIDES, "doomed", {})
-        assert entry.main(["--max-attempts", "1", "doomed", "table1"]) == 1
+        # A monkeypatched instance cannot ship to a worker subprocess;
+        # exercise the failure path on the in-process backend.
+        assert entry.main(
+            ["--max-attempts", "1", "--jobs", "0", "doomed", "table1"]
+        ) == 1
         out = capsys.readouterr().out
         # The healthy experiment still completed despite the failure.
         assert "doomed FAILED" in out

@@ -167,3 +167,77 @@ class TestCheckpointStore:
         assert store.read_manifest() is None
         store.write_manifest({"experiments": ["fig2"], "quick": True})
         assert store.read_manifest() == {"experiments": ["fig2"], "quick": True}
+
+    def test_summary_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run")
+        assert store.read_summary() is None
+        store.write_summary({"status": "interrupted", "completed": ["fig2"]})
+        assert store.read_summary()["status"] == "interrupted"
+
+    def test_verify_all_reports_damage(self, tmp_path):
+        store = CheckpointStore(tmp_path / "run")
+        store.write_manifest({"experiments": ["fig2"]})
+        store.save_outcome(ok_outcome())
+        assert store.verify_all() == {}
+        path = store.result_path("fig2")
+        path.write_text(path.read_text().replace("2304.0", "9304.0"))
+        problems = store.verify_all()
+        assert list(problems) == ["results/fig2.json"]
+        assert "integrity" in problems["results/fig2.json"]
+
+
+class TestConcurrentWriters:
+    """Satellite: checkpoint durability under concurrent writers.
+
+    Multiple processes hammer the same run directory (shared summary,
+    shared manifest, distinct and shared result ids); the file lock
+    plus atomic write-rename must leave every envelope verifiable."""
+
+    WRITER_SCRIPT = """
+import sys
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.engine import ExperimentOutcome
+
+run_dir, index = sys.argv[1], int(sys.argv[2])
+store = CheckpointStore(run_dir)
+for i in range(25):
+    own = ExperimentOutcome(
+        experiment_id=f"own-{index}-{i % 5}", status="ok", attempts=1
+    )
+    store.save_outcome(own)
+    shared = ExperimentOutcome(
+        experiment_id="shared", status="ok", attempts=index + 1
+    )
+    store.save_outcome(shared)
+    store.write_summary({"status": "complete", "writer": index, "i": i})
+    store.write_manifest({"experiments": ["shared"], "writer": index})
+"""
+
+    def test_parallel_processes_never_corrupt_the_store(self, tmp_path):
+        import subprocess
+        import sys as _sys
+
+        run_dir = tmp_path / "run"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in _sys.path if p)
+        writers = [
+            subprocess.Popen(
+                [_sys.executable, "-c", self.WRITER_SCRIPT, str(run_dir), str(i)],
+                env=env,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for i in range(4)
+        ]
+        for writer in writers:
+            _, stderr = writer.communicate(timeout=120)
+            assert writer.returncode == 0, stderr
+
+        store = CheckpointStore(run_dir)
+        assert store.verify_all() == {}
+        done = store.completed_ids()
+        assert "shared" in done
+        assert len(done) == 4 * 5 + 1
+        # The survivors parse as exactly one writer's coherent payload.
+        assert store.read_summary()["status"] == "complete"
+        assert store.load_outcome("shared").attempts in (1, 2, 3, 4)

@@ -25,6 +25,10 @@ from tests.runtime.conftest import FakeClock, FakeExperiment, SleepRecorder
 def make_engine(experiments, fake_clock, sleep_recorder, **config_kwargs):
     registry = {exp.experiment_id: (exp, {"n": 1000}) for exp in experiments}
     overrides = {exp.experiment_id: {"n": 10} for exp in experiments}
+    # FakeExperiment instances are not importable by reference, so these
+    # tests exercise the in-process backend (jobs=0); the subprocess
+    # backend is covered by tests/runtime/test_workers.py.
+    config_kwargs.setdefault("jobs", 0)
     config = EngineConfig(
         sleep=sleep_recorder,
         clock=fake_clock,
@@ -133,7 +137,7 @@ class TestIsolationAndRetry:
         registry = {"liar": (Liar(), {})}
         engine = CampaignEngine(
             registry,
-            config=EngineConfig(sleep=sleep_recorder, clock=fake_clock),
+            config=EngineConfig(sleep=sleep_recorder, clock=fake_clock, jobs=0),
         )
         report = engine.run()
         assert report.failed_ids == ["liar"]
@@ -169,7 +173,10 @@ class TestBudgetIntegration:
         engine = CampaignEngine(
             {"peek": (Peeker(), {})},
             config=EngineConfig(
-                budget_seconds=60.0, sleep=sleep_recorder, clock=FakeClock()
+                budget_seconds=60.0,
+                sleep=sleep_recorder,
+                clock=FakeClock(),
+                jobs=0,
             ),
         )
         engine.run()
@@ -287,6 +294,58 @@ class TestAcceptanceScenario:
             report2.outcome(i).resumed
             for i in ("crash-exp", "hang-exp", "healthy-exp")
         )
+
+
+class TestInterruption:
+    """Regression: a KeyboardInterrupt mid-attempt used to unwind the
+    engine without flushing the partial summary or emitting a final
+    event — completed work was invisible to --resume tooling."""
+
+    def test_interrupt_flushes_partial_state_and_reraises(
+        self, tmp_path, fake_clock, sleep_recorder
+    ):
+        from repro.runtime.events import EventLog, read_events
+
+        finished = FakeExperiment("a")
+        interrupter = FakeExperiment(
+            "b", fail_times=99, error=KeyboardInterrupt()
+        )
+        engine = make_engine([finished, interrupter], fake_clock, sleep_recorder)
+        store = CheckpointStore(tmp_path / "run")
+        engine.store = store
+        engine.event_log = EventLog(store.events_path)
+        seen = []
+        engine.on_event = lambda event, payload: seen.append((event, payload))
+
+        with pytest.raises(KeyboardInterrupt):
+            engine.run()
+        engine.event_log.close()
+
+        # The completed outcome was checkpointed and the summary marks
+        # the run interrupted — --resume has a valid store.
+        assert store.completed_ids() == ["a"]
+        assert store.verify_all() == {}
+        summary = store.read_summary()
+        assert summary["status"] == "interrupted"
+        assert summary["completed"] == ["a"]
+        assert summary["requested"] == ["a", "b"]
+
+        # A final event went out, both to the callback and the log.
+        assert seen[-1][0] == "interrupted"
+        partial = seen[-1][1]
+        assert [o.experiment_id for o in partial.outcomes] == ["a"]
+        names = [e["event"] for e in read_events(store.events_path)]
+        assert names[-1] == "interrupted"
+
+    def test_interrupt_without_store_still_reraises(
+        self, fake_clock, sleep_recorder
+    ):
+        interrupter = FakeExperiment(
+            "a", fail_times=99, error=KeyboardInterrupt()
+        )
+        engine = make_engine([interrupter], fake_clock, sleep_recorder)
+        with pytest.raises(KeyboardInterrupt):
+            engine.run()
 
 
 class TestReportRendering:

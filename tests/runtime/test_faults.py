@@ -9,7 +9,12 @@ from repro.runtime.errors import (
     ExperimentError,
     TraceGenerationError,
 )
-from repro.runtime.faults import FaultInjector, FaultSpec, corrupt_file
+from repro.runtime.faults import (
+    FaultInjector,
+    FaultSpec,
+    corrupt_file,
+    fire_fault,
+)
 
 from tests.runtime.conftest import FakeClock
 
@@ -22,6 +27,52 @@ class TestFaultSpec:
     def test_fail_attempts_must_be_positive(self):
         with pytest.raises(ValueError):
             FaultSpec(kind="crash", fail_attempts=0)
+
+
+class TestFaultShipping:
+    """FaultSpec must round-trip through JSON to reach a worker."""
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec(
+            kind="crash",
+            fail_attempts=2,
+            exception=TraceGenerationError,
+            message="ship me",
+            cooperative=False,
+            exit_code=7,
+        )
+        restored = FaultSpec.from_dict(spec.to_dict())
+        assert restored == spec
+
+    def test_builtin_exception_resolves(self):
+        spec = FaultSpec(kind="crash", exception=ValueError)
+        assert FaultSpec.from_dict(spec.to_dict()).exception is ValueError
+
+    def test_unknown_exception_falls_back(self):
+        from repro.runtime.errors import SimulationError
+
+        payload = FaultSpec(kind="crash").to_dict()
+        payload["exception"] = "NoSuchExceptionAnywhere"
+        assert FaultSpec.from_dict(payload).exception is SimulationError
+
+
+class TestUncontainableKinds:
+    """The kinds only a process kill can stop are refused in-process."""
+
+    @pytest.mark.parametrize("kind", ["memhog", "die"])
+    def test_worker_only_kinds_refused_in_process(self, kind):
+        with pytest.raises(ExperimentError, match="worker"):
+            fire_fault(FaultSpec(kind=kind), "fig6", 1)
+
+    def test_non_cooperative_hang_refused_in_process(self):
+        spec = FaultSpec(kind="hang", cooperative=False)
+        with pytest.raises(ExperimentError, match="non-cooperative"):
+            fire_fault(spec, "fig6", 1, budget=Budget.unlimited())
+
+    def test_injector_refuses_them_too(self):
+        injector = FaultInjector(plan={"fig6": FaultSpec(kind="die")})
+        with pytest.raises(ExperimentError, match="worker"):
+            injector.before_attempt("fig6", 1, Budget.unlimited())
 
 
 class TestCorruptFile:
