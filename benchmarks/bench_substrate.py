@@ -30,10 +30,18 @@ def _random_trace(num_refs=50_000, num_blocks=4096, seed=0):
     return Trace(addrs, kinds)
 
 
+def _note_throughput(benchmark, refs: int) -> None:
+    """Record references/second into the machine-readable results."""
+    benchmark.extra_info["refs"] = refs
+    if benchmark.stats and benchmark.stats.stats.mean:
+        benchmark.extra_info["refs_per_second"] = refs / benchmark.stats.stats.mean
+
+
 def bench_stack_distance_profiler(benchmark):
     trace = _random_trace()
     profile = benchmark(profile_trace, trace)
     assert profile.total == len(trace)
+    _note_throughput(benchmark, len(trace))
 
 
 def bench_fully_associative_cache(benchmark):
@@ -45,6 +53,7 @@ def bench_fully_associative_cache(benchmark):
 
     stats = benchmark(run)
     assert stats.accesses == len(trace)
+    _note_throughput(benchmark, len(trace))
 
 
 def bench_direct_mapped_cache(benchmark):
@@ -56,6 +65,7 @@ def bench_direct_mapped_cache(benchmark):
 
     stats = benchmark(run)
     assert stats.accesses == len(trace)
+    _note_throughput(benchmark, len(trace))
 
 
 def bench_multiprocessor_memory(benchmark):
@@ -67,6 +77,7 @@ def bench_multiprocessor_memory(benchmark):
 
     stats = benchmark(run)
     assert sum(s.accesses for s in stats) == 40_000
+    _note_throughput(benchmark, 40_000)
 
 
 def bench_lu_kernel(benchmark):

@@ -18,7 +18,7 @@ structures:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
@@ -29,6 +29,9 @@ from repro.apps.barnes_hut.partition import morton_partition
 from repro.mem.address import AddressSpace
 from repro.mem.trace import Trace, TraceBuilder
 from repro.units import DOUBLE_WORD
+
+if TYPE_CHECKING:
+    from repro.validate.report import ValidationReport
 
 #: Double words per body record (pos 3 + vel 3 + mass 1 + acc 3).
 BODY_DOUBLEWORDS = 10
@@ -46,6 +49,9 @@ class BarnesHutTraceGenerator:
         theta: Opening-angle parameter.
         num_processors: Machine size (bodies are Morton-partitioned).
         quadrupole: Trace quadrupole reads for accepted cells.
+        seed: Determinism-audit seed recording how ``bodies`` was
+            generated (use :meth:`from_plummer` to thread it
+            explicitly); also parameterizes :meth:`self_check`.
     """
 
     def __init__(
@@ -54,7 +60,9 @@ class BarnesHutTraceGenerator:
         theta: float = 1.0,
         num_processors: int = 4,
         quadrupole: bool = True,
+        seed: int = 0,
     ) -> None:
+        self.seed = seed
         self.bodies = bodies
         self.theta = theta
         self.num_processors = num_processors
@@ -79,6 +87,43 @@ class BarnesHutTraceGenerator:
         ]
         self.scratch = self.scratch_regions[0]
         self.stats = WalkStats()
+
+    @classmethod
+    def from_plummer(
+        cls,
+        n: int,
+        seed: int = 0,
+        theta: float = 1.0,
+        num_processors: int = 4,
+        quadrupole: bool = True,
+    ) -> "BarnesHutTraceGenerator":
+        """Seeded construction from a Plummer-model body set: the only
+        randomness in the Barnes-Hut trace is the initial conditions,
+        so equal seeds yield byte-identical traces."""
+        from repro.apps.barnes_hut.bodies import plummer_model
+
+        return cls(
+            plummer_model(n, seed=seed),
+            theta=theta,
+            num_processors=num_processors,
+            quadrupole=quadrupole,
+            seed=seed,
+        )
+
+    def self_check(self) -> "ValidationReport":
+        """Mathematical self-check of the traced algorithm: integrate a
+        seeded N-body system with exact (theta=0) forces and verify
+        momentum conservation.
+
+        Returns the passing
+        :class:`~repro.validate.report.ValidationReport`; raises
+        :class:`~repro.runtime.errors.SelfCheckError` on failure.
+        """
+        from repro.validate.selfchecks import assert_self_check
+
+        return assert_self_check(
+            "barnes-hut", seed=self.seed, n=min(len(self.bodies), 64)
+        )
 
     # -- addressing ---------------------------------------------------------
 

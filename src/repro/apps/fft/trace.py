@@ -17,12 +17,15 @@ operation for internal radices 2 / 8 / 32 (Figure 5).
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.apps.fft.transform import stage_structure
 from repro.mem.address import AddressSpace
 from repro.mem.trace import Trace, TraceBuilder
 from repro.units import DOUBLE_WORD
+
+if TYPE_CHECKING:
+    from repro.validate.report import ValidationReport
 
 
 class FFTTraceGenerator:
@@ -32,9 +35,21 @@ class FFTTraceGenerator:
         n: Transform length N (power of two).
         num_processors: P (power of two dividing N).
         internal_radix: The cache-blocking radix r (power of two >= 2).
+        seed: Determinism-audit seed, recorded for provenance.  The
+            butterfly reference pattern depends only on (N, P, r), so
+            equal-seed runs are byte-identical by construction; the
+            seed also parameterizes :meth:`self_check`'s random input
+            vector.
     """
 
-    def __init__(self, n: int, num_processors: int, internal_radix: int = 8) -> None:
+    def __init__(
+        self,
+        n: int,
+        num_processors: int,
+        internal_radix: int = 8,
+        seed: int = 0,
+    ) -> None:
+        self.seed = seed
         for value, label in ((n, "n"), (num_processors, "num_processors"), (internal_radix, "internal_radix")):
             if value < 1 or (value & (value - 1)) != 0:
                 raise ValueError(f"{label} must be a power of two")
@@ -161,3 +176,16 @@ class FFTTraceGenerator:
     def total_flops(self) -> float:
         """``5 N log2 N`` for the whole machine."""
         return 5.0 * self.n * math.log2(self.n)
+
+    def self_check(self) -> "ValidationReport":
+        """Mathematical self-check of the traced algorithm: transform a
+        random vector of this generator's length and verify the inverse
+        round-trip plus agreement with ``numpy.fft``.
+
+        Returns the passing
+        :class:`~repro.validate.report.ValidationReport`; raises
+        :class:`~repro.runtime.errors.SelfCheckError` on failure.
+        """
+        from repro.validate.selfchecks import assert_self_check
+
+        return assert_self_check("fft", seed=self.seed, n=self.n)

@@ -16,11 +16,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.mem.address import AddressSpace, Region
 from repro.mem.trace import Trace, TraceBuilder
 from repro.units import DOUBLE_WORD
+
+if TYPE_CHECKING:
+    from repro.validate.report import ValidationReport
 
 
 @dataclass(frozen=True)
@@ -69,11 +72,19 @@ class LUTraceGenerator:
         n: Matrix order (multiple of ``block_size``).
         block_size: Block dimension B.
         num_processors: Perfect-square processor count.
+        seed: Determinism-audit seed, recorded for provenance.  The LU
+            reference pattern depends only on the problem shape (matrix
+            *values* never steer control flow), so equal-seed runs are
+            byte-identical by construction; the seed also parameterizes
+            :meth:`self_check`'s random test matrix.
     """
 
-    def __init__(self, n: int, block_size: int, num_processors: int) -> None:
+    def __init__(
+        self, n: int, block_size: int, num_processors: int, seed: int = 0
+    ) -> None:
         if n % block_size != 0:
             raise ValueError("n must be a multiple of block_size")
+        self.seed = seed
         self.n = n
         self.block_size = block_size
         self.num_blocks = n // block_size
@@ -198,3 +209,18 @@ class LUTraceGenerator:
 
     def blocks_per_processor(self, pid: int = 0) -> int:
         return self.decomp.blocks_owned(pid, self.num_blocks)
+
+    def self_check(self) -> "ValidationReport":
+        """Mathematical self-check of the traced algorithm: factor a
+        random diagonally dominant matrix of this generator's shape and
+        verify the ``L @ U`` reconstruction residual.
+
+        Returns the passing
+        :class:`~repro.validate.report.ValidationReport`; raises
+        :class:`~repro.runtime.errors.SelfCheckError` on failure.
+        """
+        from repro.validate.selfchecks import assert_self_check
+
+        return assert_self_check(
+            "lu", seed=self.seed, n=self.n, block_size=self.block_size
+        )

@@ -15,7 +15,7 @@ gradually, as in the paper's lev3WS measurement).  Traced structures:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -26,6 +26,9 @@ from repro.apps.volrend.volume import VOXEL_BYTES, Volume
 from repro.mem.address import AddressSpace
 from repro.mem.trace import Trace, TraceBuilder
 from repro.units import DOUBLE_WORD
+
+if TYPE_CHECKING:
+    from repro.validate.report import ValidationReport
 
 #: Double words of per-ray scratch state.
 SCRATCH_DOUBLEWORDS = 24
@@ -43,6 +46,9 @@ class VolrendTraceGenerator:
         image_size: Image plane side in pixels (defaults to the volume
             side).
         step: Ray sampling interval in voxels.
+        seed: Determinism-audit seed recording how ``volume`` was
+            generated (use :meth:`from_synthetic_head` to thread it
+            explicitly); also parameterizes :meth:`self_check`.
     """
 
     def __init__(
@@ -51,7 +57,9 @@ class VolrendTraceGenerator:
         num_processors: int = 4,
         image_size: Optional[int] = None,
         step: float = 1.0,
+        seed: int = 0,
     ) -> None:
+        self.seed = seed
         self.volume = volume
         self.num_processors = num_processors
         self.image_size = image_size or volume.shape[0]
@@ -71,6 +79,43 @@ class VolrendTraceGenerator:
         )
         self.rays_cast = 0
         self.samples = 0
+
+    @classmethod
+    def from_synthetic_head(
+        cls,
+        n: int,
+        seed: int = 0,
+        num_processors: int = 4,
+        image_size: Optional[int] = None,
+        step: float = 1.0,
+    ) -> "VolrendTraceGenerator":
+        """Seeded construction from the synthetic head data set: the
+        only randomness in the volrend trace is the voxel noise, so
+        equal seeds yield byte-identical traces."""
+        from repro.apps.volrend.volume import synthetic_head
+
+        return cls(
+            synthetic_head(n, seed=seed),
+            num_processors=num_processors,
+            image_size=image_size,
+            step=step,
+            seed=seed,
+        )
+
+    def self_check(self) -> "ValidationReport":
+        """Mathematical self-check of the traced algorithm: verify the
+        min-max octree bounds against brute-force voxel extrema and the
+        rendered image against physical bounds.
+
+        Returns the passing
+        :class:`~repro.validate.report.ValidationReport`; raises
+        :class:`~repro.runtime.errors.SelfCheckError` on failure.
+        """
+        from repro.validate.selfchecks import assert_self_check
+
+        return assert_self_check(
+            "volrend", seed=self.seed, n=min(self.volume.shape[0], 16)
+        )
 
     # -- addressing ---------------------------------------------------------
 

@@ -24,12 +24,21 @@ Usage::
     python -m repro.experiments --resume runs/full   # skip finished ids
     python -m repro.experiments --jobs 4 --hard-timeout-seconds 600 \
         --max-rss-mb 2048 --run-dir runs/par     # parallel + contained
+    python -m repro.experiments --validate --run-dir runs/full
+                                      # reject results failing the oracles
+    python -m repro.experiments --verify-store runs/full
+                                      # checksum every checkpoint, exit 0/1
+    python -m repro.experiments validate runs/full
+                                      # full artifact validation of a run dir
+    python -m repro.experiments fuzz --cases 500
+                                      # adversarial fuzz of artifact readers
 
 Exit status: 0 when every experiment finished (possibly degraded),
 1 when any experiment ultimately failed after retries or the campaign
 was interrupted (Ctrl-C / SIGTERM — completed results are already
 checkpointed, so ``--resume`` finishes the remainder), 2 on usage
-errors.
+errors.  The ``validate`` / ``fuzz`` subcommands and ``--verify-store``
+exit 0 on a clean report, 1 on findings, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -197,6 +206,21 @@ def build_parser() -> argparse.ArgumentParser:
         "worker instead of the campaign (default: unlimited)",
     )
     parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="run the invariant oracles over every successful attempt; "
+        "a result that fails them is rejected and retried (degrading) "
+        "like any other failure",
+    )
+    parser.add_argument(
+        "--verify-store",
+        default=None,
+        metavar="DIR",
+        dest="verify_store",
+        help="verify every checkpoint envelope in DIR (manifest, summary, "
+        "results, failures) and exit: 0 = all sound, 1 = corruption found",
+    )
+    parser.add_argument(
         "--inject-fault",
         action="append",
         default=[],
@@ -273,10 +297,120 @@ def _print_event(event: str, payload: object) -> None:
             print()
 
 
+def validate_command(argv: List[str]) -> int:
+    """``python -m repro.experiments validate <run-dir>``.
+
+    Full artifact validation of a campaign run directory: envelope
+    checksums, payload schemas, cross-file consistency, the strict
+    event-log reader, saved traces, and the invariant oracles over
+    every stored result.  Exit 0 on a clean report, 1 on any
+    error-severity finding.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments validate",
+        description="Validate every artifact in a campaign run directory.",
+    )
+    parser.add_argument("run_dir", metavar="RUN_DIR", help="campaign directory")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    parser.add_argument(
+        "--shallow",
+        action="store_true",
+        help="skip the invariant oracles over stored results",
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+
+    from repro.validate.artifacts import validate_run_dir
+
+    report = validate_run_dir(args.run_dir, deep=not args.shallow)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=1))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def fuzz_command(argv: List[str]) -> int:
+    """``python -m repro.experiments fuzz``.
+
+    Deterministic adversarial fuzz of the artifact readers; exit 0
+    when every mutated artifact was handled within the readers' typed
+    error contracts, 1 otherwise.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments fuzz",
+        description="Fuzz the trace/checkpoint/event readers with "
+        "corrupted artifacts.",
+    )
+    parser.add_argument(
+        "--cases", type=int, default=500, metavar="N",
+        help="mutated artifacts to generate (default: 500)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="RNG seed; the campaign is a pure function of it (default: 0)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    if args.cases < 1:
+        print("--cases must be >= 1")
+        return 2
+
+    from repro.validate.fuzz import run_fuzz
+
+    report = run_fuzz(cases=args.cases, seed=args.seed)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_validation_report().to_dict(), indent=1))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def verify_store_command(run_dir: str) -> int:
+    """``--verify-store DIR``: checksum every checkpoint envelope."""
+    problems = CheckpointStore(run_dir).verify_all()
+    if not problems:
+        print(f"store {run_dir}: every envelope verified")
+        return 0
+    print(f"store {run_dir}: {len(problems)} corrupt envelope(s)")
+    for rel_path, message in sorted(problems.items()):
+        print(f"  {rel_path}: {message}")
+    return 1
+
+
+#: Subcommand names dispatched before experiment-id parsing.  Safe
+#: because they can never collide with experiment ids (asserted by the
+#: CLI test suite).
+SUBCOMMANDS = {
+    "validate": validate_command,
+    "fuzz": fuzz_command,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](argv[1:])
     parser = build_parser()
     try:
-        args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+        args = parser.parse_args(argv)
     except SystemExit as exc:
         return int(exc.code or 0)
 
@@ -284,6 +418,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         for experiment_id in EXPERIMENTS:
             print(experiment_id)
         return 0
+
+    if args.verify_store is not None:
+        return verify_store_command(args.verify_store)
 
     if args.budget_seconds is not None and args.budget_seconds <= 0:
         print("--budget-seconds must be positive")
@@ -323,6 +460,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             budget_seconds=args.budget_seconds,
             max_attempts=args.max_attempts,
             jobs=args.jobs,
+            validate=args.validate,
             hard_timeout_seconds=args.hard_timeout_seconds,
             max_rss_mb=args.max_rss_mb,
         ),

@@ -54,6 +54,18 @@ def _array_checksum(addrs: np.ndarray, kinds: np.ndarray) -> int:
     return zlib.crc32(canonical_kinds.tobytes(), crc)
 
 
+def trace_header(trace: Trace) -> Dict[str, int]:
+    """The reference-count header (``refs``/``reads``/``writes``) for
+    ``trace``, for embedding in :func:`save_trace` metadata so artifact
+    validation can cross-check the header against the stored arrays."""
+    reads = int((np.asarray(trace.kinds) == 0).sum())
+    return {
+        "refs": len(trace.addrs),
+        "reads": reads,
+        "writes": len(trace.addrs) - reads,
+    }
+
+
 def save_trace(
     path: Union[str, Path],
     trace: Trace,
@@ -69,7 +81,10 @@ def save_trace(
         path: Destination file (suffix .npz recommended).
         trace: The trace to persist.
         metadata: JSON-serializable description (problem parameters,
-            generator name, ...), stored alongside the arrays.
+            generator name, ...), stored alongside the arrays and
+            round-tripped verbatim by :func:`load_metadata`.  Include
+            :func:`trace_header` in it to let artifact validation
+            cross-check reference counts against the arrays.
     """
     path = Path(path)
     payload = json.dumps(metadata or {}).encode("utf-8")
@@ -114,7 +129,7 @@ def _open_archive(path: Path):
 def _check_version(archive, path: Path) -> None:
     if "version" not in archive.files:
         raise TraceFileCorruptError(f"trace file {path} has no format version")
-    version = int(archive["version"])
+    version = _scalar(archive, "version", path)
     if version != FORMAT_VERSION:
         raise ValueError(
             f"trace file format {version} unsupported (expected {FORMAT_VERSION})"
@@ -122,13 +137,40 @@ def _check_version(archive, path: Path) -> None:
 
 
 def _field(archive, name: str, path: Path) -> np.ndarray:
+    """One archive member, with *every* decode failure mapped to
+    :class:`TraceFileCorruptError`.
+
+    Member access is lazy in ``.npz`` archives — the zip entry is only
+    decompressed here, so this is where corruption actually surfaces
+    (fuzzing found ``BadZipFile``, ``zlib.error``, and
+    ``NotImplementedError`` for mangled compression-method fields all
+    escaping from what looked like a plain dictionary lookup).
+    """
     if name not in archive.files:
         raise TraceFileCorruptError(f"trace file {path} is missing {name!r}")
     try:
         return archive[name]
-    except (zipfile.BadZipFile, OSError, EOFError, zlib.error, ValueError) as exc:
+    except (
+        zipfile.BadZipFile,
+        OSError,
+        EOFError,
+        zlib.error,
+        ValueError,
+        NotImplementedError,
+    ) as exc:
         raise TraceFileCorruptError(
             f"trace file {path} field {name!r} is undecodable: {exc}"
+        )
+
+
+def _scalar(archive, name: str, path: Path) -> int:
+    """An integer scalar member; shape/dtype damage is corruption."""
+    value = _field(archive, name, path)
+    try:
+        return int(value)
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise TraceFileCorruptError(
+            f"trace file {path} field {name!r} is not an integer scalar: {exc}"
         )
 
 
@@ -144,9 +186,16 @@ def load_trace(path: Union[str, Path]) -> Trace:
     path = Path(path)
     with _open_archive(path) as archive:
         _check_version(archive, path)
-        addrs = _field(archive, "addrs", path).astype(np.int64)
-        kinds = _field(archive, "kinds", path).astype(np.uint8)
-        stored = int(_field(archive, "checksum", path))
+        try:
+            addrs = _field(archive, "addrs", path).astype(np.int64)
+            kinds = _field(archive, "kinds", path).astype(np.uint8)
+        except (TypeError, ValueError) as exc:
+            if isinstance(exc, TraceFileCorruptError):
+                raise
+            raise TraceFileCorruptError(
+                f"trace file {path} arrays are undecodable: {exc}"
+            )
+        stored = _scalar(archive, "checksum", path)
         actual = _array_checksum(addrs, kinds)
         if stored != actual:
             raise TraceFileCorruptError(
@@ -162,7 +211,7 @@ def load_metadata(path: Union[str, Path]) -> Dict[str, object]:
     with _open_archive(path) as archive:
         _check_version(archive, path)
         raw = bytes(_field(archive, "metadata", path).tobytes())
-        stored = int(_field(archive, "meta_checksum", path))
+        stored = _scalar(archive, "meta_checksum", path)
         if stored != zlib.crc32(raw):
             raise TraceFileCorruptError(
                 f"trace file {path} metadata failed its checksum"

@@ -84,6 +84,14 @@ class EngineConfig:
             attempt in its own supervised subprocess); ``0`` selects
             the in-process serial backend (debugging, fault-injection
             tests, unshippable runners).
+        validate: Run the invariant oracles
+            (:func:`repro.validate.oracles.validate_result`) over every
+            successful attempt's result.  A result that fails them is
+            *rejected* — converted into a
+            :class:`~repro.runtime.errors.ResultRejectedError` failure
+            that feeds the normal retry-with-degradation policy — so a
+            buggy instrument cannot checkpoint plausible-but-wrong
+            numbers as a finished experiment.
         hard_timeout_seconds: Hard per-attempt wall-clock deadline
             enforced by the supervisor with SIGTERM→SIGKILL (worker
             backend only).  Defaults to ``2×budget_seconds + 30`` when
@@ -100,6 +108,7 @@ class EngineConfig:
     backoff_base_seconds: float = 0.5
     backoff_factor: float = 2.0
     jobs: int = 1
+    validate: bool = False
     hard_timeout_seconds: Optional[float] = None
     max_rss_mb: Optional[int] = None
     term_grace_seconds: float = 5.0
@@ -318,6 +327,7 @@ class CampaignEngine:
                     "budget_seconds": self.config.budget_seconds,
                     "max_attempts": self.config.max_attempts,
                     "jobs": self.config.jobs,
+                    "validate": self.config.validate,
                     "hard_timeout_seconds": self.config.hard_timeout_seconds,
                     "max_rss_mb": self.config.max_rss_mb,
                 }
@@ -383,6 +393,12 @@ class CampaignEngine:
             result, failure = run_attempt(
                 experiment_id, attempt, degraded, kwargs, budget
             )
+            if failure is None and config.validate:
+                failure = self._validate_attempt(
+                    experiment_id, result, attempt, degraded
+                )
+                if failure is not None:
+                    result = None
             if failure is not None:
                 failures.append(failure)
                 self._check_abort()
@@ -442,6 +458,44 @@ class CampaignEngine:
             attempts=outcome.attempts,
         )
         return outcome
+
+    def _validate_attempt(
+        self,
+        experiment_id: str,
+        result: ExperimentResult,
+        attempt: int,
+        degraded: bool,
+    ) -> Optional[ExperimentFailure]:
+        """Run the invariant oracles over a successful attempt's result.
+
+        Returns None when the result passes; otherwise an
+        :class:`ExperimentFailure` wrapping a
+        :class:`~repro.runtime.errors.ResultRejectedError`, so the
+        retry/degradation policy treats a rejected result exactly like
+        a crashed attempt.
+        """
+        from repro.runtime.errors import ResultRejectedError
+        from repro.validate.oracles import validate_result
+
+        report = validate_result(result)
+        self.log_event(
+            "validated",
+            experiment_id,
+            attempt=attempt,
+            checks=report.checks_run,
+            errors=len(report.errors),
+            warnings=len(report.warnings),
+            codes=report.codes() or None,
+        )
+        if report.ok:
+            return None
+        try:
+            report.raise_if_failed(ResultRejectedError)
+        except ResultRejectedError as exc:
+            return ExperimentFailure.from_exception(
+                experiment_id, exc, attempt=attempt, degraded=degraded
+            )
+        return None  # pragma: no cover - raise_if_failed always raises here
 
     # -- interruption ------------------------------------------------
 

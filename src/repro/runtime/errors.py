@@ -70,6 +70,32 @@ class CheckpointCorruptError(ExperimentError):
     category = "checkpoint-corrupt"
 
 
+class ValidationError(ExperimentError):
+    """Base class of the result-integrity branch: an artifact or result
+    failed a :mod:`repro.validate` check.  These are *rejections*, not
+    crashes — every validator and fuzz target raises (or records) a
+    subclass of this instead of propagating raw exceptions."""
+
+    category = "validation"
+
+
+class ResultRejectedError(ValidationError):
+    """An :class:`~repro.experiments.runner.ExperimentResult` violated
+    an invariant oracle (miss rate out of range, non-monotone curve,
+    ...).  Raised by the engine's ``--validate`` post-attempt hook so
+    the rejection feeds the ordinary retry-with-degradation policy."""
+
+    category = "result-rejected"
+
+
+class SelfCheckError(ValidationError):
+    """An application's mathematical self-check failed (LU residual,
+    CG convergence, FFT round-trip, Barnes-Hut momentum conservation,
+    volume-renderer octree bounds)."""
+
+    category = "self-check"
+
+
 class WorkerError(ExperimentError):
     """Base class for failures of the *worker process* rather than the
     experiment code it was running (hard-isolation backend)."""

@@ -1,0 +1,78 @@
+"""The result-integrity layer.
+
+``repro.validate`` is the repository's self-verification subsystem.  It
+answers, mechanically, the question every reproduction must face: *why
+believe these numbers?*  Four independent lines of defense:
+
+- **Invariant oracles** (:mod:`~repro.validate.oracles`): structural
+  checks over every :class:`~repro.experiments.runner.ExperimentResult`
+  and stack-distance profile — rates in [0, 1], curves monotone
+  non-increasing under full associativity, the cold-miss floor equal to
+  the distinct-block footprint.
+- **Per-app self-checks** (:mod:`~repro.validate.selfchecks`): each
+  traced algorithm proves it still computes the right answer (LU
+  reconstructs, CG converges, FFT inverts, exact N-body conserves
+  momentum, the volrend octree bounds its voxels).
+- **Differential cross-checks** (:mod:`~repro.validate.differential`):
+  two independent simulators (Mattson profiler vs explicit LRU cache)
+  must agree *exactly* on every corpus trace.
+- **Artifact validation and fuzzing** (:mod:`~repro.validate.artifacts`,
+  :mod:`~repro.validate.fuzz`): every file a campaign writes is
+  schema-checked and checksum-verified, and every reader is
+  adversarially tested to fail typed on corrupt input.
+
+See ``docs/VALIDATION.md`` for the operator's view.
+"""
+
+from repro.validate.artifacts import (
+    validate_events_file,
+    validate_run_dir,
+    validate_trace_file,
+)
+from repro.validate.corpus import CORPUS, CorpusEntry, build_corpus, corpus_entry
+from repro.validate.differential import cross_check_corpus, cross_check_trace
+from repro.validate.fuzz import FuzzReport, run_fuzz
+from repro.validate.oracles import (
+    RESULT_ORACLES,
+    assert_valid_result,
+    validate_profile,
+    validate_result,
+)
+from repro.validate.report import (
+    Finding,
+    ValidationReport,
+    merge_reports,
+)
+from repro.validate.schemas import SCHEMA_VERSION, check_schema, schema_for
+from repro.validate.selfchecks import (
+    SELF_CHECKS,
+    assert_self_check,
+    run_self_check,
+)
+
+__all__ = [
+    "CORPUS",
+    "CorpusEntry",
+    "Finding",
+    "FuzzReport",
+    "RESULT_ORACLES",
+    "SCHEMA_VERSION",
+    "SELF_CHECKS",
+    "ValidationReport",
+    "assert_self_check",
+    "assert_valid_result",
+    "build_corpus",
+    "check_schema",
+    "corpus_entry",
+    "cross_check_corpus",
+    "cross_check_trace",
+    "merge_reports",
+    "run_fuzz",
+    "run_self_check",
+    "schema_for",
+    "validate_events_file",
+    "validate_profile",
+    "validate_result",
+    "validate_run_dir",
+    "validate_trace_file",
+]

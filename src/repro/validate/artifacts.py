@@ -1,0 +1,336 @@
+"""Artifact validation for campaign run directories.
+
+A campaign run directory is the repository's unit of reproducibility:
+``manifest.json`` records what was asked for, ``results/`` and
+``failures/`` hold checksummed outcome envelopes, ``summary.json``
+records how the run ended, ``events.jsonl`` is the forensic log, and
+any ``.npz`` files are saved traces.  :func:`validate_run_dir` walks
+all of it and returns a :class:`~repro.validate.report.ValidationReport`
+with one typed finding per defect, each corruption class under its own
+code:
+
+==========================  =============================================
+finding code                defect class
+==========================  =============================================
+``checkpoint-corrupt``      envelope fails its SHA-256 / JSON decode
+``checkpoint-stale``        result for an experiment the manifest never
+                            requested (left over from an older campaign)
+``checkpoint-id-mismatch``  filename disagrees with the payload id
+``outcome-schema``          outcome payload violates the schema
+``manifest-schema``         manifest payload violates the schema
+``summary-schema``          summary payload violates the schema
+``summary-status-mismatch`` summary's per-experiment status disagrees
+                            with the checkpoint on disk
+``summary-dangling-id``     summary lists a completion with no checkpoint
+``events-torn``             undecodable event line *before* the end of
+                            the log (a crash can tear only the last line)
+``events-seq``              sequence numbers not strictly increasing
+``event-schema``            event record violates the schema
+``trace-unreadable``        trace archive truncated / not a zip at all
+``trace-corrupt``           trace decodes but fails checksum or fields
+``trace-header-mismatch``   metadata header counts disagree with arrays
+``result-*`` / ``curve-*``  invariant-oracle findings on stored results
+==========================  =============================================
+
+Everything is read-only; validation never mutates a run directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.mem.tracefile import TraceFileCorruptError, load_metadata, load_trace
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.errors import CheckpointCorruptError
+from repro.validate.oracles import validate_result
+from repro.validate.report import SEVERITY_WARNING, Finding, ValidationReport
+from repro.validate.schemas import check_schema, schema_for
+
+
+def _with_path(report: ValidationReport, other: ValidationReport, path: str) -> None:
+    """Merge ``other``'s findings into ``report``, stamping ``path``."""
+    report.tick(other.checks_run)
+    for finding in other.findings:
+        report.findings.append(dataclasses.replace(finding, path=path))
+
+
+def _schema_findings(
+    report: ValidationReport,
+    payload: object,
+    kind: str,
+    code: str,
+    path: str,
+) -> bool:
+    """Schema-check ``payload``; returns True when it conforms."""
+    problems = check_schema(payload, schema_for(kind))
+    report.tick()
+    for problem in problems:
+        report.add(code, problem, path=path)
+    return not problems
+
+
+def _read_envelope(
+    store: CheckpointStore, report: ValidationReport, path: Path
+) -> Optional[Dict[str, object]]:
+    """Read one checkpoint envelope, recording corruption findings."""
+    rel = str(path.relative_to(store.run_dir))
+    try:
+        payload = store._read_envelope(path)
+    except CheckpointCorruptError as exc:
+        report.add("checkpoint-corrupt", str(exc), path=rel)
+        return None
+    finally:
+        report.tick()
+    return payload
+
+
+def validate_events_file(path: Union[str, Path]) -> ValidationReport:
+    """Validate an ``events.jsonl`` log line by line.
+
+    Unlike :func:`repro.runtime.events.read_events` (which tolerantly
+    skips undecodable lines for post-mortem use), this is the strict
+    reader: a torn line anywhere but the very end of the file is an
+    error, because the line-buffered single-writer discipline can only
+    tear the final line.
+    """
+    path = Path(path)
+    report = ValidationReport(subject=f"events {path.name}")
+    if not path.is_file():
+        return report
+    lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
+    last_seq = 0
+    for lineno, line in enumerate(lines, start=1):
+        report.tick()
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+            if not isinstance(record, dict):
+                raise ValueError("event line is not a JSON object")
+        except (json.JSONDecodeError, ValueError) as exc:
+            severity = "error" if lineno < len(lines) else SEVERITY_WARNING
+            report.add(
+                "events-torn",
+                f"line {lineno} is not a JSON object ({exc})"
+                + ("" if lineno < len(lines) else " [trailing line: tolerated]"),
+                path=str(path.name),
+                severity=severity,
+            )
+            continue
+        for problem in check_schema(record, schema_for("event")):
+            report.add(
+                "event-schema", f"line {lineno}: {problem}", path=str(path.name)
+            )
+        seq = record.get("seq")
+        if isinstance(seq, int):
+            if seq <= last_seq:
+                report.add(
+                    "events-seq",
+                    f"line {lineno}: seq {seq} does not increase past "
+                    f"{last_seq}",
+                    path=str(path.name),
+                )
+            last_seq = max(last_seq, seq)
+    return report
+
+
+def validate_trace_file(path: Union[str, Path]) -> ValidationReport:
+    """Validate one saved ``.npz`` trace archive.
+
+    Distinguishes structural unreadability (truncation — the archive is
+    not even a zip) from decodable-but-corrupt contents (checksum or
+    field failures), and cross-checks the metadata header's reference
+    counts against the arrays actually stored.
+    """
+    path = Path(path)
+    report = ValidationReport(subject=f"trace {path.name}")
+    name = path.name
+    try:
+        trace = load_trace(path)
+    except TraceFileCorruptError as exc:
+        code = (
+            "trace-unreadable"
+            if "not a readable archive" in str(exc)
+            else "trace-corrupt"
+        )
+        report.add(code, str(exc), path=name)
+        return report
+    except ValueError as exc:  # unsupported (but intact) format version
+        report.add("trace-version", str(exc), path=name)
+        return report
+    finally:
+        report.tick()
+    try:
+        metadata = load_metadata(path)
+    except TraceFileCorruptError as exc:
+        report.add("trace-corrupt", str(exc), path=name)
+        return report
+    finally:
+        report.tick()
+    header = {
+        k: metadata[k] for k in ("refs", "reads", "writes") if k in metadata
+    }
+    if header:
+        for problem in check_schema(metadata, schema_for("trace-header")):
+            report.add("trace-header-schema", problem, path=name)
+        reads = int((trace.kinds == 0).sum())
+        writes = len(trace) - reads
+        actual = {"refs": len(trace), "reads": reads, "writes": writes}
+        report.tick()
+        for key, value in header.items():
+            if int(value) != actual[key]:
+                report.add(
+                    "trace-header-mismatch",
+                    f"metadata claims {key}={int(value)} but the arrays "
+                    f"hold {actual[key]}",
+                    path=name,
+                )
+    return report
+
+
+def validate_run_dir(
+    run_dir: Union[str, Path], deep: bool = True
+) -> ValidationReport:
+    """Validate every artifact in a campaign run directory.
+
+    Args:
+        run_dir: The directory passed to ``--run-dir`` / ``--resume``.
+        deep: Also run the result invariant oracles over every stored
+            :class:`~repro.experiments.runner.ExperimentResult` (cheap;
+            disable only for very large stores).
+
+    Returns:
+        A report whose ``ok`` is True iff the run directory is sound.
+    """
+    run_dir = Path(run_dir)
+    report = ValidationReport(subject=f"run-dir {run_dir}")
+    if not run_dir.is_dir():
+        report.add("run-dir-missing", f"{run_dir} is not a directory")
+        return report
+    store = CheckpointStore(run_dir)
+
+    # -- manifest ----------------------------------------------------
+    requested: Optional[List[str]] = None
+    manifest_path = run_dir / "manifest.json"
+    if manifest_path.is_file():
+        manifest = _read_envelope(store, report, manifest_path)
+        if manifest is not None and _schema_findings(
+            report, manifest, "manifest", "manifest-schema", "manifest.json"
+        ):
+            requested = [str(x) for x in manifest["experiments"]]
+    else:
+        report.add(
+            "manifest-missing",
+            "run directory has no manifest.json",
+            severity=SEVERITY_WARNING,
+        )
+
+    # -- results / failures ------------------------------------------
+    statuses_on_disk: Dict[str, str] = {}
+    for directory, expected_statuses in (
+        (store.results_dir, ("ok", "degraded")),
+        (store.failures_dir, ("failed",)),
+    ):
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.glob("*.json")):
+            rel = str(path.relative_to(run_dir))
+            payload = _read_envelope(store, report, path)
+            if payload is None:
+                continue
+            if not _schema_findings(
+                report, payload, "outcome", "outcome-schema", rel
+            ):
+                continue
+            experiment_id = str(payload["experiment_id"])
+            status = str(payload["status"])
+            if experiment_id != path.stem:
+                report.add(
+                    "checkpoint-id-mismatch",
+                    f"file is named {path.stem!r} but records experiment "
+                    f"{experiment_id!r}",
+                    path=rel,
+                )
+            if status not in expected_statuses:
+                report.add(
+                    "outcome-status-misfiled",
+                    f"status {status!r} does not belong under "
+                    f"{directory.name}/",
+                    path=rel,
+                )
+            if directory == store.results_dir:
+                statuses_on_disk[experiment_id] = status
+                if requested is not None and experiment_id not in requested:
+                    report.add(
+                        "checkpoint-stale",
+                        f"result for {experiment_id!r} which the manifest "
+                        "never requested (stale leftover from an earlier "
+                        "campaign?)",
+                        path=rel,
+                    )
+            report.tick()
+            if deep and payload.get("result") is not None:
+                from repro.experiments.runner import ExperimentResult
+
+                try:
+                    result = ExperimentResult.from_dict(payload["result"])
+                except (KeyError, TypeError, ValueError) as exc:
+                    report.add(
+                        "result-undecodable",
+                        f"stored result cannot be rebuilt: {exc}",
+                        path=rel,
+                    )
+                else:
+                    _with_path(report, validate_result(result), rel)
+
+    # -- summary ------------------------------------------------------
+    if store.summary_path.is_file():
+        summary = _read_envelope(store, report, store.summary_path)
+        if summary is not None and _schema_findings(
+            report, summary, "summary", "summary-schema", "summary.json"
+        ):
+            statuses = summary.get("statuses", {})
+            for experiment_id, status in statuses.items():
+                if str(status) == "failed":
+                    continue
+                report.tick()
+                disk = statuses_on_disk.get(str(experiment_id))
+                if disk is None:
+                    report.add(
+                        "summary-dangling-id",
+                        f"summary says {experiment_id!r} completed with "
+                        f"status {status!r} but results/ has no valid "
+                        "checkpoint for it",
+                        path="summary.json",
+                    )
+                elif disk != str(status):
+                    report.add(
+                        "summary-status-mismatch",
+                        f"summary records {experiment_id!r} as {status!r} "
+                        f"but its checkpoint says {disk!r}",
+                        path="summary.json",
+                    )
+    else:
+        report.add(
+            "summary-missing",
+            "run directory has no summary.json (crashed before the first "
+            "flush, or not a campaign directory)",
+            severity=SEVERITY_WARNING,
+        )
+
+    # -- events --------------------------------------------------------
+    report.extend(validate_events_file(store.events_path))
+
+    # -- traces --------------------------------------------------------
+    for path in sorted(run_dir.rglob("*.npz")):
+        trace_report = validate_trace_file(path)
+        report.tick(trace_report.checks_run)
+        rel = str(path.relative_to(run_dir))
+        for finding in trace_report.findings:
+            report.findings.append(dataclasses.replace(finding, path=rel))
+
+    return report

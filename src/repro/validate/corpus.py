@@ -1,0 +1,120 @@
+"""A small deterministic trace corpus spanning all five applications.
+
+The result-integrity layer needs real traces to exercise: the
+differential cross-checks replay them through two independent
+simulators, the fuzzer mutates their serialized form, and the
+determinism audit regenerates them and compares bytes.  This module
+pins one quick, seeded configuration per application — small enough
+that the whole corpus builds in a few seconds, large enough that every
+generator's distinctive reference pattern (block reuse, streaming,
+tree walks) is present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping
+
+from repro.mem.trace import Trace
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One pinned trace configuration.
+
+    Attributes:
+        name: Stable corpus key (also used in test ids and fuzz seeds).
+        app: Application slug matching
+            :data:`repro.validate.selfchecks.SELF_CHECKS`.
+        params: The generator parameters, recorded for reporting.
+        build: Zero-argument callable producing the trace.
+    """
+
+    name: str
+    app: str
+    params: Mapping[str, object]
+    build: Callable[[], Trace] = field(compare=False)
+
+
+def _lu_trace() -> Trace:
+    from repro.apps.lu.trace import LUTraceGenerator
+
+    return LUTraceGenerator(32, 8, 4, seed=0).trace_for_processor(0)
+
+
+def _cg_trace() -> Trace:
+    from repro.apps.cg.trace import CGTraceGenerator
+
+    return CGTraceGenerator(16, 4, seed=0).trace_for_processor(0, iterations=1)
+
+
+def _fft_trace() -> Trace:
+    from repro.apps.fft.trace import FFTTraceGenerator
+
+    return FFTTraceGenerator(256, 4, internal_radix=8, seed=0).trace_for_processor(0)
+
+
+def _barnes_hut_trace() -> Trace:
+    from repro.apps.barnes_hut.trace import BarnesHutTraceGenerator
+
+    return BarnesHutTraceGenerator.from_plummer(
+        48, seed=0, num_processors=4
+    ).trace_for_processor(0)
+
+
+def _volrend_trace() -> Trace:
+    from repro.apps.volrend.trace import VolrendTraceGenerator
+
+    return VolrendTraceGenerator.from_synthetic_head(
+        16, seed=0, num_processors=4
+    ).trace_for_processor(0)
+
+
+#: The five pinned configurations, one per application.
+CORPUS: List[CorpusEntry] = [
+    CorpusEntry(
+        name="lu-n32-b8-p4",
+        app="lu",
+        params={"n": 32, "block_size": 8, "num_processors": 4, "pid": 0},
+        build=_lu_trace,
+    ),
+    CorpusEntry(
+        name="cg-n16-p4",
+        app="cg",
+        params={"n": 16, "num_processors": 4, "iterations": 1, "pid": 0},
+        build=_cg_trace,
+    ),
+    CorpusEntry(
+        name="fft-n256-r8-p4",
+        app="fft",
+        params={"n": 256, "internal_radix": 8, "num_processors": 4, "pid": 0},
+        build=_fft_trace,
+    ),
+    CorpusEntry(
+        name="barnes-hut-n48-p4",
+        app="barnes-hut",
+        params={"n": 48, "seed": 0, "num_processors": 4, "pid": 0},
+        build=_barnes_hut_trace,
+    ),
+    CorpusEntry(
+        name="volrend-n16-p4",
+        app="volrend",
+        params={"n": 16, "seed": 0, "num_processors": 4, "pid": 0},
+        build=_volrend_trace,
+    ),
+]
+
+
+def corpus_entry(name: str) -> CorpusEntry:
+    """Look up a corpus entry by name."""
+    for entry in CORPUS:
+        if entry.name == name:
+            return entry
+    raise KeyError(
+        f"no corpus entry named {name!r}; known: {[e.name for e in CORPUS]}"
+    )
+
+
+def build_corpus() -> Dict[str, Trace]:
+    """Build every corpus trace (deterministic; ~seconds)."""
+    return {entry.name: entry.build() for entry in CORPUS}

@@ -1,0 +1,255 @@
+"""Invariant oracles over results, curves, and stack-distance profiles.
+
+The Mattson inclusion property gives fully-associative LRU miss-rate
+curves a set of *exact* mathematical invariants, and the experiment
+pipeline adds structural ones.  Every oracle here is registered in
+:data:`RESULT_ORACLES` (for :class:`ExperimentResult` objects) or
+exposed as a profile/trace-level check, so a silently wrong curve is
+caught before it corrupts a downstream granularity conclusion:
+
+- miss *rates* lie in ``[0, 1]``; misses-per-FLOP are finite and
+  non-negative;
+- capacities are strictly increasing and curves are monotone
+  non-increasing versus cache size (inclusion under full
+  associativity);
+- a profile's cold-miss count equals the trace's distinct-block count
+  (the compulsory-miss floor), and its histogram total matches the
+  counted references;
+- comparisons carry finite measured values.
+
+:func:`validate_result` runs the registry and returns a
+:class:`~repro.validate.report.ValidationReport`;
+:func:`assert_valid_result` raises
+:class:`~repro.runtime.errors.ResultRejectedError` instead — the form
+the campaign engine's ``--validate`` hook uses so a rejected result
+feeds the ordinary retry-with-degradation policy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.curves import MissRateCurve
+from repro.experiments.runner import ExperimentResult
+from repro.mem.stack_distance import StackDistanceProfile
+from repro.mem.trace import Trace
+from repro.runtime.errors import ResultRejectedError
+from repro.validate.report import SEVERITY_WARNING, ValidationReport
+from repro.validate.schemas import RESULT_SCHEMA, check_schema
+
+#: Metrics that are probabilities (bounded by 1); misses-per-FLOP can
+#: legitimately exceed 1 (up to the refs-per-FLOP ratio).
+RATE_METRICS = ("miss_rate", "read_miss_rate")
+
+#: Absolute slack for the monotonicity oracle: float-level noise is
+#: tolerated, real inversions are not.
+MONOTONE_TOLERANCE = 1e-9
+
+
+def _curve_path(result: ExperimentResult, index: int) -> str:
+    curve = result.curves[index]
+    tag = curve.label or curve.metric
+    return f"{result.experiment_id}.curves[{index}]({tag})"
+
+
+# -- result-level oracles --------------------------------------------------
+
+
+def oracle_schema(result: ExperimentResult, report: ValidationReport) -> None:
+    """The serialized form matches the versioned result schema."""
+    report.tick()
+    for error in check_schema(result.to_dict(), RESULT_SCHEMA):
+        report.add("result-schema", error, path=result.experiment_id)
+
+
+def oracle_curves_finite(
+    result: ExperimentResult, report: ValidationReport
+) -> None:
+    """Every sampled miss rate is finite and non-negative."""
+    for index, curve in enumerate(result.curves):
+        report.tick()
+        rates = np.asarray(curve.miss_rates, dtype=float)
+        if rates.size and not np.all(np.isfinite(rates)):
+            report.add(
+                "curve-not-finite",
+                "curve contains NaN or infinite miss rates",
+                path=_curve_path(result, index),
+            )
+        elif rates.size and float(rates.min()) < 0:
+            report.add(
+                "curve-negative",
+                f"curve contains negative miss rate {float(rates.min()):g}",
+                path=_curve_path(result, index),
+            )
+
+
+def oracle_rate_bounds(
+    result: ExperimentResult, report: ValidationReport
+) -> None:
+    """Probability metrics stay within [0, 1]."""
+    for index, curve in enumerate(result.curves):
+        if curve.metric not in RATE_METRICS:
+            continue
+        report.tick()
+        rates = np.asarray(curve.miss_rates, dtype=float)
+        if rates.size and np.isfinite(rates).all() and float(rates.max()) > 1.0:
+            report.add(
+                "rate-out-of-range",
+                f"{curve.metric} exceeds 1.0 "
+                f"(max {float(rates.max()):g})",
+                path=_curve_path(result, index),
+            )
+
+
+def oracle_capacities_increasing(
+    result: ExperimentResult, report: ValidationReport
+) -> None:
+    """Cache-size axes are strictly increasing and positive."""
+    for index, curve in enumerate(result.curves):
+        report.tick()
+        caps = np.asarray(curve.capacities, dtype=np.int64)
+        if caps.size and int(caps.min()) <= 0:
+            report.add(
+                "capacity-not-positive",
+                f"curve has non-positive capacity {int(caps.min())}",
+                path=_curve_path(result, index),
+            )
+        if caps.size > 1 and int(np.diff(caps).min()) <= 0:
+            report.add(
+                "capacity-not-increasing",
+                "cache sizes are not strictly increasing",
+                path=_curve_path(result, index),
+            )
+
+
+def oracle_curves_monotone(
+    result: ExperimentResult, report: ValidationReport
+) -> None:
+    """Miss rate never rises with cache size (LRU inclusion).
+
+    Fully-associative LRU satisfies this exactly; float-epsilon noise
+    is tolerated via :data:`MONOTONE_TOLERANCE`, and marginal
+    violations below 1e-6 of the curve ceiling are downgraded to
+    warnings (limited-associativity instruments may produce them
+    legitimately).
+    """
+    for index, curve in enumerate(result.curves):
+        report.tick()
+        rates = np.asarray(curve.miss_rates, dtype=float)
+        if rates.size < 2 or not np.isfinite(rates).all():
+            continue
+        rise = float(np.diff(rates).max())
+        if rise <= MONOTONE_TOLERANCE:
+            continue
+        ceiling = max(abs(float(rates.max())), 1e-30)
+        severity = SEVERITY_WARNING if rise <= 1e-6 * ceiling else "error"
+        report.add(
+            "curve-not-monotone",
+            f"miss rate rises by {rise:g} with increasing cache size",
+            path=_curve_path(result, index),
+            severity=severity,
+        )
+
+
+def oracle_comparisons_finite(
+    result: ExperimentResult, report: ValidationReport
+) -> None:
+    """Measured comparison values are finite numbers."""
+    for comp in result.comparisons:
+        report.tick()
+        if not math.isfinite(comp.measured_value):
+            report.add(
+                "comparison-not-finite",
+                f"measured value of {comp.quantity!r} is "
+                f"{comp.measured_value!r}",
+                path=f"{result.experiment_id}.comparisons",
+            )
+
+
+#: The registry, name -> oracle.  Order is the report order.
+RESULT_ORACLES: Dict[
+    str, Callable[[ExperimentResult, ValidationReport], None]
+] = {
+    "schema": oracle_schema,
+    "curves-finite": oracle_curves_finite,
+    "rate-bounds": oracle_rate_bounds,
+    "capacities-increasing": oracle_capacities_increasing,
+    "curves-monotone": oracle_curves_monotone,
+    "comparisons-finite": oracle_comparisons_finite,
+}
+
+
+def validate_result(result: ExperimentResult) -> ValidationReport:
+    """Run every registered oracle over one experiment result."""
+    report = ValidationReport(subject=f"result:{result.experiment_id}")
+    for oracle in RESULT_ORACLES.values():
+        oracle(result, report)
+    return report
+
+
+def assert_valid_result(result: ExperimentResult) -> ValidationReport:
+    """Validate and raise :class:`ResultRejectedError` on any error."""
+    report = validate_result(result)
+    report.raise_if_failed(ResultRejectedError)
+    return report
+
+
+# -- profile/trace-level oracles -------------------------------------------
+
+
+def validate_profile(
+    profile: StackDistanceProfile,
+    trace: Optional[Trace] = None,
+    subject: str = "profile",
+) -> ValidationReport:
+    """Check a stack-distance profile's internal invariants.
+
+    When ``trace`` is given and the profile counted every reference
+    (no warmup, reads and writes), the exact Mattson identities are
+    enforced:
+
+    - counted references equal the trace length;
+    - the cold-miss count equals the trace's distinct-block footprint
+      (the compulsory-miss floor);
+    - an infinite cache misses exactly the cold references
+      (``misses_at(footprint) == cold_misses``).
+    """
+    report = ValidationReport(subject=subject)
+    hist = np.asarray(profile.depth_histogram, dtype=np.int64)
+    report.tick()
+    if hist.size and int(hist.min()) < 0:
+        report.add("profile-negative", "depth histogram has negative counts")
+    report.tick()
+    if hist.size and int(hist[0]) != 0:
+        report.add(
+            "profile-depth-zero",
+            f"depth 0 is unreachable but holds {int(hist[0])} references",
+        )
+    report.tick()
+    counted = int(hist.sum())  # finite-depth references
+    if counted + profile.cold_misses != profile.total:
+        report.add(
+            "profile-total-mismatch",
+            f"histogram ({counted}) + cold ({profile.cold_misses}) != "
+            f"total ({profile.total})",
+        )
+    if trace is not None and profile.total == len(trace):
+        footprint = trace.footprint(profile.block_size)
+        report.tick()
+        if profile.cold_misses != footprint:
+            report.add(
+                "cold-floor-mismatch",
+                f"cold misses ({profile.cold_misses}) != distinct blocks "
+                f"({footprint})",
+            )
+        report.tick()
+        if profile.misses_at(max(footprint, 1)) != profile.cold_misses:
+            report.add(
+                "compulsory-floor-mismatch",
+                "a footprint-sized cache does not reduce misses to the "
+                "compulsory floor",
+            )
+    return report

@@ -1,0 +1,250 @@
+"""Per-application mathematical self-checks.
+
+Each traced application has a ground-truth property that the underlying
+numerical kernel must satisfy independently of any trace or cache
+measurement: LU must reconstruct its input, CG must converge on an SPD
+system, the FFT must invert and agree with ``numpy.fft``, exact
+(theta=0) Barnes-Hut forces must conserve momentum, and the volrend
+min-max octree must bound the actual voxel extrema.  These checks catch
+the failure mode the miss-rate oracles cannot: a trace generator that
+emits a perfectly plausible reference stream for an algorithm that has
+silently stopped computing the right thing.
+
+The checks are seeded and cheap (a few milliseconds at the default
+sizes) so they can run inside experiment attempts.  App trace
+generators expose them as ``generator.self_check()``, which delegates
+to :func:`assert_self_check` here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.runtime.errors import SelfCheckError
+from repro.validate.report import ValidationReport
+
+#: Relative residual ceiling for the LU reconstruction check.
+LU_RESIDUAL_TOL = 1e-10
+#: Relative residual ceiling for the CG solution check.
+CG_RESIDUAL_TOL = 1e-8
+#: Absolute ceiling for FFT round-trip / reference mismatches.
+FFT_TOL = 1e-9
+#: Momentum drift ceiling for the exact-force N-body integration.
+MOMENTUM_TOL = 1e-10
+
+
+def check_lu(seed: int = 0, n: int = 32, block_size: int = 8) -> ValidationReport:
+    """Factor a random diagonally dominant matrix and verify that
+    ``L @ U`` reconstructs it to within :data:`LU_RESIDUAL_TOL`."""
+    from repro.apps.lu.factor import (
+        blocked_lu,
+        random_diagonally_dominant,
+        reconstruct,
+    )
+
+    report = ValidationReport(subject=f"self-check lu(n={n}, B={block_size})")
+    a = random_diagonally_dominant(n, seed=seed)
+    packed = blocked_lu(a.copy(), block_size)
+    report.tick()
+    rebuilt = reconstruct(packed)
+    residual = float(
+        np.linalg.norm(rebuilt - a) / max(np.linalg.norm(a), 1e-300)
+    )
+    report.tick()
+    if not np.isfinite(residual):
+        report.add("lu-residual-nonfinite", f"reconstruction residual is {residual}")
+    elif residual > LU_RESIDUAL_TOL:
+        report.add(
+            "lu-residual",
+            f"reconstruction residual {residual:.3e} exceeds {LU_RESIDUAL_TOL:.0e}",
+        )
+    return report
+
+
+def check_cg(seed: int = 0, n: int = 16) -> ValidationReport:
+    """Solve a 2-D Laplacian system with CG and verify convergence and
+    the true (not recurrence) residual."""
+    from repro.apps.cg.grid import Grid2D
+    from repro.apps.cg.solver import conjugate_gradient
+
+    report = ValidationReport(subject=f"self-check cg(n={n})")
+    grid = Grid2D(n)
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal(n * n)
+    result = conjugate_gradient(grid.laplacian_matvec, b, tol=1e-10)
+    report.tick()
+    if not result.converged:
+        report.add(
+            "cg-not-converged",
+            f"CG failed to converge in {result.iterations} iterations "
+            f"(residual {result.residual_norm:.3e})",
+        )
+        return report
+    true_residual = float(
+        np.linalg.norm(b - grid.laplacian_matvec(result.x))
+        / np.linalg.norm(b)
+    )
+    report.tick()
+    if not np.isfinite(true_residual) or true_residual > CG_RESIDUAL_TOL:
+        report.add(
+            "cg-residual",
+            f"true relative residual {true_residual:.3e} exceeds "
+            f"{CG_RESIDUAL_TOL:.0e}",
+        )
+    return report
+
+
+def check_fft(seed: int = 0, n: int = 256) -> ValidationReport:
+    """Transform a random complex vector and verify the inverse
+    round-trip, agreement with ``numpy.fft``, and the four-step
+    (blocked) variant."""
+    from repro.apps.fft.transform import fft, four_step_fft, ifft
+
+    report = ValidationReport(subject=f"self-check fft(n={n})")
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    y = fft(x)
+    report.tick()
+    ref_err = float(np.max(np.abs(y - np.fft.fft(x))))
+    if not np.isfinite(ref_err) or ref_err > FFT_TOL * n:
+        report.add(
+            "fft-reference-mismatch",
+            f"fft disagrees with numpy.fft by {ref_err:.3e}",
+        )
+    round_err = float(np.max(np.abs(ifft(y) - x)))
+    report.tick()
+    if not np.isfinite(round_err) or round_err > FFT_TOL * n:
+        report.add(
+            "fft-roundtrip",
+            f"ifft(fft(x)) deviates from x by {round_err:.3e}",
+        )
+    n1 = 1
+    while n1 * n1 < n:
+        n1 *= 2
+    if n % n1 == 0:
+        four_err = float(np.max(np.abs(four_step_fft(x, n1) - y)))
+        report.tick()
+        if not np.isfinite(four_err) or four_err > FFT_TOL * n:
+            report.add(
+                "fft-four-step-mismatch",
+                f"four_step_fft(n1={n1}) disagrees with fft by {four_err:.3e}",
+            )
+    return report
+
+
+def check_barnes_hut(seed: int = 0, n: int = 48) -> ValidationReport:
+    """Integrate a seeded Plummer system with *exact* forces (theta=0,
+    monopole only — every interaction is a symmetric pairwise one) and
+    verify total momentum is conserved to :data:`MOMENTUM_TOL`."""
+    from repro.apps.barnes_hut.bodies import plummer_model
+    from repro.apps.barnes_hut.simulate import Simulation
+
+    report = ValidationReport(subject=f"self-check barnes-hut(n={n})")
+    bodies = plummer_model(n, seed=seed)
+    momentum_before = (bodies.masses[:, None] * bodies.velocities).sum(axis=0)
+    sim = Simulation(bodies, theta=0.0, dt=1e-3, quadrupole=False)
+    sim.step(2)
+    momentum_after = (bodies.masses[:, None] * bodies.velocities).sum(axis=0)
+    drift = float(np.max(np.abs(momentum_after - momentum_before)))
+    report.tick()
+    if not np.isfinite(drift) or drift > MOMENTUM_TOL:
+        report.add(
+            "barnes-hut-momentum",
+            f"exact-force integration drifted total momentum by {drift:.3e} "
+            f"(ceiling {MOMENTUM_TOL:.0e})",
+        )
+    finite = np.isfinite(bodies.positions).all() and np.isfinite(
+        bodies.velocities
+    ).all()
+    report.tick()
+    if not finite:
+        report.add(
+            "barnes-hut-nonfinite",
+            "integration produced non-finite positions or velocities",
+        )
+    return report
+
+
+def check_volrend(seed: int = 0, n: int = 16) -> ValidationReport:
+    """Verify the min-max octree against brute-force voxel extrema and
+    check the rendered image stays within physical bounds."""
+    from repro.apps.volrend.octree import MinMaxOctree
+    from repro.apps.volrend.render import render_frame
+    from repro.apps.volrend.volume import synthetic_head
+
+    report = ValidationReport(subject=f"self-check volrend(n={n})")
+    volume = synthetic_head(n, seed=seed)
+    octree = MinMaxOctree(volume)
+    opacities = volume.opacities
+    for node in octree.nodes:
+        sub = opacities[
+            node.lo[0] : node.hi[0],
+            node.lo[1] : node.hi[1],
+            node.lo[2] : node.hi[2],
+        ]
+        report.tick()
+        actual_min = float(sub.min())
+        actual_max = float(sub.max())
+        if not (
+            np.isclose(node.min_opacity, actual_min)
+            and np.isclose(node.max_opacity, actual_max)
+        ):
+            report.add(
+                "volrend-octree-bounds",
+                f"octree node {node.index} claims "
+                f"[{node.min_opacity:.6f}, {node.max_opacity:.6f}] but the "
+                f"voxels span [{actual_min:.6f}, {actual_max:.6f}]",
+            )
+            break
+    image = render_frame(volume, angle=0.3, image_size=n, use_octree=True)
+    report.tick()
+    if not np.isfinite(image).all():
+        report.add("volrend-image-nonfinite", "rendered image has non-finite pixels")
+    elif float(image.min()) < 0.0 or float(image.max()) > 1.0 + 1e-12:
+        report.add(
+            "volrend-image-range",
+            f"rendered intensities [{image.min():.4f}, {image.max():.4f}] "
+            "fall outside [0, 1]",
+        )
+    return report
+
+
+#: Registry of per-application self-checks, keyed by app slug.
+SELF_CHECKS: Dict[str, Callable[..., ValidationReport]] = {
+    "lu": check_lu,
+    "cg": check_cg,
+    "fft": check_fft,
+    "barnes-hut": check_barnes_hut,
+    "volrend": check_volrend,
+}
+
+
+def run_self_check(app: str, seed: int = 0, **params) -> ValidationReport:
+    """Run the registered self-check for ``app`` and return its report.
+
+    Raises:
+        KeyError: If no self-check is registered for ``app``.
+    """
+    try:
+        check = SELF_CHECKS[app]
+    except KeyError:
+        raise KeyError(
+            f"no self-check registered for app {app!r}; "
+            f"known: {sorted(SELF_CHECKS)}"
+        ) from None
+    return check(seed=seed, **params)
+
+
+def assert_self_check(app: str, seed: int = 0, **params) -> ValidationReport:
+    """Run the self-check for ``app`` and raise on failure.
+
+    Returns the (passing) report so callers can log ``checks_run``.
+
+    Raises:
+        SelfCheckError: If any finding has error severity.
+    """
+    report = run_self_check(app, seed=seed, **params)
+    report.raise_if_failed(SelfCheckError)
+    return report

@@ -1,0 +1,133 @@
+"""CLI integration: subcommands, --validate, --verify-store, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, SUBCOMMANDS, main
+from repro.runtime.checkpoint import CheckpointStore
+
+
+def test_subcommands_cannot_shadow_experiment_ids():
+    """The pre-argparse dispatch is safe only while this holds."""
+    assert not set(SUBCOMMANDS) & set(EXPERIMENTS)
+
+
+class TestValidateSubcommand:
+    def test_missing_run_dir_exits_1(self, tmp_path, capsys):
+        code = main(["validate", str(tmp_path / "absent")])
+        assert code == 1
+        assert "run-dir-missing" in capsys.readouterr().out
+
+    def test_clean_quick_campaign_validates(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert (
+            main(
+                [
+                    "--quick",
+                    "--jobs",
+                    "0",
+                    "--validate",
+                    "--run-dir",
+                    str(run_dir),
+                    "table1",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["validate", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_corruption_detected_with_exit_1(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        main(["--quick", "--jobs", "0", "--run-dir", str(run_dir), "table1"])
+        checkpoint = run_dir / "results" / "table1.json"
+        checkpoint.write_text(checkpoint.read_text().replace('"ok"', '"OK"', 1))
+        capsys.readouterr()
+        assert main(["validate", str(run_dir)]) == 1
+        assert "checkpoint-corrupt" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        main(["validate", "--json", str(tmp_path / "absent")])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["findings"][0]["code"] == "run-dir-missing"
+
+
+class TestFuzzSubcommand:
+    def test_smoke_fuzz_exits_0(self, capsys):
+        assert main(["fuzz", "--cases", "30", "--seed", "5"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_bad_cases_value_is_usage_error(self, capsys):
+        assert main(["fuzz", "--cases", "0"]) == 2
+
+    def test_json_output(self, capsys):
+        assert main(["fuzz", "--cases", "10", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+
+
+class TestVerifyStore:
+    def test_clean_store_exits_0(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        main(["--quick", "--jobs", "0", "--run-dir", str(run_dir), "table1"])
+        capsys.readouterr()
+        assert main(["--verify-store", str(run_dir)]) == 0
+        assert "every envelope verified" in capsys.readouterr().out
+
+    def test_corrupt_store_exits_1(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        main(["--quick", "--jobs", "0", "--run-dir", str(run_dir), "table1"])
+        checkpoint = run_dir / "results" / "table1.json"
+        checkpoint.write_text(checkpoint.read_text()[:-20])
+        capsys.readouterr()
+        assert main(["--verify-store", str(run_dir)]) == 1
+        assert "corrupt envelope" in capsys.readouterr().out
+
+
+class TestValidateFlag:
+    def test_validate_flag_recorded_in_manifest(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert (
+            main(
+                [
+                    "--quick",
+                    "--jobs",
+                    "0",
+                    "--validate",
+                    "--run-dir",
+                    str(run_dir),
+                    "table1",
+                ]
+            )
+            == 0
+        )
+        manifest = CheckpointStore(run_dir).read_manifest()
+        assert manifest["validate"] is True
+        capsys.readouterr()
+
+    def test_validated_event_emitted(self, tmp_path, capsys):
+        from repro.runtime.events import read_events
+
+        run_dir = tmp_path / "run"
+        main(
+            [
+                "--quick",
+                "--jobs",
+                "0",
+                "--validate",
+                "--run-dir",
+                str(run_dir),
+                "table1",
+            ]
+        )
+        capsys.readouterr()
+        events = read_events(run_dir / "events.jsonl")
+        validated = [e for e in events if e["event"] == "validated"]
+        assert validated and validated[0]["experiment_id"] == "table1"
+        assert validated[0]["errors"] == 0

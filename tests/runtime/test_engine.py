@@ -361,3 +361,91 @@ class TestReportRendering:
     def test_outcome_lookup_raises_for_unknown(self):
         with pytest.raises(KeyError):
             CampaignReport().outcome("missing")
+
+
+class TestResultValidation:
+    """EngineConfig(validate=True): the oracle gate on successful attempts."""
+
+    @staticmethod
+    def _bad_then_good(experiment_id="gated"):
+        import numpy as np
+
+        from repro.core.curves import MissRateCurve
+        from tests.runtime.conftest import make_result
+
+        class BadThenGood:
+            def __init__(self):
+                self.experiment_id = experiment_id
+                self.calls = []
+
+            def run(self, **kwargs):
+                self.calls.append(dict(kwargs))
+                result = make_result(experiment_id, **kwargs)
+                rates = (
+                    np.array([0.5, np.nan])
+                    if len(self.calls) == 1
+                    else np.array([0.5, 0.25])
+                )
+                result.curves = [
+                    MissRateCurve(
+                        capacities=np.array([64, 128]), miss_rates=rates
+                    )
+                ]
+                return result
+
+        return BadThenGood()
+
+    def test_bad_result_rejected_then_retried_degraded(
+        self, fake_clock, sleep_recorder
+    ):
+        exp = self._bad_then_good()
+        engine = make_engine(
+            [exp], fake_clock, sleep_recorder, validate=True, max_attempts=3
+        )
+        report = engine.run()
+        outcome = report.outcome("gated")
+        assert outcome.status == "degraded"
+        assert outcome.attempts == 2
+        assert outcome.failures[0].category == "result-rejected"
+        assert "curve-not-finite" in outcome.failures[0].message
+        # The retry degraded to quick parameters, as for any failure.
+        assert exp.calls[1]["n"] == 10
+
+    def test_validation_off_by_default_accepts_bad_result(
+        self, fake_clock, sleep_recorder
+    ):
+        exp = self._bad_then_good()
+        engine = make_engine([exp], fake_clock, sleep_recorder)
+        report = engine.run()
+        outcome = report.outcome("gated")
+        assert outcome.status == "ok"
+        assert outcome.attempts == 1
+
+    def test_persistent_bad_result_fails_the_experiment(
+        self, fake_clock, sleep_recorder
+    ):
+        import numpy as np
+
+        from repro.core.curves import MissRateCurve
+        from tests.runtime.conftest import make_result
+
+        class AlwaysBad:
+            experiment_id = "hopeless"
+
+            def run(self, **kwargs):
+                result = make_result("hopeless", **kwargs)
+                result.curves = [
+                    MissRateCurve(
+                        capacities=np.array([64, 128]),
+                        miss_rates=np.array([np.inf, 0.25]),
+                    )
+                ]
+                return result
+
+        engine = make_engine(
+            [AlwaysBad()], fake_clock, sleep_recorder, validate=True, max_attempts=2
+        )
+        report = engine.run()
+        outcome = report.outcome("hopeless")
+        assert outcome.status == "failed"
+        assert all(f.category == "result-rejected" for f in outcome.failures)

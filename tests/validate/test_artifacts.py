@@ -1,0 +1,256 @@
+"""Artifact validation: every corruption class gets its own typed code."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.curves import MissRateCurve
+from repro.experiments.runner import ExperimentResult
+from repro.mem.trace import TraceBuilder
+from repro.mem.tracefile import save_trace, trace_header
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.engine import ExperimentOutcome
+from repro.runtime.events import EventLog
+from repro.validate.artifacts import (
+    validate_events_file,
+    validate_run_dir,
+    validate_trace_file,
+)
+
+
+def make_result(experiment_id: str = "figA") -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="A figure",
+        curves=[
+            MissRateCurve(
+                capacities=np.array([64, 128]),
+                miss_rates=np.array([0.5, 0.25]),
+            )
+        ],
+    )
+
+
+def make_trace():
+    tb = TraceBuilder()
+    for block in range(32):
+        tb.read(8 * block)
+        tb.write(8 * block)
+    return tb.build()
+
+
+@pytest.fixture
+def clean_run(tmp_path):
+    """A minimal but complete healthy campaign directory."""
+    run_dir = tmp_path / "run"
+    store = CheckpointStore(run_dir)
+    store.write_manifest({"experiments": ["figA"], "quick": True})
+    store.save_outcome(
+        ExperimentOutcome(
+            experiment_id="figA",
+            status="ok",
+            result=make_result("figA"),
+            attempts=1,
+        )
+    )
+    store.write_summary(
+        {
+            "status": "complete",
+            "requested": ["figA"],
+            "completed": ["figA"],
+            "statuses": {"figA": "ok"},
+        }
+    )
+    with EventLog(store.events_path) as log:
+        log.emit("campaign-start")
+        log.emit("start", experiment_id="figA")
+        log.emit("checkpointed", experiment_id="figA")
+    trace = make_trace()
+    save_trace(run_dir / "figA.npz", trace, metadata=trace_header(trace))
+    return run_dir
+
+
+class TestCleanRun:
+    def test_clean_run_passes(self, clean_run):
+        report = validate_run_dir(clean_run)
+        assert report.ok, report.render()
+        assert report.checks_run > 5
+
+    def test_missing_run_dir(self, tmp_path):
+        report = validate_run_dir(tmp_path / "nope")
+        assert report.codes() == ["run-dir-missing"]
+
+    def test_empty_dir_warns_but_passes(self, tmp_path):
+        report = validate_run_dir(tmp_path)
+        assert report.ok
+        codes = report.codes()
+        assert "manifest-missing" in codes
+        assert "summary-missing" in codes
+
+
+class TestCorruptionClasses:
+    """Each ISSUE-mandated corruption class yields its distinct code."""
+
+    def test_truncated_trace(self, clean_run):
+        path = clean_run / "figA.npz"
+        path.write_bytes(path.read_bytes()[:40])
+        report = validate_run_dir(clean_run)
+        assert "trace-unreadable" in report.codes()
+
+    def test_bit_flipped_trace(self, clean_run):
+        path = clean_run / "figA.npz"
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        report = validate_run_dir(clean_run)
+        assert not report.ok
+        codes = set(report.codes())
+        # A mid-file flip can land in the zip directory (unreadable) or
+        # in a member (decodes but fails checksum); both are detected.
+        assert codes & {"trace-corrupt", "trace-unreadable"}
+
+    def test_bit_flipped_checkpoint(self, clean_run):
+        path = clean_run / "results" / "figA.json"
+        text = path.read_text()
+        path.write_text(text.replace('"ok"', '"OK"', 1))
+        report = validate_run_dir(clean_run)
+        assert "checkpoint-corrupt" in report.codes()
+
+    def test_torn_event_line_mid_log(self, clean_run):
+        events = clean_run / "events.jsonl"
+        lines = events.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]
+        events.write_text("\n".join(lines) + "\n")
+        report = validate_run_dir(clean_run)
+        assert "events-torn" in report.codes()
+        assert not report.ok
+
+    def test_torn_final_line_is_tolerated(self, clean_run):
+        events = clean_run / "events.jsonl"
+        text = events.read_text().rstrip("\n")
+        events.write_text(text[:-4])
+        report = validate_run_dir(clean_run)
+        torn = report.by_code("events-torn")
+        assert torn and torn[0].severity == "warning"
+        assert report.ok
+
+    def test_stale_checkpoint(self, clean_run):
+        store = CheckpointStore(clean_run)
+        store.save_outcome(
+            ExperimentOutcome(
+                experiment_id="ghost",
+                status="ok",
+                result=make_result("ghost"),
+            )
+        )
+        report = validate_run_dir(clean_run)
+        assert "checkpoint-stale" in report.codes()
+
+    def test_header_mismatch(self, clean_run):
+        save_trace(
+            clean_run / "bad-header.npz", make_trace(), metadata={"refs": 1}
+        )
+        report = validate_run_dir(clean_run)
+        assert "trace-header-mismatch" in report.codes()
+
+    def test_dangling_summary_id(self, clean_run):
+        store = CheckpointStore(clean_run)
+        store.write_summary(
+            {
+                "status": "complete",
+                "requested": ["figA", "figB"],
+                "completed": ["figA", "figB"],
+                "statuses": {"figA": "ok", "figB": "ok"},
+            }
+        )
+        report = validate_run_dir(clean_run)
+        assert "summary-dangling-id" in report.codes()
+
+
+class TestFinerDiagnostics:
+    def test_summary_status_mismatch(self, clean_run):
+        store = CheckpointStore(clean_run)
+        store.write_summary(
+            {
+                "status": "complete",
+                "requested": ["figA"],
+                "completed": ["figA"],
+                "statuses": {"figA": "degraded"},
+            }
+        )
+        report = validate_run_dir(clean_run)
+        assert "summary-status-mismatch" in report.codes()
+
+    def test_checkpoint_id_mismatch(self, clean_run):
+        store = CheckpointStore(clean_run)
+        payload = ExperimentOutcome(
+            experiment_id="figA", status="ok", result=make_result("figA")
+        ).to_dict()
+        store._write_envelope(store.results_dir / "other.json", payload)
+        report = validate_run_dir(clean_run)
+        assert "checkpoint-id-mismatch" in report.codes()
+
+    def test_status_misfiled(self, clean_run):
+        store = CheckpointStore(clean_run)
+        payload = ExperimentOutcome(
+            experiment_id="figZ", status="failed"
+        ).to_dict()
+        store._write_envelope(store.results_dir / "figZ.json", payload)
+        report = validate_run_dir(clean_run)
+        assert "outcome-status-misfiled" in report.codes()
+
+    def test_deep_oracles_run_over_stored_results(self, clean_run):
+        store = CheckpointStore(clean_run)
+        bad = make_result("figA")
+        bad.curves[0].miss_rates = np.array([0.5, np.nan])
+        store.save_outcome(
+            ExperimentOutcome(experiment_id="figA", status="ok", result=bad)
+        )
+        report = validate_run_dir(clean_run, deep=True)
+        findings = report.by_code("curve-not-finite")
+        assert findings and "results/figA.json" in str(findings[0].path)
+        assert validate_run_dir(clean_run, deep=False).ok
+
+    def test_manifest_schema_violation(self, clean_run):
+        store = CheckpointStore(clean_run)
+        store.write_manifest({"experiments": "figA"})
+        report = validate_run_dir(clean_run)
+        assert "manifest-schema" in report.codes()
+
+
+class TestEventsFile:
+    def test_missing_file_is_empty_pass(self, tmp_path):
+        assert validate_events_file(tmp_path / "none.jsonl").ok
+
+    def test_seq_regression_detected(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        records = [
+            {"seq": 1, "t_mono": 0.0, "t_wall": 1.0, "event": "a"},
+            {"seq": 1, "t_mono": 0.1, "t_wall": 1.1, "event": "b"},
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        report = validate_events_file(path)
+        assert "events-seq" in report.codes()
+
+    def test_schema_violation_detected(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(json.dumps({"seq": 1, "event": "a"}) + "\n")
+        report = validate_events_file(path)
+        assert "event-schema" in report.codes()
+
+
+class TestTraceFile:
+    def test_clean_trace_passes(self, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(path, make_trace(), metadata={"processor": 0, "seed": 0})
+        report = validate_trace_file(path)
+        assert report.ok, report.render()
+
+    def test_not_a_zip_at_all(self, tmp_path):
+        path = tmp_path / "t.npz"
+        path.write_bytes(b"definitely not a zip archive")
+        report = validate_trace_file(path)
+        assert report.codes() == ["trace-unreadable"]

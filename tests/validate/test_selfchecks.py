@@ -1,0 +1,123 @@
+"""Tests for the per-application mathematical self-checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.errors import SelfCheckError
+from repro.validate.selfchecks import (
+    SELF_CHECKS,
+    assert_self_check,
+    check_barnes_hut,
+    check_cg,
+    check_fft,
+    check_lu,
+    check_volrend,
+    run_self_check,
+)
+
+
+class TestIndividualChecks:
+    """Every kernel passes its own ground-truth property at small sizes."""
+
+    def test_lu_reconstructs(self):
+        report = check_lu(seed=0, n=16, block_size=4)
+        assert report.ok, report.render()
+        assert report.checks_run == 2
+
+    def test_cg_converges(self):
+        report = check_cg(seed=0, n=8)
+        assert report.ok, report.render()
+
+    def test_fft_inverts_and_matches_numpy(self):
+        report = check_fft(seed=0, n=64)
+        assert report.ok, report.render()
+        # Reference, round-trip, and four-step comparisons all ran.
+        assert report.checks_run == 3
+
+    def test_barnes_hut_conserves_momentum(self):
+        report = check_barnes_hut(seed=0, n=24)
+        assert report.ok, report.render()
+
+    def test_volrend_octree_bounds_and_image_range(self):
+        report = check_volrend(seed=0, n=8)
+        assert report.ok, report.render()
+
+    def test_seed_varies_but_still_passes(self):
+        for seed in (1, 2):
+            assert check_lu(seed=seed, n=16).ok
+            assert check_fft(seed=seed, n=64).ok
+
+
+class TestRegistry:
+    def test_registry_covers_all_five_apps(self):
+        assert sorted(SELF_CHECKS) == [
+            "barnes-hut",
+            "cg",
+            "fft",
+            "lu",
+            "volrend",
+        ]
+
+    def test_run_self_check_dispatches(self):
+        report = run_self_check("cg", seed=0, n=8)
+        assert report.ok
+
+    def test_run_self_check_unknown_app(self):
+        with pytest.raises(KeyError, match="known"):
+            run_self_check("sparse-mvm")
+
+    def test_assert_self_check_returns_passing_report(self):
+        report = assert_self_check("lu", seed=0, n=16)
+        assert report.ok and report.checks_run == 2
+
+    def test_assert_self_check_raises_typed(self, monkeypatch):
+        from repro.validate import selfchecks
+        from repro.validate.report import ValidationReport
+
+        def broken(seed=0, **params):
+            report = ValidationReport(subject="broken")
+            report.add("lu-residual", "synthetic failure")
+            return report
+
+        monkeypatch.setitem(selfchecks.SELF_CHECKS, "lu", broken)
+        with pytest.raises(SelfCheckError, match="lu-residual"):
+            assert_self_check("lu")
+
+
+class TestGeneratorHooks:
+    """Every app trace generator exposes a working ``self_check()``."""
+
+    def test_lu_generator(self):
+        from repro.apps.lu.trace import LUTraceGenerator
+
+        report = LUTraceGenerator(16, 4, 4, seed=0).self_check()
+        assert report.ok
+
+    def test_cg_generator(self):
+        from repro.apps.cg.trace import CGTraceGenerator
+
+        report = CGTraceGenerator(8, 4, seed=0).self_check()
+        assert report.ok
+
+    def test_fft_generator(self):
+        from repro.apps.fft.trace import FFTTraceGenerator
+
+        report = FFTTraceGenerator(64, 2, internal_radix=8, seed=0).self_check()
+        assert report.ok
+
+    def test_barnes_hut_generator(self):
+        from repro.apps.barnes_hut.trace import BarnesHutTraceGenerator
+
+        generator = BarnesHutTraceGenerator.from_plummer(
+            24, seed=0, num_processors=2
+        )
+        assert generator.self_check().ok
+
+    def test_volrend_generator(self):
+        from repro.apps.volrend.trace import VolrendTraceGenerator
+
+        generator = VolrendTraceGenerator.from_synthetic_head(
+            8, seed=0, num_processors=4
+        )
+        assert generator.self_check().ok
