@@ -32,13 +32,24 @@ Usage::
                                       # full artifact validation of a run dir
     python -m repro.experiments fuzz --cases 500
                                       # adversarial fuzz of artifact readers
+    python -m repro.experiments chaos --cycles 10
+                                      # SIGKILL/resume chaos gate
+
+Campaigns with a run directory are crash-consistent: every state
+transition is written ahead to ``<run_dir>/journal.wal`` (fsynced,
+CRC-framed), a heartbeat lease (``supervisor.lease``) fences out
+concurrent or superseded supervisors with a monotonic token, and
+``--resume`` replays the journal to decide what is committed — a
+``kill -9`` at any instruction loses nothing that was committed and
+re-runs nothing that was.  See ``docs/DURABILITY.md``.
 
 Exit status: 0 when every experiment finished (possibly degraded),
 1 when any experiment ultimately failed after retries or the campaign
 was interrupted (Ctrl-C / SIGTERM — completed results are already
 checkpointed, so ``--resume`` finishes the remainder), 2 on usage
-errors.  The ``validate`` / ``fuzz`` subcommands and ``--verify-store``
-exit 0 on a clean report, 1 on findings, 2 on usage errors.
+errors.  The ``validate`` / ``fuzz`` / ``chaos`` subcommands and
+``--verify-store`` exit 0 on a clean report, 1 on findings, 2 on usage
+errors.
 """
 
 from __future__ import annotations
@@ -75,8 +86,12 @@ from repro.runtime.engine import (
     EngineConfig,
     ExperimentOutcome,
 )
+from repro.runtime.errors import JournalCorruptError, LeaseHeldError
 from repro.runtime.events import EventLog
 from repro.runtime.faults import FaultInjector, FaultSpec
+from repro.runtime.iofault import install_from_env
+from repro.runtime.journal import JOURNAL_FILENAME, Journal, recover
+from repro.runtime.lease import DEFAULT_TTL_SECONDS, Lease
 
 #: ``--inject-fault`` kind names -> FaultSpec constructor kwargs.
 #: ``hang-hard`` is the non-cooperative variant only the worker
@@ -219,6 +234,16 @@ def build_parser() -> argparse.ArgumentParser:
         dest="verify_store",
         help="verify every checkpoint envelope in DIR (manifest, summary, "
         "results, failures) and exit: 0 = all sound, 1 = corruption found",
+    )
+    parser.add_argument(
+        "--lease-ttl-seconds",
+        type=float,
+        default=DEFAULT_TTL_SECONDS,
+        metavar="S",
+        help="staleness threshold for the run-directory supervisor lease; "
+        "a lease whose heartbeat is older (or whose owner is dead) is "
+        f"reclaimed with a bumped fencing token (default: "
+        f"{DEFAULT_TTL_SECONDS:g})",
     )
     parser.add_argument(
         "--inject-fault",
@@ -383,6 +408,96 @@ def fuzz_command(argv: List[str]) -> int:
     return 0 if report.ok else 1
 
 
+def chaos_command(argv: List[str]) -> int:
+    """``python -m repro.experiments chaos``.
+
+    The kill/disk-fault chaos gate: repeatedly SIGKILL a real quick
+    campaign at seeded random points (including inside journal and
+    checkpoint writes), resume it, and assert the final run directory
+    is audit-clean with a summary byte-identical to an uninterrupted
+    reference run.  Exit 0 when every cycle passes, 1 otherwise.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments chaos",
+        description="SIGKILL/resume and disk-fault chaos testing of the "
+        "campaign supervisor's crash consistency.",
+    )
+    parser.add_argument(
+        "--cycles", type=int, default=10, metavar="N",
+        help="SIGKILL/resume cycles (default: 10)",
+    )
+    parser.add_argument(
+        "--enospc-cycles", type=int, default=1, metavar="N",
+        help="additional transient disk-full cycles (default: 1)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="master seed; kill points are a pure function of it "
+        "(default: 0)",
+    )
+    parser.add_argument(
+        "--experiments", default=",".join(chaos_module_defaults()),
+        metavar="IDS", help="comma-separated experiment ids for every "
+        "campaign under test",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="--jobs for the campaigns under test (default: 1)",
+    )
+    parser.add_argument(
+        "--work-dir", default=None, metavar="DIR",
+        help="where cycle run directories live (default: a temp dir, "
+        "removed when every cycle passes; failing cycles are kept "
+        "either way)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=300.0, metavar="S",
+        help="harness ceiling per uninterrupted launch (default: 300)",
+    )
+    parser.add_argument(
+        "--deep", action="store_true",
+        help="run the invariant oracles during each audit (slower)",
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    if args.cycles < 0 or args.enospc_cycles < 0:
+        print("--cycles and --enospc-cycles must be >= 0")
+        return 2
+    if args.cycles + args.enospc_cycles < 1:
+        print("nothing to do: --cycles + --enospc-cycles must be >= 1")
+        return 2
+    experiments = [e for e in args.experiments.split(",") if e]
+    unknown = [e for e in experiments if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; choices: {list(EXPERIMENTS)}")
+        return 2
+
+    from repro.runtime.chaos import run_chaos
+
+    report = run_chaos(
+        cycles=args.cycles,
+        seed=args.seed,
+        experiments=experiments,
+        jobs=args.jobs,
+        enospc_cycles=args.enospc_cycles,
+        work_dir=args.work_dir,
+        timeout=args.timeout,
+        deep=args.deep,
+    )
+    print(report.render())
+    if not report.passed:
+        print(f"[failing run directories kept under {report.work_dir}]")
+    return 0 if report.passed else 1
+
+
+def chaos_module_defaults() -> List[str]:
+    from repro.runtime.chaos import DEFAULT_EXPERIMENTS
+
+    return list(DEFAULT_EXPERIMENTS)
+
+
 def verify_store_command(run_dir: str) -> int:
     """``--verify-store DIR``: checksum every checkpoint envelope."""
     problems = CheckpointStore(run_dir).verify_all()
@@ -401,6 +516,7 @@ def verify_store_command(run_dir: str) -> int:
 SUBCOMMANDS = {
     "validate": validate_command,
     "fuzz": fuzz_command,
+    "chaos": chaos_command,
 }
 
 
@@ -449,8 +565,52 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiments: {unknown}; choices: {list(EXPERIMENTS)}")
         return 2
 
+    if args.lease_ttl_seconds <= 0:
+        print("--lease-ttl-seconds must be positive")
+        return 2
+
+    # Arm the deterministic I/O fault injector when REPRO_IOFAULT is
+    # set (testing and the chaos harness only; a no-op otherwise).
+    install_from_env()
+
     run_dir = args.resume or args.run_dir
     store = CheckpointStore(run_dir) if run_dir else None
+
+    # Crash consistency for checkpointed campaigns: replay the journal
+    # (truncating any torn tail), take the supervisor lease with a
+    # bumped fencing token, and hand both to the engine.
+    recovery = None
+    lease = None
+    journal = None
+    if store is not None:
+        try:
+            recovery = recover(store.run_dir)
+        except JournalCorruptError as exc:
+            print(f"journal unusable: {exc}")
+            print(
+                "refusing to run against a corrupt journal; inspect "
+                f"{store.run_dir / JOURNAL_FILENAME} (validate subcommand), "
+                "then delete it to fall back to checkpoint-presence resume"
+            )
+            return 1
+        try:
+            lease = Lease.acquire(
+                store.run_dir,
+                ttl_seconds=args.lease_ttl_seconds,
+                token_floor=recovery.last_token if recovery else 0,
+            )
+        except LeaseHeldError as exc:
+            print(f"lease refused: {exc}")
+            return 1
+        lease.start_heartbeat()
+        journal = Journal(
+            store.run_dir / JOURNAL_FILENAME, token=lease.token
+        )
+        if recovery is not None:
+            if not recovery.clean:
+                print(recovery.render())
+            journal.append("recovered", **recovery.to_dict())
+
     event_log = EventLog(store.events_path) if store is not None else None
     engine = CampaignEngine(
         EXPERIMENTS,
@@ -468,6 +628,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         faults=FaultInjector(plan=fault_plan) if fault_plan else None,
         on_event=_print_event,
         event_log=event_log,
+        journal=journal,
+        recovery=recovery,
     )
     try:
         report = engine.run(wanted)
@@ -479,6 +641,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         if event_log is not None:
             event_log.close()
+        if journal is not None:
+            journal.close()
+        if lease is not None:
+            lease.release()
     if report.degraded_ids or report.failed_ids:
         print(report.render())
     return 0 if report.succeeded else 1

@@ -263,6 +263,10 @@ def worker_main(stdin_text: Optional[str] = None) -> int:
             ).to_dict(),
         }
 
+    # Echo the fencing token the supervisor handed us: a payload from a
+    # worker spawned by a superseded supervisor generation carries the
+    # old token and is rejected at parse time (lease-based fencing).
+    payload["token"] = spec.fencing_token if spec else 0
     with os.fdopen(payload_fd, "w", encoding="utf-8") as out:
         json.dump(payload, out)
         out.flush()

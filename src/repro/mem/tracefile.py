@@ -8,10 +8,17 @@ with a format version, CRC32 content checksums, and optional metadata.
 
 Integrity guarantees (format version 2):
 
-- **Atomic save** — the archive is written to a temporary file in the
-  destination directory and moved into place with ``os.replace``, so
-  an interrupted :func:`save_trace` never leaves a truncated ``.npz``
-  where a valid one was expected.
+- **Durable atomic save** — the archive is written to a temporary file
+  in the destination directory, fsynced, moved into place with
+  ``os.replace``, and the directory entry fsynced (the shared
+  crash-consistency discipline of :mod:`repro.runtime.iofault`), so an
+  interrupted :func:`save_trace` never leaves a truncated ``.npz``
+  where a valid one was expected — and a completed one survives
+  power-loss/kill semantics, not just process death.
+- **Typed write failures** — an I/O failure during the save (ENOSPC,
+  EIO) unlinks the temporary file and raises
+  :class:`~repro.runtime.errors.TraceFileWriteError`; a failed save
+  never leaves ``*.tmp`` litter for ``validate`` to trip over.
 - **Checksummed load** — the stored CRC32 over the canonicalized
   ``addrs``/``kinds`` arrays (and a separate one over the metadata) is
   verified on load; any mismatch, missing field, or undecodable
@@ -32,6 +39,8 @@ from typing import Dict, Optional, Union
 import numpy as np
 
 from repro.mem.trace import Trace
+from repro.runtime.errors import TraceFileWriteError
+from repro.runtime.iofault import check_io, fsync_directory, io_fsync, io_replace
 
 #: Bumped when the on-disk layout changes.  Version 2 added the CRC32
 #: content checksums; version-1 archives (no checksum) are rejected.
@@ -94,6 +103,10 @@ def save_trace(
     )
     try:
         with os.fdopen(fd, "wb") as handle:
+            # The archive bytes go through numpy's own writer; give the
+            # fault injector its deterministic hook here so
+            # ENOSPC/EIO/kill can land "inside" the trace write.
+            check_io("tracefile", "write")
             np.savez_compressed(
                 handle,
                 addrs=trace.addrs,
@@ -104,14 +117,19 @@ def save_trace(
                 metadata=np.frombuffer(payload, dtype=np.uint8),
             )
             handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
+            io_fsync(handle.fileno(), "tracefile")
+        io_replace(tmp_name, path, "tracefile")
+    except BaseException as exc:
         try:
             os.unlink(tmp_name)
         except OSError:
             pass
+        if isinstance(exc, OSError) and not isinstance(exc, FileNotFoundError):
+            raise TraceFileWriteError(
+                f"cannot save trace to {path}: {exc}"
+            ) from exc
         raise
+    fsync_directory(parent, "tracefile")
 
 
 def _open_archive(path: Path):

@@ -31,6 +31,20 @@ fragile for-loop into a pipeline that survives partial failure:
   :class:`WorkerMemoryError`); the default backend of the engine.
 - :mod:`repro.runtime.events` — structured JSONL event log
   (``events.jsonl`` in the run directory) for campaign post-mortems.
+- :mod:`repro.runtime.iofault` — the shared crash-consistent atomic
+  write (file fsync + rename + directory fsync) and the deterministic
+  I/O fault injector (``ENOSPC``, ``EIO``, torn writes, in-write
+  SIGKILL) every durability-relevant syscall goes through.
+- :mod:`repro.runtime.journal` — the append-only, CRC-framed,
+  fsync-disciplined write-ahead journal (``journal.wal``) of campaign
+  state transitions, and the idempotent :func:`recover` that
+  reconciles it with the checkpoint store after a crash.
+- :mod:`repro.runtime.lease` — the heartbeat supervisor lease
+  (``supervisor.lease``) with a monotonic fencing token: concurrent
+  supervisors are refused, dead ones are reclaimed, and stale worker
+  results are fenced out.
+- :mod:`repro.runtime.chaos` — the SIGKILL/resume and disk-fault chaos
+  harness that proves all of the above against real processes.
 
 Layering note: :mod:`repro.mem` polls the ambient budget, so this
 package's ``__init__`` eagerly imports only the dependency-free
@@ -46,9 +60,16 @@ from repro.runtime.errors import (
     AnalysisError,
     BudgetExceeded,
     CheckpointCorruptError,
+    CheckpointWriteError,
     ExperimentError,
     ExperimentFailure,
+    FencingViolationError,
+    JournalCorruptError,
+    JournalError,
+    LeaseError,
+    LeaseHeldError,
     SimulationError,
+    TraceFileWriteError,
     TraceGenerationError,
     WorkerCrashError,
     WorkerError,
@@ -76,6 +97,25 @@ _LAZY = {
     "WorkerSupervisor": "repro.runtime.workers",
     "runner_ref": "repro.runtime.workers",
     "resolve_runner_ref": "repro.runtime.workers",
+    "IOFault": "repro.runtime.iofault",
+    "IOFaultInjector": "repro.runtime.iofault",
+    "atomic_write_bytes": "repro.runtime.iofault",
+    "atomic_write_text": "repro.runtime.iofault",
+    "install": "repro.runtime.iofault",
+    "install_from_env": "repro.runtime.iofault",
+    "Journal": "repro.runtime.journal",
+    "JournalReplay": "repro.runtime.journal",
+    "RecoveryReport": "repro.runtime.journal",
+    "attempt_uid": "repro.runtime.journal",
+    "read_journal": "repro.runtime.journal",
+    "recover": "repro.runtime.journal",
+    "truncate_torn_tail": "repro.runtime.journal",
+    "Lease": "repro.runtime.lease",
+    "LeaseState": "repro.runtime.lease",
+    "lease_is_stale": "repro.runtime.lease",
+    "read_lease": "repro.runtime.lease",
+    "ChaosReport": "repro.runtime.chaos",
+    "run_chaos": "repro.runtime.chaos",
 }
 
 __all__ = [
@@ -85,8 +125,10 @@ __all__ = [
     "BudgetExceeded",
     "CampaignEngine",
     "CampaignReport",
+    "ChaosReport",
     "CheckpointCorruptError",
     "CheckpointStore",
+    "CheckpointWriteError",
     "EngineConfig",
     "EventLog",
     "ExperimentError",
@@ -94,7 +136,20 @@ __all__ = [
     "ExperimentOutcome",
     "FaultInjector",
     "FaultSpec",
+    "FencingViolationError",
+    "IOFault",
+    "IOFaultInjector",
+    "Journal",
+    "JournalCorruptError",
+    "JournalError",
+    "JournalReplay",
+    "Lease",
+    "LeaseError",
+    "LeaseHeldError",
+    "LeaseState",
+    "RecoveryReport",
     "SimulationError",
+    "TraceFileWriteError",
     "TraceGenerationError",
     "WorkerCrashError",
     "WorkerError",
@@ -104,14 +159,25 @@ __all__ = [
     "WorkerTimeoutError",
     "activate",
     "active_budget",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "attempt_uid",
     "check_active_budget",
     "classify_exception",
     "corrupt_file",
     "file_lock",
     "fire_fault",
+    "install",
+    "install_from_env",
+    "lease_is_stale",
     "read_events",
+    "read_journal",
+    "read_lease",
+    "recover",
     "resolve_runner_ref",
+    "run_chaos",
     "runner_ref",
+    "truncate_torn_tail",
 ]
 
 

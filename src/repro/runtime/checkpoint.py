@@ -10,10 +10,12 @@ Integrity matters as much as existence — a half-written checkpoint
 must never masquerade as a finished experiment.  Two mechanisms
 guarantee that:
 
-- **Atomic write-rename**: the JSON is written to a temporary file in
-  the same directory, flushed and fsynced, then moved into place with
-  ``os.replace``.  An interruption leaves either the old file or no
-  file, never a truncated one.
+- **Durable atomic write-rename**: every envelope goes through the
+  shared :func:`repro.runtime.iofault.atomic_write_text` — temp file
+  in the destination directory, file fsync, ``os.replace``, directory
+  fsync — so an interruption leaves either the old file or the new
+  one (never a truncated one), and the rename itself survives
+  power-loss/kill semantics rather than only process death.
 - **Content checksum**: the envelope stores a SHA-256 of the payload;
   :meth:`CheckpointStore.load` recomputes and compares it, raising
   :class:`~repro.runtime.errors.CheckpointCorruptError` on mismatch
@@ -28,12 +30,11 @@ from __future__ import annotations
 import contextlib
 import hashlib
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
 from repro.runtime.errors import CheckpointCorruptError
+from repro.runtime.iofault import atomic_write_text as _shared_atomic_write_text
 
 try:  # POSIX-only; the lock degrades to a no-op elsewhere.
     import fcntl
@@ -75,28 +76,15 @@ def file_lock(path: Union[str, Path]) -> Iterator[None]:
 
 
 def atomic_write_text(path: Union[str, Path], text: str) -> None:
-    """Write ``text`` to ``path`` via temp file + ``os.replace``.
+    """Durably replace ``path`` with ``text``.
 
-    The temporary file lives in the destination directory so the final
-    rename is atomic on POSIX filesystems.
+    Delegates to the shared crash-consistent helper in
+    :mod:`repro.runtime.iofault` (file fsync + atomic rename +
+    directory-entry fsync), tagged with the ``checkpoint`` injection
+    site.  Kept under its historical name — callers throughout the
+    runtime and tests import it from here.
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
-    )
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+    _shared_atomic_write_text(path, text, site="checkpoint")
 
 
 def _payload_digest(payload: Dict[str, object]) -> str:

@@ -22,6 +22,15 @@ failure:
   :class:`~repro.runtime.checkpoint.CheckpointStore` the moment they
   complete, and already-checkpointed experiments are skipped on
   resume.
+- **Crash consistency** — when a :class:`~repro.runtime.journal.Journal`
+  is attached, every state transition (attempt start/end, checkpoint
+  flush, interruption) is journaled *write-ahead* with an fsync per
+  record, and resume decisions come from the journal's recovery
+  classification rather than bare checkpoint presence: the checkpoint
+  store is a derived snapshot, the journal is the source of truth.
+  Every record and worker attempt is stamped with the supervisor's
+  fencing token (:mod:`repro.runtime.lease`), so a superseded
+  supervisor generation cannot commit results.
 
 Sleep and clock are injectable so the retry/backoff/deadline behaviour
 is deterministic under test.
@@ -37,9 +46,10 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.experiments.runner import ExperimentResult
 from repro.runtime.budget import Budget, activate
 from repro.runtime.checkpoint import CheckpointStore
-from repro.runtime.errors import ExperimentFailure
+from repro.runtime.errors import CheckpointWriteError, ExperimentFailure
 from repro.runtime.events import EventLog
 from repro.runtime.faults import FaultInjector
+from repro.runtime.journal import Journal, RecoveryReport, attempt_uid
 
 #: Outcome statuses.
 STATUS_OK = "ok"
@@ -269,6 +279,17 @@ class CampaignEngine:
             ``"interrupted"``.
         event_log: Optional :class:`~repro.runtime.events.EventLog`
             receiving every engine/supervisor event as a JSONL line.
+        journal: Optional write-ahead :class:`~repro.runtime.journal.Journal`.
+            When present, every state transition is journaled (with an
+            fsync) *before* the engine acts on it, and the commit point
+            of an experiment becomes the journal's ``attempt-end``
+            record rather than the checkpoint rename.
+        recovery: Optional :class:`~repro.runtime.journal.RecoveryReport`
+            from :func:`repro.runtime.journal.recover`.  When present,
+            resume skips exactly the experiments recovery classified
+            ``committed`` (in-doubt and lost ones re-run even if a
+            checkpoint file exists); without it, resume falls back to
+            checkpoint presence.
     """
 
     def __init__(
@@ -280,6 +301,8 @@ class CampaignEngine:
         faults: Optional[FaultInjector] = None,
         on_event: Optional[Callable[[str, object], None]] = None,
         event_log: Optional[EventLog] = None,
+        journal: Optional[Journal] = None,
+        recovery: Optional[RecoveryReport] = None,
     ) -> None:
         self.registry = dict(registry)
         self.quick_overrides = dict(quick_overrides or {})
@@ -288,12 +311,25 @@ class CampaignEngine:
         self.faults = faults
         self.on_event = on_event
         self.event_log = event_log
+        self.journal = journal
+        self.recovery = recovery
         # The store and callbacks are shared by worker-pool supervisor
         # threads; serialize access so checkpoint flushes and progress
         # lines never interleave.
         self._store_lock = threading.RLock()
         self._emit_lock = threading.Lock()
         self._abort = threading.Event()
+
+    @property
+    def fencing_token(self) -> int:
+        """The supervisor generation stamped into journal records and
+        worker attempts (0 when running without a journal/lease)."""
+        return self.journal.token if self.journal is not None else 0
+
+    def journal_append(self, record_type: str, **fields: object) -> None:
+        """Write-ahead one state transition (no-op without a journal)."""
+        if self.journal is not None:
+            self.journal.append(record_type, **fields)
 
     # -- public API --------------------------------------------------
 
@@ -320,18 +356,25 @@ class CampaignEngine:
                 f"unknown experiments: {unknown}; choices: {list(self.registry)}"
             )
         if self.store is not None:
-            self.store.write_manifest(
-                {
-                    "experiments": wanted,
-                    "quick": self.config.quick,
-                    "budget_seconds": self.config.budget_seconds,
-                    "max_attempts": self.config.max_attempts,
-                    "jobs": self.config.jobs,
-                    "validate": self.config.validate,
-                    "hard_timeout_seconds": self.config.hard_timeout_seconds,
-                    "max_rss_mb": self.config.max_rss_mb,
-                }
+            manifest = {
+                "experiments": wanted,
+                "quick": self.config.quick,
+                "budget_seconds": self.config.budget_seconds,
+                "max_attempts": self.config.max_attempts,
+                "jobs": self.config.jobs,
+                "validate": self.config.validate,
+                "hard_timeout_seconds": self.config.hard_timeout_seconds,
+                "max_rss_mb": self.config.max_rss_mb,
+            }
+            self._store_write_with_retry(
+                lambda: self.store.write_manifest(manifest), "manifest"
             )
+        self.journal_append(
+            "campaign-start",
+            experiments=wanted,
+            quick=self.config.quick,
+            jobs=self.config.jobs,
+        )
         self._abort.clear()
         collected: List[ExperimentOutcome] = []
         try:
@@ -361,7 +404,7 @@ class CampaignEngine:
         passes its subprocess executor.
         """
         with self._store_lock:
-            if self.store is not None and self.store.has_result(experiment_id):
+            if self.store is not None and self._resume_skips(experiment_id):
                 outcome = self.store.load_outcome(experiment_id)
                 outcome.resumed = True
                 self._emit("resume", outcome, experiment_id=experiment_id)
@@ -374,6 +417,7 @@ class CampaignEngine:
         failures: List[ExperimentFailure] = []
         outcome: Optional[ExperimentOutcome] = None
 
+        final_attempt = 0
         for attempt in range(1, config.max_attempts + 1):
             self._check_abort()
             # First attempt runs full-scale (unless the whole campaign
@@ -382,11 +426,20 @@ class CampaignEngine:
             kwargs = dict(base_kwargs)
             if config.quick or degraded:
                 kwargs.update(self.quick_overrides.get(experiment_id, {}))
+            uid = attempt_uid(experiment_id, self.fencing_token, attempt)
+            self.journal_append(
+                "attempt-start",
+                experiment_id=experiment_id,
+                attempt=attempt,
+                attempt_uid=uid,
+                degraded=degraded,
+            )
             self._emit(
                 "retry" if attempt > 1 else "start",
                 experiment_id,
                 experiment_id=experiment_id,
                 attempt=attempt,
+                attempt_uid=uid,
                 degraded=degraded,
             )
             budget = Budget(config.budget_seconds, clock=config.clock)
@@ -401,6 +454,23 @@ class CampaignEngine:
                     result = None
             if failure is not None:
                 failures.append(failure)
+                # A failed attempt commits nothing; its attempt-end can
+                # be journaled immediately.
+                self.journal_append(
+                    "attempt-end",
+                    experiment_id=experiment_id,
+                    attempt=attempt,
+                    attempt_uid=uid,
+                    status=STATUS_FAILED,
+                    category=failure.category,
+                )
+                self.log_event(
+                    "attempt-end",
+                    experiment_id,
+                    attempt=attempt,
+                    attempt_uid=uid,
+                    status=STATUS_FAILED,
+                )
                 self._check_abort()
                 if attempt < config.max_attempts:
                     self._backoff_sleep(config.backoff_delay(attempt - 1))
@@ -419,6 +489,7 @@ class CampaignEngine:
                 attempts=attempt,
                 elapsed_seconds=config.clock() - started,
             )
+            final_attempt = attempt
             break
 
         if outcome is None:
@@ -432,16 +503,42 @@ class CampaignEngine:
             )
 
         if self.store is not None:
-            with self._store_lock:
-                if outcome.succeeded:
-                    path = self.store.save_outcome(outcome)
-                else:
-                    path = self.store.save_failure(outcome)
+            path = self._flush_outcome(outcome)
+            # Commit protocol: checkpoint rename -> journal
+            # checkpoint-flushed -> event -> journal attempt-end.  A
+            # crash in any gap is recoverable: before the flush record
+            # the attempt is in-doubt (re-run); after it, recovery
+            # promotes the valid checkpoint to committed; the
+            # attempt-end record is the commit point proper.
+            self.journal_append(
+                "checkpoint-flushed",
+                experiment_id=experiment_id,
+                status=outcome.status,
+                path=str(path.name),
+            )
             self.log_event(
                 "checkpointed",
                 experiment_id,
                 status=outcome.status,
                 path=str(path),
+            )
+        if outcome.succeeded:
+            # The successful attempt's end is journaled only now, after
+            # the checkpoint flush — it is the commit record.
+            uid = attempt_uid(experiment_id, self.fencing_token, final_attempt)
+            self.journal_append(
+                "attempt-end",
+                experiment_id=experiment_id,
+                attempt=final_attempt,
+                attempt_uid=uid,
+                status=outcome.status,
+            )
+            self.log_event(
+                "attempt-end",
+                experiment_id,
+                attempt=final_attempt,
+                attempt_uid=uid,
+                status=outcome.status,
             )
         if outcome.status == STATUS_DEGRADED:
             self.log_event(
@@ -458,6 +555,84 @@ class CampaignEngine:
             attempts=outcome.attempts,
         )
         return outcome
+
+    def _resume_skips(self, experiment_id: str) -> bool:
+        """Should resume skip ``experiment_id`` as already committed?
+
+        With a recovery report (journal-backed resume) the journal's
+        classification is authoritative: only ``committed`` experiments
+        are skipped — an in-doubt or lost experiment re-runs even when
+        a checkpoint file happens to exist.  Without one (legacy run
+        dirs), checkpoint presence decides, as before.
+        """
+        if self.store is None:
+            return False
+        if self.recovery is not None:
+            return (
+                experiment_id in self.recovery.committed
+                and self.store.has_result(experiment_id)
+            )
+        return self.store.has_result(experiment_id)
+
+    def _store_write_with_retry(
+        self,
+        write: Callable[[], object],
+        what: str,
+        experiment_id: Optional[str] = None,
+    ):
+        """Run one store write with bounded retry on transient I/O faults.
+
+        A transient ``ENOSPC``/``EIO`` (disk momentarily full, NFS
+        hiccup) gets two retries after backoff; a persistent one
+        becomes a typed
+        :class:`~repro.runtime.errors.CheckpointWriteError`.  Every
+        store write — manifest, outcome checkpoint, summary — goes
+        through here, so no single hiccup at the checkpoint site can
+        abort a campaign.
+        """
+        last_error: Optional[OSError] = None
+        for flush_try in range(3):
+            if flush_try:
+                try:
+                    self._backoff_sleep(
+                        self.config.backoff_delay(flush_try - 1)
+                    )
+                except CampaignAborted:
+                    pass  # the interrupt path still gets its retries
+            try:
+                return write()
+            except OSError as exc:
+                last_error = exc
+                self.log_event(
+                    "checkpoint-retry",
+                    experiment_id,
+                    target=what,
+                    attempt=flush_try + 1,
+                    error=str(exc),
+                )
+        raise CheckpointWriteError(
+            f"cannot write {what} after 3 tries: {last_error}"
+        ) from last_error
+
+    def _flush_outcome(self, outcome: "ExperimentOutcome"):
+        """Persist ``outcome`` with bounded retry on transient I/O faults.
+
+        On persistent failure the journal has no ``attempt-end`` yet,
+        so a resumed campaign re-runs the experiment instead of
+        trusting a checkpoint that never hit the disk.
+        """
+
+        def write():
+            with self._store_lock:
+                if outcome.succeeded:
+                    return self.store.save_outcome(outcome)
+                return self.store.save_failure(outcome)
+
+        return self._store_write_with_retry(
+            write,
+            f"checkpoint for {outcome.experiment_id!r}",
+            outcome.experiment_id,
+        )
 
     def _validate_attempt(
         self,
@@ -531,6 +706,14 @@ class CampaignEngine:
         """Flush what finished and mark the run interrupted (satellite
         of the hard-isolation work: never lose completed outcomes to a
         Ctrl-C)."""
+        try:
+            self.journal_append(
+                "interrupted",
+                completed=len(collected),
+                requested=len(wanted),
+            )
+        except OSError:
+            pass  # a dying disk must not mask the interrupt itself
         self._write_summary("interrupted", collected, wanted)
         partial = CampaignReport(outcomes=list(collected))
         self._emit(
@@ -548,17 +731,22 @@ class CampaignEngine:
     ) -> None:
         if self.store is None:
             return
-        with self._store_lock:
-            self.store.write_summary(
-                {
-                    "status": status,
-                    "requested": list(wanted),
-                    "completed": [o.experiment_id for o in collected],
-                    "statuses": {
-                        o.experiment_id: o.status for o in collected
-                    },
-                }
-            )
+
+        def write():
+            with self._store_lock:
+                self.store.write_summary(
+                    {
+                        "status": status,
+                        "requested": list(wanted),
+                        "completed": [o.experiment_id for o in collected],
+                        "statuses": {
+                            o.experiment_id: o.status for o in collected
+                        },
+                    }
+                )
+
+        self._store_write_with_retry(write, "summary")
+        self.journal_append("summary-flushed", status=status)
 
     # -- internals ---------------------------------------------------
 

@@ -70,6 +70,52 @@ class CheckpointCorruptError(ExperimentError):
     category = "checkpoint-corrupt"
 
 
+class CheckpointWriteError(ExperimentError):
+    """The durability layer could not persist a checkpoint (ENOSPC,
+    EIO, ...) even after a retry.  The campaign state on disk is still
+    consistent — the journal never recorded the commit — but the run
+    cannot honestly continue claiming results it cannot store."""
+
+    category = "checkpoint-write"
+
+
+class TraceFileWriteError(ExperimentError):
+    """Saving a trace archive failed at the I/O layer (ENOSPC, EIO).
+    The partial temporary file has been unlinked; the destination holds
+    either its previous contents or nothing."""
+
+    category = "trace-write"
+
+
+class JournalError(ExperimentError):
+    """Base class of the write-ahead-journal branch."""
+
+    category = "journal"
+
+
+class JournalCorruptError(JournalError):
+    """The journal has damage *before* its tail — something no crash of
+    the single-writer append discipline can produce.  Recovery refuses
+    to truncate through committed records; a human (or ``validate``)
+    must look."""
+
+    category = "journal-corrupt"
+
+
+class LeaseError(ExperimentError):
+    """Base class of the supervisor-lease branch."""
+
+    category = "lease"
+
+
+class LeaseHeldError(LeaseError):
+    """A *live* supervisor already owns the run directory (fresh
+    heartbeat, live PID).  Refusing is the only safe answer; a stale
+    lease would have been reclaimed instead."""
+
+    category = "lease-held"
+
+
 class ValidationError(ExperimentError):
     """Base class of the result-integrity branch: an artifact or result
     failed a :mod:`repro.validate` check.  These are *rejections*, not
@@ -122,6 +168,14 @@ class WorkerMemoryError(WorkerError):
     allocation failure was contained to that one worker."""
 
     category = "worker-rlimit"
+
+
+class FencingViolationError(WorkerError):
+    """A worker payload arrived stamped with a fencing token older than
+    the supervisor's current one — the worker belongs to a superseded
+    supervisor generation and its result must not be committed."""
+
+    category = "fencing-stale"
 
 
 #: Module-prefix -> taxonomy class, most specific attribution first.

@@ -18,23 +18,70 @@ event to ``events.jsonl`` inside the run directory:
   correlating with the outside world).
 - Everything else is the event name plus free-form detail fields.
 
-Writes are line-buffered, flushed per event, and serialized by a lock,
-so the log is safe to write from the worker-pool supervisor threads
-and each line is intact even if the supervisor itself is killed
-mid-campaign (the torn line, if any, is the last one — readers skip
-undecodable lines).
+Each event line is written with a single ``write`` syscall (through
+the fault-injectable shim in :mod:`repro.runtime.iofault`, site
+``"events"``) and serialized by a lock, so the log is safe to write
+from the worker-pool supervisor threads and each line is intact even
+if the supervisor itself is SIGKILLed mid-campaign (the torn line, if
+any, is the last one — readers skip undecodable lines).  Pass
+``fsync=True`` for power-loss durability per event; the default relies
+on the kernel having the bytes, which kill semantics preserve.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
+from repro.runtime.iofault import io_fsync, io_write
+
 #: Default filename inside a campaign run directory.
 EVENTS_FILENAME = "events.jsonl"
+
+
+def _prepare_for_append(path: Path) -> int:
+    """Make an existing log safe to append to after a crash.
+
+    Truncates torn trailing lines (unterminated, or terminated but
+    undecodable — a short write that happened to include a newline) and
+    returns the last surviving record's ``seq`` (0 for a fresh or empty
+    log).  Damage *before* intact lines is left alone: the strict
+    validator reports it as storage corruption, and rewriting history
+    is not this writer's job.
+    """
+    if not path.is_file():
+        return 0
+    data = path.read_bytes()
+    end = len(data)
+    last_seq = 0
+    # Walk backwards over whole lines, dropping the damaged tail.
+    while end > 0:
+        start = data.rfind(b"\n", 0, end - 1) + 1
+        line = data[start:end]
+        record: Optional[Dict[str, object]] = None
+        if line.endswith(b"\n"):
+            try:
+                decoded = json.loads(line.decode("utf-8"))
+                if isinstance(decoded, dict):
+                    record = decoded
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                record = None
+        if record is not None:
+            seq = record.get("seq")
+            if isinstance(seq, int):
+                last_seq = seq
+            break
+        end = start
+    if end < len(data):
+        with open(path, "rb+") as handle:
+            handle.truncate(end)
+            handle.flush()
+            os.fsync(handle.fileno())
+    return last_seq
 
 
 class EventLog:
@@ -44,6 +91,8 @@ class EventLog:
         path: Destination file; parent directories are created.
         clock: Monotonic time source (injectable for tests).
         wall_clock: Wall time source (injectable for tests).
+        fsync: fsync after every event (power-loss durability; off by
+            default — process-kill durability needs only the write).
     """
 
     def __init__(
@@ -51,15 +100,23 @@ class EventLog:
         path: Union[str, Path],
         clock: Callable[[], float] = time.monotonic,
         wall_clock: Callable[[], float] = time.time,
+        fsync: bool = False,
     ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._clock = clock
         self._wall_clock = wall_clock
         self._origin = clock()
-        self._seq = 0
+        # Resume discipline: drop any torn tail the previous (killed)
+        # writer left — appending after one would weld two lines into
+        # mid-file garbage — and continue its sequence so ``seq`` stays
+        # strictly increasing across supervisor generations.
+        self._seq = _prepare_for_append(self.path)
+        self._fsync = fsync
         self._lock = threading.Lock()
-        self._handle = open(self.path, "a", encoding="utf-8")
+        self._fd: Optional[int] = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
 
     def emit(
         self, event: str, experiment_id: Optional[str] = None, **detail: object
@@ -78,14 +135,18 @@ class EventLog:
             for key, value in detail.items():
                 if value is not None:
                     record[key] = value
-            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-            self._handle.flush()
+            if self._fd is not None:
+                line = json.dumps(record, sort_keys=True) + "\n"
+                io_write(self._fd, line.encode("utf-8"), "events")
+                if self._fsync:
+                    io_fsync(self._fd, "events")
             return record
 
     def close(self) -> None:
         with self._lock:
-            if not self._handle.closed:
-                self._handle.close()
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
 
     def __enter__(self) -> "EventLog":
         return self

@@ -1,0 +1,278 @@
+"""Supervisor lease with heartbeat and monotonic fencing token.
+
+A campaign run directory must have at most one live supervisor.  Two
+failure modes make that hard:
+
+- a supervisor is SIGKILLed and a replacement must be able to take
+  over *without* human cleanup, and
+- a second supervisor is started by mistake while the first is alive,
+  and must be refused before it can interleave writes.
+
+``<run_dir>/supervisor.lease`` arbitrates both.  The file (written
+atomically through :func:`repro.runtime.iofault.atomic_write_text`)
+holds the owner's PID, a **fencing token**, and a heartbeat timestamp
+refreshed by a daemon thread.  :meth:`Lease.acquire` refuses a *live*
+lease with a typed :class:`~repro.runtime.errors.LeaseHeldError`; it
+reclaims a *stale* one (owner PID dead, or heartbeat older than the
+TTL — a hung-but-alive owner is presumed dead once it stops
+heartbeating) and bumps the token.
+
+The token is the fencing mechanism of classic lease protocols: it
+only ever increases (each acquire takes ``max(lease, journal) + 1``,
+so even a deleted lease file cannot rewind it — the journal remembers).
+Every journal record and every worker attempt is stamped with the
+issuing supervisor's token, and a payload carrying an older token than
+the current one is rejected
+(:class:`~repro.runtime.errors.FencingViolationError`) instead of being
+committed — a worker orphaned by a dead supervisor generation cannot
+smuggle results past its successor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional, Union
+
+from repro.runtime.errors import LeaseHeldError
+from repro.runtime.iofault import atomic_write_text
+
+#: Filename inside a campaign run directory.
+LEASE_FILENAME = "supervisor.lease"
+
+#: Default staleness threshold; a holder that has not heartbeat for
+#: this long is presumed dead even if its PID is still occupied.
+DEFAULT_TTL_SECONDS = 30.0
+
+
+@dataclass
+class LeaseState:
+    """The decoded contents of a lease file."""
+
+    pid: int
+    token: int
+    acquired_wall: float
+    heartbeat_wall: float
+    hostname: str = ""
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "pid": self.pid,
+                "token": self.token,
+                "acquired_wall": self.acquired_wall,
+                "heartbeat_wall": self.heartbeat_wall,
+                "hostname": self.hostname,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "LeaseState":
+        payload = json.loads(text)
+        return cls(
+            pid=int(payload["pid"]),
+            token=int(payload["token"]),
+            acquired_wall=float(payload["acquired_wall"]),
+            heartbeat_wall=float(payload["heartbeat_wall"]),
+            hostname=str(payload.get("hostname", "")),
+        )
+
+
+def read_lease(path: Union[str, Path]) -> Optional[LeaseState]:
+    """Read a lease file; None when absent or undecodable.
+
+    An undecodable lease (torn write from a crashed owner on a
+    filesystem without atomic rename) is treated as absent — the
+    journal still floors the token, so no fencing is lost.
+    """
+    path = Path(path)
+    try:
+        return LeaseState.from_json(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` currently names a process we could signal."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # someone else's live process
+        return True
+    except OSError:  # pragma: no cover - exotic platforms
+        return False
+    return True
+
+
+def lease_is_stale(
+    state: LeaseState,
+    ttl_seconds: float = DEFAULT_TTL_SECONDS,
+    now: Optional[float] = None,
+) -> bool:
+    """Whether a lease may be reclaimed.
+
+    Stale when the holder PID is dead, or when its heartbeat is older
+    than the TTL (covers both a hung supervisor and PID reuse after a
+    reboot).  A heartbeat from the *future* (clock step) is treated as
+    fresh — refusing is the safe direction.
+    """
+    if not pid_alive(state.pid):
+        return True
+    now = time.time() if now is None else now
+    return (now - state.heartbeat_wall) > ttl_seconds
+
+
+class Lease:
+    """An acquired supervisor lease (see module docstring).
+
+    Construct via :meth:`acquire`; release with :meth:`release` (also a
+    context manager).  While held, call :meth:`start_heartbeat` (or
+    :meth:`heartbeat` manually) so concurrent supervisors keep being
+    refused.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        state: LeaseState,
+        ttl_seconds: float,
+        wall_clock: Callable[[], float],
+    ) -> None:
+        self.path = path
+        self.state = state
+        self.ttl_seconds = ttl_seconds
+        self._wall_clock = wall_clock
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def token(self) -> int:
+        return self.state.token
+
+    @classmethod
+    def acquire(
+        cls,
+        run_dir: Union[str, Path],
+        ttl_seconds: float = DEFAULT_TTL_SECONDS,
+        token_floor: int = 0,
+        wall_clock: Callable[[], float] = time.time,
+    ) -> "Lease":
+        """Acquire (or reclaim) the lease for ``run_dir``.
+
+        Args:
+            run_dir: The campaign run directory.
+            ttl_seconds: Staleness threshold for reclaiming.
+            token_floor: Minimum previous token (pass the journal's
+                last recorded token so a deleted lease file cannot
+                rewind the fencing sequence).
+            wall_clock: Injectable time source.
+
+        Raises:
+            LeaseHeldError: A live supervisor holds the lease.
+        """
+        if ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be positive (got {ttl_seconds})")
+        run_dir = Path(run_dir)
+        path = run_dir / LEASE_FILENAME
+        now = wall_clock()
+        previous = read_lease(path)
+        previous_token = token_floor
+        if previous is not None:
+            if not lease_is_stale(previous, ttl_seconds, now=now):
+                raise LeaseHeldError(
+                    f"run directory {run_dir} is owned by a live supervisor "
+                    f"(pid {previous.pid}, token {previous.token}, heartbeat "
+                    f"{now - previous.heartbeat_wall:.1f}s ago); refusing to "
+                    "run two supervisors against one run directory"
+                )
+            previous_token = max(previous_token, previous.token)
+        state = LeaseState(
+            pid=os.getpid(),
+            token=previous_token + 1,
+            acquired_wall=now,
+            heartbeat_wall=now,
+            hostname=socket.gethostname(),
+        )
+        run_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, state.to_json(), site="lease")
+        return cls(path, state, ttl_seconds, wall_clock)
+
+    # -- heartbeat ---------------------------------------------------
+
+    def heartbeat(self) -> None:
+        """Refresh the heartbeat timestamp on disk.
+
+        Durability is deliberately skipped (``durable=False``): losing
+        a heartbeat to power loss only makes the lease look *staler*,
+        which fails safe, and fsyncing twice a TTL forever is real I/O.
+        """
+        self.state.heartbeat_wall = self._wall_clock()
+        atomic_write_text(
+            self.path, self.state.to_json(), site="lease", durable=False
+        )
+
+    def start_heartbeat(self, interval_seconds: Optional[float] = None) -> None:
+        """Refresh the heartbeat from a daemon thread until release."""
+        if self._thread is not None:
+            return
+        interval = (
+            max(0.5, self.ttl_seconds / 3.0)
+            if interval_seconds is None
+            else interval_seconds
+        )
+
+        def _beat() -> None:
+            while not self._stop.wait(interval):
+                try:
+                    self.heartbeat()
+                except OSError:  # disk trouble: the TTL decides our fate
+                    pass
+
+        self._thread = threading.Thread(
+            target=_beat, name="lease-heartbeat", daemon=True
+        )
+        self._thread.start()
+
+    # -- release -----------------------------------------------------
+
+    def release(self) -> None:
+        """Stop heartbeating and remove the lease file (if still ours).
+
+        A lease that was reclaimed out from under us (token on disk
+        newer than ours) is left alone — deleting the new owner's file
+        would be the exact bug fencing exists to prevent.
+        """
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        on_disk = read_lease(self.path)
+        if on_disk is not None and (
+            on_disk.pid == self.state.pid and on_disk.token == self.state.token
+        ):
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "Lease":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "pid": self.state.pid,
+            "token": self.state.token,
+            "ttl_seconds": self.ttl_seconds,
+        }

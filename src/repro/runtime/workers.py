@@ -63,9 +63,11 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.experiments.runner import ExperimentResult
 from repro.runtime.errors import (
     ExperimentFailure,
+    FencingViolationError,
     WorkerCrashError,
     WorkerTimeoutError,
 )
+from repro.runtime.iofault import IOFAULT_ENV
 
 #: Module invoked as the worker entry point (``python -m ...``).
 WORKER_MODULE = "repro.experiments.runner"
@@ -139,6 +141,7 @@ class AttemptSpec:
     max_rss_mb: Optional[int] = None
     fault: Optional[Dict[str, object]] = None
     workspace: Optional[str] = None
+    fencing_token: int = 0
 
     def to_json(self) -> str:
         return json.dumps(
@@ -152,6 +155,7 @@ class AttemptSpec:
                 "max_rss_mb": self.max_rss_mb,
                 "fault": self.fault,
                 "workspace": self.workspace,
+                "fencing_token": self.fencing_token,
             }
         )
 
@@ -168,6 +172,7 @@ class AttemptSpec:
             max_rss_mb=payload.get("max_rss_mb"),
             fault=payload.get("fault"),
             workspace=payload.get("workspace"),
+            fencing_token=int(payload.get("fencing_token", 0)),
         )
 
 
@@ -193,18 +198,41 @@ def apply_address_space_limit(max_rss_mb: Optional[int]) -> bool:
 
 
 def parse_worker_payload(
-    spec: AttemptSpec, stdout: str, stderr_tail: str = ""
+    spec: AttemptSpec,
+    stdout: str,
+    stderr_tail: str = "",
+    expected_token: Optional[int] = None,
 ) -> Tuple[Optional[ExperimentResult], Optional[ExperimentFailure]]:
     """Decode a worker's stdout into ``(result, failure)``.
 
     Any malformed, truncated, or wrongly-shaped payload becomes a
     classified :class:`WorkerCrashError` failure — the supervisor never
     crashes on what a dying worker managed to write.
+
+    When ``expected_token`` is given, the payload's echoed fencing
+    token must match it: a payload stamped with an older token comes
+    from a worker spawned by a superseded supervisor generation (see
+    :mod:`repro.runtime.lease`) and is rejected as a
+    :class:`~repro.runtime.errors.FencingViolationError` failure rather
+    than committed.  A payload with no token field counts as token 0,
+    so any fenced supervisor (token >= 1) rejects it too.
     """
     try:
         payload = json.loads(stdout)
         if not isinstance(payload, dict):
             raise ValueError(f"payload is {type(payload).__name__}, not object")
+        if expected_token is not None:
+            stated = int(payload.get("token", 0))
+            if stated != expected_token:
+                return None, _worker_failure(
+                    spec,
+                    FencingViolationError,
+                    f"worker for {spec.experiment_id} returned a payload "
+                    f"stamped with fencing token {stated}, but the current "
+                    f"supervisor generation is {expected_token}; the result "
+                    "is from a superseded supervisor and was rejected",
+                    stderr_tail,
+                )
         if payload.get("ok"):
             return ExperimentResult.from_dict(payload["result"]), None
         return None, ExperimentFailure.from_dict(payload["failure"])
@@ -257,8 +285,15 @@ def worker_environment() -> Dict[str, str]:
     ``PYTHONPATH`` so the worker resolves the exact same packages
     (including test-only registries), however the supervisor itself was
     launched.
+
+    ``REPRO_IOFAULT`` is deliberately stripped: injected I/O faults
+    (:mod:`repro.runtime.iofault`) target the *supervisor's* durability
+    writes; a worker inheriting the variable would consume the fault's
+    call counter in the wrong process and make chaos kill points
+    non-deterministic.
     """
     env = dict(os.environ)
+    env.pop(IOFAULT_ENV, None)
     entries = [entry for entry in sys.path if entry]
     if entries:
         env["PYTHONPATH"] = os.pathsep.join(entries)
@@ -281,6 +316,11 @@ class WorkerSupervisor:
         on_event: Callback ``(event, experiment_id, detail_dict)`` —
             the engine routes these into its event log
             (``worker-killed`` etc.).
+        current_token: Callable returning the supervisor's *current*
+            fencing token; payloads are checked against it at parse
+            time (not spawn time), so a token bumped mid-flight by a
+            lease reclaim fences out workers already running.  None
+            disables the check (legacy callers).
     """
 
     def __init__(
@@ -289,6 +329,7 @@ class WorkerSupervisor:
         term_grace_seconds: float = 5.0,
         python: Optional[str] = None,
         on_event: Optional[Callable[[str, str, Dict[str, object]], None]] = None,
+        current_token: Optional[Callable[[], int]] = None,
     ) -> None:
         if hard_timeout_seconds is not None and hard_timeout_seconds <= 0:
             raise ValueError("hard_timeout_seconds must be positive")
@@ -298,6 +339,7 @@ class WorkerSupervisor:
         self.term_grace_seconds = term_grace_seconds
         self.python = python or sys.executable
         self.on_event = on_event
+        self.current_token = current_token
         self._live: Dict[int, subprocess.Popen] = {}
         self._lock = threading.Lock()
 
@@ -356,7 +398,12 @@ class WorkerSupervisor:
             )
         returncode = proc.returncode
         if returncode == 0:
-            return parse_worker_payload(spec, stdout or "", stderr_tail)
+            expected = (
+                self.current_token() if self.current_token is not None else None
+            )
+            return parse_worker_payload(
+                spec, stdout or "", stderr_tail, expected_token=expected
+            )
         if returncode < 0:
             return None, _worker_failure(
                 spec,
@@ -503,6 +550,7 @@ class WorkerPool:
             hard_timeout_seconds=self._hard_deadline(config),
             term_grace_seconds=config.term_grace_seconds,
             on_event=self._supervisor_event,
+            current_token=lambda: engine.fencing_token,
         )
 
     @staticmethod
@@ -556,6 +604,7 @@ class WorkerPool:
             max_rss_mb=engine.config.max_rss_mb,
             fault=fault_dict,
             workspace=workspace,
+            fencing_token=engine.fencing_token,
         )
         return self.supervisor.run_attempt(spec)
 
@@ -600,6 +649,14 @@ class WorkerPool:
                         continue
                     if outcome is not None:
                         outcomes[experiment_id] = outcome
+            raise
+        except BaseException:
+            # Any other supervisor-side failure (a checkpoint disk
+            # full, a journal write error) must not leak threads or
+            # live workers either.
+            engine.abort()
+            self.supervisor.kill_all()
+            executor.shutdown(wait=True, cancel_futures=True)
             raise
         finally:
             for experiment_id in wanted:

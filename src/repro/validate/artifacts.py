@@ -29,6 +29,17 @@ finding code                defect class
 ``trace-unreadable``        trace archive truncated / not a zip at all
 ``trace-corrupt``           trace decodes but fails checksum or fields
 ``trace-header-mismatch``   metadata header counts disagree with arrays
+``journal-torn``            torn record(s) at the journal's tail
+                            (warning: the expected crash signature)
+``journal-corrupt``         damaged record *before* the tail, or a
+                            fencing token that goes backwards
+``journal-schema``          journal record violates the record schema
+``journal-seq``             journal sequence numbers not increasing
+``journal-missing``         checkpoints exist but no journal (warning:
+                            a pre-journal run directory)
+``lease-stale``             a supervisor lease file left behind by a
+                            dead owner (warning: reclaimed on resume)
+``lease-schema``            lease file undecodable / violates schema
 ``result-*`` / ``curve-*``  invariant-oracle findings on stored results
 ==========================  =============================================
 
@@ -135,6 +146,114 @@ def validate_events_file(path: Union[str, Path]) -> ValidationReport:
                     path=str(path.name),
                 )
             last_seq = max(last_seq, seq)
+    return report
+
+
+def validate_journal_file(path: Union[str, Path]) -> ValidationReport:
+    """Audit a write-ahead journal (``journal.wal``).
+
+    Replays the CRC framing (:func:`repro.runtime.journal.read_journal`)
+    and checks every intact record against the journal-record schema,
+    sequence monotonicity, and fencing-token monotonicity.  A torn tail
+    is a *warning* — it is the expected signature of a crashed
+    supervisor, and recovery truncates it — while damage anywhere
+    earlier (or a token that goes backwards) indicts the storage and is
+    an error.
+    """
+    from repro.runtime.journal import read_journal
+
+    path = Path(path)
+    report = ValidationReport(subject=f"journal {path.name}")
+    if not path.is_file():
+        return report
+    replay = read_journal(path)
+    report.tick()
+    for lineno, reason in replay.corrupt:
+        report.add(
+            "journal-corrupt",
+            f"line {lineno} is damaged before the tail ({reason}); a "
+            "single-writer append discipline cannot produce this",
+            path=path.name,
+        )
+    if replay.torn_tail:
+        report.add(
+            "journal-torn",
+            "torn record(s) at the tail (crash signature; recovery "
+            "truncates this on the next resume)",
+            path=path.name,
+            severity=SEVERITY_WARNING,
+        )
+    last_seq = 0
+    last_token = 0
+    for index, record in enumerate(replay.records):
+        report.tick()
+        for problem in check_schema(record, schema_for("journal-record")):
+            report.add(
+                "journal-schema",
+                f"record {index + 1}: {problem}",
+                path=path.name,
+            )
+        seq = record.get("seq")
+        if isinstance(seq, int):
+            if seq <= last_seq:
+                report.add(
+                    "journal-seq",
+                    f"record {index + 1}: seq {seq} does not increase "
+                    f"past {last_seq}",
+                    path=path.name,
+                )
+            last_seq = max(last_seq, seq)
+        token = record.get("token")
+        if isinstance(token, int):
+            if token < last_token:
+                report.add(
+                    "journal-corrupt",
+                    f"record {index + 1}: fencing token went backwards "
+                    f"({last_token} -> {token}); tokens are monotonic by "
+                    "protocol",
+                    path=path.name,
+                )
+            last_token = max(last_token, token)
+    return report
+
+
+def validate_lease_file(path: Union[str, Path]) -> ValidationReport:
+    """Audit a leftover supervisor lease (``supervisor.lease``).
+
+    A run directory at rest should have no lease at all (supervisors
+    remove theirs on exit).  One left by a dead or silent owner is a
+    warning — the next supervisor reclaims it — and an undecodable or
+    schema-violating one is an error.
+    """
+    from repro.runtime.lease import lease_is_stale, read_lease
+
+    path = Path(path)
+    report = ValidationReport(subject=f"lease {path.name}")
+    if not path.is_file():
+        return report
+    report.tick()
+    state = read_lease(path)
+    if state is None:
+        report.add(
+            "lease-schema",
+            "lease file exists but is undecodable",
+            path=path.name,
+        )
+        return report
+    import json as _json
+
+    for problem in check_schema(
+        _json.loads(state.to_json()), schema_for("lease")
+    ):
+        report.add("lease-schema", problem, path=path.name)
+    if lease_is_stale(state):
+        report.add(
+            "lease-stale",
+            f"lease held by dead/silent supervisor pid {state.pid} "
+            f"(token {state.token}); the next supervisor will reclaim it",
+            path=path.name,
+            severity=SEVERITY_WARNING,
+        )
     return report
 
 
@@ -324,6 +443,18 @@ def validate_run_dir(
 
     # -- events --------------------------------------------------------
     report.extend(validate_events_file(store.events_path))
+
+    # -- journal / lease ----------------------------------------------
+    journal_path = run_dir / "journal.wal"
+    report.extend(validate_journal_file(journal_path))
+    if not journal_path.is_file() and statuses_on_disk:
+        report.add(
+            "journal-missing",
+            "checkpoints exist but there is no journal.wal (pre-journal "
+            "run directory; resume falls back to checkpoint presence)",
+            severity=SEVERITY_WARNING,
+        )
+    report.extend(validate_lease_file(run_dir / "supervisor.lease"))
 
     # -- traces --------------------------------------------------------
     for path in sorted(run_dir.rglob("*.npz")):

@@ -217,6 +217,48 @@ EVENT_SCHEMA: Dict[str, object] = {
     },
 }
 
+#: One CRC-framed record of the write-ahead journal
+#: (:mod:`repro.runtime.journal`).  ``additionalProperties`` stays open:
+#: each record type carries its own detail fields.
+JOURNAL_RECORD_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["seq", "token", "t_wall", "type"],
+    "properties": {
+        "seq": {"type": "integer", "minimum": 1},
+        "token": {"type": "integer", "minimum": 0},
+        "t_wall": {"type": "number"},
+        "type": {
+            "type": "string",
+            "enum": [
+                "campaign-start",
+                "attempt-start",
+                "attempt-end",
+                "checkpoint-flushed",
+                "summary-flushed",
+                "interrupted",
+                "recovered",
+            ],
+        },
+        "experiment_id": {"type": "string"},
+        "attempt": {"type": "integer", "minimum": 1},
+        "attempt_uid": {"type": "string"},
+        "status": {"type": "string"},
+    },
+}
+
+#: The supervisor lease file (:mod:`repro.runtime.lease`).
+LEASE_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["pid", "token", "acquired_wall", "heartbeat_wall"],
+    "properties": {
+        "pid": {"type": "integer", "minimum": 1},
+        "token": {"type": "integer", "minimum": 1},
+        "acquired_wall": {"type": "number"},
+        "heartbeat_wall": {"type": "number"},
+        "hostname": {"type": "string"},
+    },
+}
+
 #: The reference-count header (:func:`repro.mem.tracefile.trace_header`)
 #: that savers may embed in an archive's metadata.
 TRACE_HEADER_SCHEMA: Dict[str, object] = {
@@ -239,6 +281,8 @@ PAYLOAD_SCHEMAS: Dict[str, Dict[str, object]] = {
     "failure": FAILURE_SCHEMA,
     "event": EVENT_SCHEMA,
     "trace-header": TRACE_HEADER_SCHEMA,
+    "journal-record": JOURNAL_RECORD_SCHEMA,
+    "lease": LEASE_SCHEMA,
 }
 
 

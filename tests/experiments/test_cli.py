@@ -131,3 +131,107 @@ class TestValidateFlag:
         validated = [e for e in events if e["event"] == "validated"]
         assert validated and validated[0]["experiment_id"] == "table1"
         assert validated[0]["errors"] == 0
+
+
+class TestChaosSubcommand:
+    def test_chaos_is_registered(self):
+        assert "chaos" in SUBCOMMANDS
+
+    def test_negative_cycles_is_usage_error(self, capsys):
+        assert main(["chaos", "--cycles", "-1"]) == 2
+        assert "must be >= 0" in capsys.readouterr().out
+
+    def test_zero_total_cycles_is_usage_error(self, capsys):
+        assert main(["chaos", "--cycles", "0", "--enospc-cycles", "0"]) == 2
+        assert "nothing to do" in capsys.readouterr().out
+
+    def test_unknown_experiment_is_usage_error(self, capsys):
+        assert main(["chaos", "--cycles", "1", "--experiments", "nope"]) == 2
+        assert "unknown experiments" in capsys.readouterr().out
+
+
+class TestDurabilityCLI:
+    """The journal/lease wiring of the main campaign entry point."""
+
+    def test_campaign_journals_and_releases_lease(self, tmp_path, capsys):
+        from repro.runtime.journal import JOURNAL_FILENAME, read_journal
+        from repro.runtime.lease import LEASE_FILENAME
+
+        run_dir = tmp_path / "run"
+        assert (
+            main(["--quick", "--jobs", "0", "--run-dir", str(run_dir), "table1"])
+            == 0
+        )
+        replay = read_journal(run_dir / JOURNAL_FILENAME)
+        types = [r["type"] for r in replay.records]
+        assert types[0] == "campaign-start"
+        assert "attempt-end" in types and "summary-flushed" in types
+        assert all(r["token"] == 1 for r in replay.records)
+        assert not (run_dir / LEASE_FILENAME).exists()
+
+    def test_resume_journals_recovery_under_new_token(self, tmp_path, capsys):
+        from repro.runtime.journal import JOURNAL_FILENAME, read_journal
+
+        run_dir = tmp_path / "run"
+        main(["--quick", "--jobs", "0", "--run-dir", str(run_dir), "table1"])
+        capsys.readouterr()
+        assert main(["--quick", "--jobs", "0", "--resume", str(run_dir), "table1"]) == 0
+        recovered = [
+            r
+            for r in read_journal(run_dir / JOURNAL_FILENAME).records
+            if r["type"] == "recovered"
+        ]
+        assert recovered and recovered[0]["token"] == 2
+        assert recovered[0]["committed"] == ["table1"]
+
+    def test_live_lease_refuses_second_supervisor(self, tmp_path, capsys):
+        from repro.runtime.lease import Lease
+
+        run_dir = tmp_path / "run"
+        run_dir.mkdir(parents=True)
+        with Lease.acquire(run_dir):
+            code = main(
+                ["--quick", "--jobs", "0", "--run-dir", str(run_dir), "table1"]
+            )
+        assert code == 1
+        assert "lease refused" in capsys.readouterr().out
+
+    def test_corrupt_journal_refuses_to_run(self, tmp_path, capsys):
+        from repro.runtime.journal import JOURNAL_FILENAME
+
+        run_dir = tmp_path / "run"
+        main(["--quick", "--jobs", "0", "--run-dir", str(run_dir), "table1"])
+        capsys.readouterr()
+        path = run_dir / JOURNAL_FILENAME
+        blob = bytearray(path.read_bytes())
+        blob[8] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert main(["--quick", "--jobs", "0", "--resume", str(run_dir), "table1"]) == 1
+        assert "journal unusable" in capsys.readouterr().out
+
+    def test_nonpositive_lease_ttl_is_usage_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "--quick",
+                "--lease-ttl-seconds",
+                "0",
+                "--run-dir",
+                str(tmp_path / "run"),
+                "table1",
+            ]
+        )
+        assert code == 2
+        assert "must be positive" in capsys.readouterr().out
+
+    def test_validate_audits_the_journal(self, tmp_path, capsys):
+        from repro.runtime.journal import JOURNAL_FILENAME
+
+        run_dir = tmp_path / "run"
+        main(["--quick", "--jobs", "0", "--run-dir", str(run_dir), "table1"])
+        path = run_dir / JOURNAL_FILENAME
+        blob = bytearray(path.read_bytes())
+        blob[8] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        capsys.readouterr()
+        assert main(["validate", str(run_dir)]) == 1
+        assert "journal-corrupt" in capsys.readouterr().out

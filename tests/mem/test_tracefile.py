@@ -5,6 +5,7 @@ import pytest
 
 from repro.mem.tracefile import FORMAT_VERSION, load_metadata, load_trace, save_trace
 from repro.mem.trace import Trace, TraceBuilder
+from repro.runtime.errors import TraceFileWriteError
 from tests.conftest import random_trace
 
 
@@ -175,7 +176,7 @@ class TestIntegrity:
             raise OSError("simulated crash mid-save")
 
         monkeypatch.setattr(np, "savez_compressed", crashing_savez)
-        with pytest.raises(OSError):
+        with pytest.raises(TraceFileWriteError):
             save_trace(path, random_trace(50, 10, seed=3))
         monkeypatch.undo()
         reloaded = load_trace(path)  # previous archive still intact
@@ -188,7 +189,7 @@ class TestIntegrity:
             raise OSError("simulated crash mid-save")
 
         monkeypatch.setattr(np, "savez_compressed", crashing_savez)
-        with pytest.raises(OSError):
+        with pytest.raises(TraceFileWriteError):
             save_trace(tmp_path / "t.npz", random_trace(50, 10))
         monkeypatch.undo()
         assert os.listdir(tmp_path) == []
@@ -196,3 +197,34 @@ class TestIntegrity:
     def test_metadata_roundtrip_with_checksum(self, tmp_path):
         path, _ = self._saved(tmp_path, with_metadata=True)
         assert load_metadata(path) == {"app": "LU", "n": 96}
+
+    def test_enospc_during_save_is_typed_and_clean(self, tmp_path):
+        """Regression: an injected disk-full during save_trace must
+        surface as TraceFileWriteError, keep the previous archive, and
+        unlink the staging temp file."""
+        import os
+
+        from repro.runtime.iofault import IOFault, IOFaultInjector, install
+
+        path, original = self._saved(tmp_path)
+        injector = IOFaultInjector(
+            [IOFault("tracefile", "write", "enospc", repeat=True)]
+        )
+        with install(injector):
+            with pytest.raises(TraceFileWriteError) as caught:
+                save_trace(path, random_trace(50, 10, seed=4))
+        assert isinstance(caught.value.__cause__, OSError)
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        reloaded = load_trace(path)
+        np.testing.assert_array_equal(reloaded.addrs, original.addrs)
+
+    def test_fsync_fault_during_save_is_typed(self, tmp_path):
+        from repro.runtime.iofault import IOFault, IOFaultInjector, install
+
+        injector = IOFaultInjector(
+            [IOFault("tracefile", "fsync", "fsync-fail")]
+        )
+        with install(injector):
+            with pytest.raises(TraceFileWriteError):
+                save_trace(tmp_path / "t.npz", random_trace(50, 10))
+        assert not (tmp_path / "t.npz").exists()

@@ -69,3 +69,48 @@ class TestEventLog:
         records = [json.loads(line) for line in lines]  # every line intact
         seqs = [r["seq"] for r in records]
         assert sorted(seqs) == list(range(1, 401))
+
+
+class TestResumeAppend:
+    """A resumed supervisor appends to the same log without breaking
+    the total order or welding onto a torn tail."""
+
+    def test_seq_continues_across_generations(self, tmp_path):
+        path = tmp_path / EVENTS_FILENAME
+        with EventLog(path) as log:
+            log.emit("campaign-start")
+            log.emit("attempt-start")
+        with EventLog(path) as log:
+            record = log.emit("resume")
+        assert record["seq"] == 3
+        seqs = [e["seq"] for e in read_events(path)]
+        assert seqs == [1, 2, 3]
+
+    def test_torn_tail_is_truncated_before_appending(self, tmp_path):
+        path = tmp_path / EVENTS_FILENAME
+        with EventLog(path) as log:
+            log.emit("campaign-start")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 2, "event": "tor')  # killed mid-write
+        with EventLog(path) as log:
+            log.emit("resume")
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["campaign-start", "resume"]
+        assert [e["seq"] for e in events] == [1, 2]
+        # Every line is intact — no welded torn/valid hybrid line.
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_terminated_garbage_tail_is_also_dropped(self, tmp_path):
+        path = tmp_path / EVENTS_FILENAME
+        with EventLog(path) as log:
+            log.emit("campaign-start")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 2, "event": "tor\n')  # torn, with newline
+        with EventLog(path) as log:
+            log.emit("resume")
+        assert [e["seq"] for e in read_events(path)] == [1, 2]
+
+    def test_fresh_log_still_starts_at_one(self, tmp_path):
+        with EventLog(tmp_path / "new.jsonl") as log:
+            assert log.emit("first")["seq"] == 1

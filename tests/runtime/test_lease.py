@@ -1,0 +1,185 @@
+"""Tests for the supervisor lease: acquire/reclaim/refuse, monotonic
+fencing tokens, and stale-worker rejection."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+
+import pytest
+
+from repro.runtime.errors import FencingViolationError, LeaseHeldError
+from repro.runtime.lease import (
+    DEFAULT_TTL_SECONDS,
+    LEASE_FILENAME,
+    Lease,
+    LeaseState,
+    lease_is_stale,
+    pid_alive,
+    read_lease,
+)
+from repro.runtime.workers import AttemptSpec, parse_worker_payload
+
+from tests.runtime.conftest import make_result
+
+
+class TestAcquire:
+    def test_fresh_acquire_gets_token_1(self, tmp_path):
+        with Lease.acquire(tmp_path) as lease:
+            assert lease.token == 1
+            state = read_lease(tmp_path / LEASE_FILENAME)
+            assert state.pid == os.getpid() and state.token == 1
+        assert read_lease(tmp_path / LEASE_FILENAME) is None  # released
+
+    def test_token_floor_from_journal(self, tmp_path):
+        with Lease.acquire(tmp_path, token_floor=7) as lease:
+            assert lease.token == 8
+
+    def test_live_lease_is_refused(self, tmp_path):
+        with Lease.acquire(tmp_path):
+            with pytest.raises(LeaseHeldError, match="live supervisor"):
+                Lease.acquire(tmp_path)
+
+    def test_dead_owner_is_reclaimed_with_bumped_token(self, tmp_path):
+        proc = subprocess.Popen(["true"])
+        proc.wait()
+        state = LeaseState(
+            pid=proc.pid, token=3, acquired_wall=0.0, heartbeat_wall=0.0
+        )
+        (tmp_path / LEASE_FILENAME).write_text(state.to_json())
+        with Lease.acquire(tmp_path) as lease:
+            assert lease.token == 4
+
+    def test_silent_owner_is_reclaimed_after_ttl(self, tmp_path):
+        # Owner PID is alive (it is us) but stopped heartbeating.
+        now = 1000.0
+        state = LeaseState(
+            pid=os.getpid(),
+            token=2,
+            acquired_wall=now - 100,
+            heartbeat_wall=now - 100,
+        )
+        (tmp_path / LEASE_FILENAME).write_text(state.to_json())
+        with pytest.raises(LeaseHeldError):
+            Lease.acquire(tmp_path, ttl_seconds=500.0, wall_clock=lambda: now)
+        with Lease.acquire(
+            tmp_path, ttl_seconds=30.0, wall_clock=lambda: now
+        ) as lease:
+            assert lease.token == 3
+
+    def test_undecodable_lease_treated_as_absent(self, tmp_path):
+        (tmp_path / LEASE_FILENAME).write_text("{torn")
+        with Lease.acquire(tmp_path, token_floor=5) as lease:
+            assert lease.token == 6
+
+    def test_nonpositive_ttl_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="ttl_seconds"):
+            Lease.acquire(tmp_path, ttl_seconds=0)
+
+
+class TestHeartbeatAndRelease:
+    def test_heartbeat_refreshes_timestamp(self, tmp_path):
+        clock = iter([100.0, 200.0, 300.0])
+        lease = Lease.acquire(tmp_path, wall_clock=lambda: next(clock))
+        lease.heartbeat()
+        assert read_lease(tmp_path / LEASE_FILENAME).heartbeat_wall == 200.0
+        lease.release()
+
+    def test_heartbeat_thread_beats_and_stops(self, tmp_path):
+        lease = Lease.acquire(tmp_path)
+        lease.start_heartbeat(interval_seconds=0.01)
+        import time as _time
+
+        deadline = _time.monotonic() + 2.0
+        acquired = lease.state.heartbeat_wall
+        while _time.monotonic() < deadline:
+            state = read_lease(tmp_path / LEASE_FILENAME)
+            if state is not None and state.heartbeat_wall > acquired:
+                break
+            _time.sleep(0.01)
+        else:
+            pytest.fail("heartbeat thread never refreshed the lease")
+        lease.release()
+        assert not (tmp_path / LEASE_FILENAME).exists()
+
+    def test_release_leaves_a_newer_owner_alone(self, tmp_path):
+        lease = Lease.acquire(tmp_path)
+        usurper = LeaseState(
+            pid=os.getpid(), token=99, acquired_wall=0.0, heartbeat_wall=0.0
+        )
+        (tmp_path / LEASE_FILENAME).write_text(usurper.to_json())
+        lease.release()
+        # The usurper's file survives: fencing forbids deleting it.
+        assert read_lease(tmp_path / LEASE_FILENAME).token == 99
+
+
+class TestStaleness:
+    def test_dead_pid_is_stale(self):
+        proc = subprocess.Popen(["true"])
+        proc.wait()
+        state = LeaseState(
+            pid=proc.pid, token=1, acquired_wall=0.0, heartbeat_wall=0.0
+        )
+        assert lease_is_stale(state)
+
+    def test_future_heartbeat_is_fresh(self):
+        state = LeaseState(
+            pid=os.getpid(), token=1, acquired_wall=0.0, heartbeat_wall=1e12
+        )
+        assert not lease_is_stale(state, ttl_seconds=DEFAULT_TTL_SECONDS)
+
+    def test_pid_alive_basics(self):
+        assert pid_alive(os.getpid())
+        assert not pid_alive(0) and not pid_alive(-5)
+
+
+class TestFencing:
+    """A worker payload from a superseded supervisor must be rejected."""
+
+    def make_spec(self, token: int) -> AttemptSpec:
+        return AttemptSpec(
+            experiment_id="figA",
+            runner="tests.runtime.worker_targets:ok_result",
+            fencing_token=token,
+        )
+
+    def ok_payload(self, token: int) -> str:
+        return json.dumps(
+            {
+                "ok": True,
+                "result": make_result("figA").to_dict(),
+                "token": token,
+            }
+        )
+
+    def test_current_token_is_accepted(self):
+        result, failure = parse_worker_payload(
+            self.make_spec(2), self.ok_payload(2), expected_token=2
+        )
+        assert failure is None and result.experiment_id == "figA"
+
+    def test_stale_token_is_rejected(self):
+        result, failure = parse_worker_payload(
+            self.make_spec(1), self.ok_payload(1), expected_token=2
+        )
+        assert result is None
+        assert failure.error_type == "FencingViolationError"
+        assert failure.category == FencingViolationError.category
+        assert "superseded" in failure.message
+
+    def test_tokenless_legacy_payload_rejected_by_fenced_supervisor(self):
+        payload = json.dumps(
+            {"ok": True, "result": make_result("figA").to_dict()}
+        )
+        _, failure = parse_worker_payload(
+            self.make_spec(0), payload, expected_token=1
+        )
+        assert failure is not None
+        assert failure.error_type == "FencingViolationError"
+
+    def test_no_expectation_accepts_anything(self):
+        result, failure = parse_worker_payload(
+            self.make_spec(0), self.ok_payload(0), expected_token=None
+        )
+        assert failure is None and result is not None

@@ -254,3 +254,101 @@ class TestTraceFile:
         path.write_bytes(b"definitely not a zip archive")
         report = validate_trace_file(path)
         assert report.codes() == ["trace-unreadable"]
+
+
+class TestJournalAndLease:
+    """The durability artifacts: journal.wal and supervisor.lease."""
+
+    def write_journal(self, run_dir, *appends, token=1):
+        from repro.runtime.journal import JOURNAL_FILENAME, Journal
+
+        with Journal(run_dir / JOURNAL_FILENAME, token=token) as journal:
+            for record_type, fields in appends:
+                journal.append(record_type, **fields)
+        return run_dir / JOURNAL_FILENAME
+
+    def test_healthy_journal_passes(self, clean_run):
+        self.write_journal(
+            clean_run,
+            ("campaign-start", {"experiments": ["figA"]}),
+            ("attempt-end", {"experiment_id": "figA", "status": "ok"}),
+            ("summary-flushed", {"status": "complete"}),
+        )
+        report = validate_run_dir(clean_run)
+        assert report.ok, report.render()
+        assert "journal-missing" not in report.codes()
+
+    def test_missing_journal_is_a_warning(self, clean_run):
+        report = validate_run_dir(clean_run)
+        missing = report.by_code("journal-missing")
+        assert missing and missing[0].severity == "warning"
+        assert report.ok
+
+    def test_torn_tail_is_a_warning(self, clean_run):
+        path = self.write_journal(
+            clean_run, ("campaign-start", {"experiments": ["figA"]})
+        )
+        with open(path, "ab") as handle:
+            handle.write(b"WAL1 dead")
+        report = validate_run_dir(clean_run)
+        torn = report.by_code("journal-torn")
+        assert torn and torn[0].severity == "warning"
+        assert report.ok
+
+    def test_mid_file_corruption_is_an_error(self, clean_run):
+        path = self.write_journal(
+            clean_run,
+            ("campaign-start", {"experiments": ["figA"]}),
+            ("summary-flushed", {"status": "complete"}),
+        )
+        blob = bytearray(path.read_bytes())
+        blob[8] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        report = validate_run_dir(clean_run)
+        assert "journal-corrupt" in report.codes()
+        assert not report.ok
+
+    def test_seq_regression_is_an_error(self, clean_run):
+        from repro.runtime.journal import JOURNAL_FILENAME, frame_record
+
+        lines = b"".join(
+            frame_record(
+                {"seq": seq, "token": 1, "t_wall": 0.0, "type": "recovered"}
+            )
+            for seq in (2, 1)
+        )
+        (clean_run / JOURNAL_FILENAME).write_bytes(lines)
+        report = validate_run_dir(clean_run)
+        assert "journal-seq" in report.codes()
+
+    def test_schema_violation_is_an_error(self, clean_run):
+        from repro.runtime.journal import JOURNAL_FILENAME, frame_record
+
+        record = {"seq": 1, "token": 1, "t_wall": 0.0, "type": "not-a-type"}
+        (clean_run / JOURNAL_FILENAME).write_bytes(frame_record(record))
+        report = validate_run_dir(clean_run)
+        assert "journal-schema" in report.codes()
+
+    def test_stale_lease_is_a_warning(self, clean_run):
+        import subprocess
+
+        from repro.runtime.lease import LEASE_FILENAME, LeaseState
+
+        proc = subprocess.Popen(["true"])
+        proc.wait()
+        state = LeaseState(
+            pid=proc.pid, token=1, acquired_wall=0.0, heartbeat_wall=0.0
+        )
+        (clean_run / LEASE_FILENAME).write_text(state.to_json())
+        report = validate_run_dir(clean_run)
+        stale = report.by_code("lease-stale")
+        assert stale and stale[0].severity == "warning"
+        assert report.ok
+
+    def test_undecodable_lease_is_an_error(self, clean_run):
+        from repro.runtime.lease import LEASE_FILENAME
+
+        (clean_run / LEASE_FILENAME).write_text("{half a lease")
+        report = validate_run_dir(clean_run)
+        assert "lease-schema" in report.codes()
+        assert not report.ok
