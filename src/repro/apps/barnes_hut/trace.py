@@ -28,6 +28,7 @@ from repro.apps.barnes_hut.octree import Cell, Octree
 from repro.apps.barnes_hut.partition import morton_partition
 from repro.mem.address import AddressSpace
 from repro.mem.trace import Trace, TraceBuilder
+from repro.obs.tracing import traced
 from repro.units import DOUBLE_WORD
 
 if TYPE_CHECKING:
@@ -161,6 +162,7 @@ class BarnesHutTraceGenerator:
 
     # -- trace ---------------------------------------------------------------
 
+    @traced("apps.barneshut.force_phase")
     def trace_for_processor(self, pid: int) -> Trace:
         """Trace processor ``pid`` computing forces on its partition."""
         if not 0 <= pid < self.num_processors:
@@ -220,6 +222,7 @@ class BarnesHutTraceGenerator:
             return self._body_owner(node.body_index)
         return 0
 
+    @traced("apps.barneshut.tree_build_phase")
     def build_trace_for_processor(self, pid: int) -> Trace:
         """Trace of the tree-build phase: processor ``pid`` inserts its
         bodies, walking root-to-leaf and updating child pointers.
@@ -249,6 +252,7 @@ class BarnesHutTraceGenerator:
                         tb.write(self._cell_addr(cell, offset))
         return tb.build()
 
+    @traced("apps.barneshut.moments_phase")
     def moments_trace_for_processor(self, pid: int) -> Trace:
         """Trace of the moment-computation phase: processor ``pid``
         computes mass/center-of-mass/quadrupole for the cells it owns,

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, List, Optional
 
 from repro.mem.address import AddressSpace
 from repro.mem.trace import Trace, TraceBuilder
+from repro.obs.tracing import traced
 from repro.units import DOUBLE_WORD
 
 if TYPE_CHECKING:
@@ -175,6 +176,7 @@ class CGTraceGenerator:
             tb.write(p_addr)
             self.flops += 10
 
+    @traced("apps.cg.trace_for_processor")
     def trace_for_processor(
         self, pid: int, iterations: int = 2, tile: Optional[int] = None
     ) -> Trace:

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.apps.fft.transform import stage_structure
 from repro.mem.address import AddressSpace
 from repro.mem.trace import Trace, TraceBuilder
+from repro.obs.tracing import traced
 from repro.units import DOUBLE_WORD
 
 if TYPE_CHECKING:
@@ -138,6 +139,7 @@ class FFTTraceGenerator:
             for addr in self._point_addrs(self.exchange, dest % self.n):
                 tb.write(addr)
 
+    @traced("apps.fft.trace_for_processor")
     def trace_for_processor(self, pid: int = 0) -> Trace:
         """Trace one processor through all radix-D stages of the FFT."""
         self.flops = 0.0

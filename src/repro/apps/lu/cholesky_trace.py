@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.apps.lu.trace import LUTraceGenerator
 from repro.mem.trace import Trace, TraceBuilder
+from repro.obs.tracing import traced
 
 
 class CholeskyTraceGenerator(LUTraceGenerator):
@@ -43,6 +44,7 @@ class CholeskyTraceGenerator(LUTraceGenerator):
                     tb.write(self._elem_addr(bi, bj, i, j))
                     self.flops += 2
 
+    @traced("apps.cholesky.trace_for_processor")
     def trace_for_processor(
         self, pid: int, max_k: Optional[int] = None, skip_k: int = 0
     ) -> Trace:

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, List, Optional
 
 from repro.mem.address import AddressSpace, Region
 from repro.mem.trace import Trace, TraceBuilder
+from repro.obs.tracing import traced
 from repro.units import DOUBLE_WORD
 
 if TYPE_CHECKING:
@@ -163,6 +164,7 @@ class LUTraceGenerator:
     # Whole-computation traces
     # ------------------------------------------------------------------
 
+    @traced("apps.lu.trace_for_processor")
     def trace_for_processor(
         self, pid: int, max_k: Optional[int] = None, skip_k: int = 0
     ) -> Trace:

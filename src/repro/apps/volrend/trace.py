@@ -25,6 +25,7 @@ from repro.apps.volrend.render import Camera, RayCaster
 from repro.apps.volrend.volume import VOXEL_BYTES, Volume
 from repro.mem.address import AddressSpace
 from repro.mem.trace import Trace, TraceBuilder
+from repro.obs.tracing import traced
 from repro.units import DOUBLE_WORD
 
 if TYPE_CHECKING:
@@ -129,6 +130,7 @@ class VolrendTraceGenerator:
 
     # -- trace ---------------------------------------------------------------
 
+    @traced("apps.volrend.trace_for_processor")
     def trace_for_processor(
         self,
         pid: int,

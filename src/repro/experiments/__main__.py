@@ -34,6 +34,17 @@ Usage::
                                       # adversarial fuzz of artifact readers
     python -m repro.experiments chaos --cycles 10
                                       # SIGKILL/resume chaos gate
+    python -m repro.experiments status runs/full --follow
+                                      # live per-experiment state/ETA
+    python -m repro.experiments report runs/full --html -o report.html
+                                      # static post-hoc campaign report
+
+Campaigns are observable by default (``--no-obs`` or ``REPRO_OBS=0``
+opts out): counters/gauges/histograms roll up into
+``<run_dir>/metrics.json``, spans into ``<run_dir>/spans.jsonl``, and
+the ``status`` / ``report`` subcommands reconstruct everything
+read-only from those artifacts plus the journal and event log.  See
+``docs/OBSERVABILITY.md``.
 
 Campaigns with a run directory are crash-consistent: every state
 transition is written ahead to ``<run_dir>/journal.wal`` (fsynced,
@@ -79,6 +90,9 @@ from repro.experiments import (
     table2,
     volrend_stealing,
 )
+from repro.obs import console
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.engine import (
     CampaignEngine,
@@ -255,6 +269,19 @@ def build_parser() -> argparse.ArgumentParser:
         f"first ATTEMPTS attempts (default 1); kinds: "
         f"{', '.join(INJECTABLE_FAULTS)}",
     )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress output (warnings and errors still print; "
+        "equivalent to REPRO_LOG_LEVEL=warning)",
+    )
+    parser.add_argument(
+        "--no-obs",
+        action="store_true",
+        dest="no_obs",
+        help="disable campaign telemetry (metrics.json, spans.jsonl); "
+        "REPRO_OBS=0/1 overrides in either direction",
+    )
     return parser
 
 
@@ -291,35 +318,36 @@ def parse_fault_plan(entries: List[str]) -> Dict[str, FaultSpec]:
 
 
 def _print_event(event: str, payload: object) -> None:
+    info = console.info
     if event == "resume" and isinstance(payload, ExperimentOutcome):
-        print(
+        info(
             f"[{payload.experiment_id} already completed "
             f"({payload.status}); skipping]\n"
         )
     elif event == "interrupted" and isinstance(payload, CampaignReport):
-        print(
+        info(
             f"\n[campaign interrupted: {len(payload.outcomes)} experiment(s) "
             "finished and checkpointed; rerun with --resume to complete "
             "the remainder]"
         )
         if payload.outcomes:
-            print(payload.render())
+            info(payload.render())
     elif event == "finish" and isinstance(payload, ExperimentOutcome):
         if payload.resumed:
             return
         if payload.succeeded and payload.result is not None:
-            print(payload.result.render())
+            info(payload.result.render())
             tag = " (degraded)" if payload.status == "degraded" else ""
-            print(
+            info(
                 f"[{payload.experiment_id} completed{tag} in "
                 f"{payload.elapsed_seconds:.1f}s]\n"
             )
         else:
-            print(f"[{payload.experiment_id} FAILED after "
-                  f"{payload.attempts} attempt(s)]")
+            info(f"[{payload.experiment_id} FAILED after "
+                 f"{payload.attempts} attempt(s)]")
             for failure in payload.failures:
-                print(f"  {failure.summary()}")
-            print()
+                info(f"  {failure.summary()}")
+            info("")
 
 
 def validate_command(argv: List[str]) -> int:
@@ -510,6 +538,139 @@ def verify_store_command(run_dir: str) -> int:
     return 1
 
 
+def status_command(argv: List[str]) -> int:
+    """``python -m repro.experiments status <run-dir>``.
+
+    One-shot (or ``--follow``) live view of a campaign run directory:
+    per-experiment state, attempt/retry counts, throughput, and ETA,
+    reconstructed read-only from ``events.jsonl``, ``journal.wal``,
+    ``summary.json``, the supervisor lease, and ``metrics.json`` —
+    torn tails and missing files degrade the view, never crash it.
+    Exit 0 whenever the directory could be inspected, 2 on usage
+    errors.
+    """
+    import time as _time
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments status",
+        description="Show live campaign status for a run directory.",
+    )
+    parser.add_argument("run_dir", metavar="RUN_DIR", help="campaign directory")
+    parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep re-rendering until the campaign is no longer running",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="refresh period with --follow (default: 2.0)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the status as JSON instead of text",
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    if args.interval <= 0:
+        print("--interval must be positive")
+        return 2
+    from pathlib import Path
+
+    if not Path(args.run_dir).is_dir():
+        print(f"status: {args.run_dir} is not a directory")
+        return 2
+
+    from repro.obs.status import load_status, render_status
+
+    try:
+        while True:
+            status = load_status(args.run_dir)
+            if args.json:
+                import json
+
+                print(json.dumps(status.to_dict(), indent=1, sort_keys=True))
+            else:
+                print(render_status(status))
+            if not args.follow or status.state != "running":
+                return 0
+            _time.sleep(args.interval)
+            print()
+    except BrokenPipeError:
+        # `status ... | head` closing the pipe is not an error.
+        sys.stderr.close()
+        return 0
+
+
+def report_command(argv: List[str]) -> int:
+    """``python -m repro.experiments report <run-dir>``.
+
+    Static post-hoc campaign report: timings, retry/fault/validation
+    summary, miss-rate result tables, metrics rollup, and slowest
+    spans, as markdown (default), HTML (``--html``), or JSON
+    (``--json``).  Exit 0 whenever the report could be produced, 2 on
+    usage errors.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments report",
+        description="Render a static report for a campaign run directory.",
+    )
+    parser.add_argument("run_dir", metavar="RUN_DIR", help="campaign directory")
+    parser.add_argument(
+        "--html",
+        action="store_true",
+        help="emit a self-contained HTML page instead of markdown",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable status/tally JSON instead",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    if args.html and args.json:
+        print("--html and --json are mutually exclusive")
+        return 2
+    from pathlib import Path
+
+    if not Path(args.run_dir).is_dir():
+        print(f"report: {args.run_dir} is not a directory")
+        return 2
+
+    from repro.obs.report import render_report, render_report_html, report_to_json
+
+    if args.json:
+        text = report_to_json(args.run_dir)
+    elif args.html:
+        text = render_report_html(args.run_dir)
+    else:
+        text = render_report(args.run_dir)
+    try:
+        if args.output is not None:
+            Path(args.output).write_text(text, encoding="utf-8")
+            print(f"report written to {args.output}")
+        else:
+            print(text)
+    except BrokenPipeError:
+        # `report ... | head` closing the pipe is not an error.
+        sys.stderr.close()
+    return 0
+
+
 #: Subcommand names dispatched before experiment-id parsing.  Safe
 #: because they can never collide with experiment ids (asserted by the
 #: CLI test suite).
@@ -517,6 +678,8 @@ SUBCOMMANDS = {
     "validate": validate_command,
     "fuzz": fuzz_command,
     "chaos": chaos_command,
+    "status": status_command,
+    "report": report_command,
 }
 
 
@@ -569,12 +732,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("--lease-ttl-seconds must be positive")
         return 2
 
+    if args.quiet:
+        console.set_quiet(True)
+
     # Arm the deterministic I/O fault injector when REPRO_IOFAULT is
     # set (testing and the chaos harness only; a no-op otherwise).
     install_from_env()
 
     run_dir = args.resume or args.run_dir
     store = CheckpointStore(run_dir) if run_dir else None
+
+    # Campaign telemetry: on by default, off with --no-obs; the
+    # REPRO_OBS environment variable overrides in either direction.
+    obs_metrics.set_obs_enabled(not args.no_obs)
+    obs_on = obs_metrics.obs_enabled()
+    if obs_on:
+        obs_metrics.get_registry().reset()
+    span_writer = None
+    if store is not None and obs_on:
+        try:
+            span_writer = obs_tracing.SpanWriter(
+                store.run_dir / obs_tracing.SPANS_FILENAME
+            )
+        except OSError as exc:
+            console.warning(f"[obs] spans.jsonl unavailable: {exc}")
+    if obs_on:
+        obs_tracing.configure(writer=span_writer)
 
     # Crash consistency for checkpointed campaigns: replay the journal
     # (truncating any torn tail), take the supervisor lease with a
@@ -639,6 +822,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         # interrupted event (printed above).
         return 1
     finally:
+        if obs_on:
+            obs_tracing.shutdown()  # closes the span writer too
         if event_log is not None:
             event_log.close()
         if journal is not None:

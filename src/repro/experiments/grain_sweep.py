@@ -128,7 +128,9 @@ def run(
 
 
 def main() -> None:
-    print(run().render())
+    from repro.obs.console import info
+
+    info(run().render())
 
 
 if __name__ == "__main__":

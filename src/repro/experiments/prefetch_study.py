@@ -120,7 +120,9 @@ def run(degree: int = 4) -> ExperimentResult:
 
 
 def main() -> None:
-    print(run().render())
+    from repro.obs.console import info
+
+    info(run().render())
 
 
 if __name__ == "__main__":

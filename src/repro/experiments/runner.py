@@ -199,10 +199,23 @@ def worker_main(stdin_text: Optional[str] = None) -> int:
         resolve_runner_ref,
     )
 
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import tracing as obs_tracing
+
     spec: Optional[AttemptSpec] = None
+    worker_tracer = None
     try:
         raw = sys.stdin.read() if stdin_text is None else stdin_text
         spec = AttemptSpec.from_json(raw)
+        if spec.obs:
+            # The supervisor asked for telemetry: collect metrics and
+            # buffer spans in-process; both ship back in the payload.
+            obs_metrics.set_obs_enabled(True)
+            worker_tracer = obs_tracing.configure(
+                trace_id=spec.trace_id,
+                root_parent=spec.parent_span_id,
+                buffered=True,
+            )
         apply_address_space_limit(spec.max_rss_mb)
         runner = resolve_runner_ref(spec.runner)
         budget = Budget(spec.budget_seconds)
@@ -216,8 +229,14 @@ def worker_main(stdin_text: Optional[str] = None) -> int:
                     workspace=Path(spec.workspace) if spec.workspace else None,
                     in_worker=True,
                 )
-            run = getattr(runner, "run", runner)
-            result = run(**spec.kwargs)
+            with obs_tracing.span(
+                "worker.run",
+                experiment_id=spec.experiment_id,
+                attempt=spec.attempt,
+                degraded=spec.degraded,
+            ):
+                run = getattr(runner, "run", runner)
+                result = run(**spec.kwargs)
         if not isinstance(result, CanonicalResult):
             raise TypeError(
                 f"experiment runner {runner!r} returned "
@@ -267,6 +286,31 @@ def worker_main(stdin_text: Optional[str] = None) -> int:
     # worker spawned by a superseded supervisor generation carries the
     # old token and is rejected at parse time (lease-based fencing).
     payload["token"] = spec.fencing_token if spec else 0
+
+    # Ship telemetry alongside the result: the worker's metrics
+    # snapshot, its buffered spans, and the process RSS peak.  Failures
+    # carry telemetry too — a failing attempt is exactly the one an
+    # operator wants numbers from.
+    if spec is not None and spec.obs:
+        rss_peak_kb: Optional[int] = None
+        try:
+            import resource
+
+            rss_peak_kb = int(
+                resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            )
+        except (ImportError, OSError):  # pragma: no cover - platform
+            pass
+        payload["obs"] = {
+            "metrics": obs_metrics.get_registry().snapshot(),
+            "spans": [
+                s.to_dict()
+                for s in (
+                    worker_tracer.drain() if worker_tracer is not None else []
+                )
+            ],
+            "rss_peak_kb": rss_peak_kb,
+        }
     with os.fdopen(payload_fd, "w", encoding="utf-8") as out:
         json.dump(payload, out)
         out.flush()

@@ -181,7 +181,9 @@ def run(processor_sweep: tuple = (64, 1024, 16384, 1_048_576)) -> ExperimentResu
 
 
 def main() -> None:
-    print(run().render())
+    from repro.obs.console import info
+
+    info(run().render())
 
 
 if __name__ == "__main__":

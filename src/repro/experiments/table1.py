@@ -198,7 +198,9 @@ def run(probe_n: float = 4096.0, num_processors: int = 1024) -> ExperimentResult
 
 
 def main() -> None:
-    print(run().render())
+    from repro.obs.console import info
+
+    info(run().render())
 
 
 if __name__ == "__main__":

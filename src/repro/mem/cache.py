@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.mem.lru import LRUList
 from repro.mem.trace import READ, Trace
+from repro.obs.metrics import hot_loop_sampler
 from repro.runtime.budget import CHECK_MASK, Budget, active_budget
 
 
@@ -126,10 +127,16 @@ class FullyAssociativeCache:
         ever_seen = self._ever_seen
         num_blocks = self.num_blocks
         stats = self.stats
+        sampler = hot_loop_sampler("mem.fullassoc")
         reads = writes = read_misses = write_misses = cold = 0
         for i, (block, kind) in enumerate(zip(blocks.tolist(), kinds.tolist())):
-            if budget is not None and not (i & CHECK_MASK):
-                budget.check("fully associative cache simulation")
+            # One masked branch covers both cooperative budget polling
+            # and obs sampling; off the mask this costs one AND + test.
+            if not (i & CHECK_MASK):
+                if budget is not None:
+                    budget.check("fully associative cache simulation")
+                if sampler is not None:
+                    sampler.tick(i)
             if kind == READ:
                 reads += 1
             else:
@@ -149,6 +156,8 @@ class FullyAssociativeCache:
         stats.read_misses += read_misses
         stats.write_misses += write_misses
         stats.cold_misses += cold
+        if sampler is not None:
+            sampler.finish(refs=reads + writes, misses=read_misses + write_misses)
         return stats
 
     def contains(self, addr: int) -> bool:

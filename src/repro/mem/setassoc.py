@@ -15,6 +15,7 @@ from typing import Optional
 from repro.mem.cache import CacheStats
 from repro.mem.lru import LRUList
 from repro.mem.trace import READ, Trace
+from repro.obs.metrics import hot_loop_sampler
 from repro.runtime.budget import CHECK_MASK, Budget, active_budget
 
 
@@ -102,12 +103,23 @@ class SetAssociativeCache:
         """
         if budget is None:
             budget = active_budget()
+        sampler = hot_loop_sampler("mem.setassoc")
+        misses_before = self.stats.misses
+        accesses_before = self.stats.accesses
         for i, (block, kind) in enumerate(
             zip(trace.block_ids(self.block_size).tolist(), trace.kinds.tolist())
         ):
-            if budget is not None and not (i & CHECK_MASK):
-                budget.check("set-associative cache simulation")
+            if not (i & CHECK_MASK):
+                if budget is not None:
+                    budget.check("set-associative cache simulation")
+                if sampler is not None:
+                    sampler.tick(i)
             self.access(block * self.block_size, kind)
+        if sampler is not None:
+            sampler.finish(
+                refs=self.stats.accesses - accesses_before,
+                misses=self.stats.misses - misses_before,
+            )
         return self.stats
 
     def reset_stats(self) -> None:

@@ -26,6 +26,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.mem.trace import READ, Trace
+from repro.obs.metrics import hot_loop_sampler
 from repro.runtime.budget import CHECK_MASK, Budget, active_budget
 
 
@@ -185,9 +186,13 @@ class StackDistanceProfiler:
         total = 0
         count_reads_only = self.count_reads_only
         warmup = self.warmup
+        sampler = hot_loop_sampler("mem.stackdist")
         for t in range(n):
-            if budget is not None and not (t & CHECK_MASK):
-                budget.check("stack-distance profiling")
+            if not (t & CHECK_MASK):
+                if budget is not None:
+                    budget.check("stack-distance profiling")
+                if sampler is not None:
+                    sampler.tick(t)
             block = blocks[t]
             counted = t >= warmup and (
                 not count_reads_only or kinds[t] == READ
@@ -208,6 +213,8 @@ class StackDistanceProfiler:
             tree.add(t, +1)
             last_time[block] = t
         # Trim the histogram to the maximum observed depth.
+        if sampler is not None:
+            sampler.finish(refs=n, misses=cold)
         nonzero = np.nonzero(hist)[0]
         top = int(nonzero[-1]) if nonzero.size else 0
         return StackDistanceProfile(

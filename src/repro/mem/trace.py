@@ -85,6 +85,11 @@ class TraceBuilder:
         return len(self._addrs)
 
     def build(self) -> "Trace":
+        from repro.obs import metrics as obs_metrics
+        from repro.obs.console import debug
+
+        debug(f"[trace] built {len(self._addrs):,} reference(s)")
+        obs_metrics.inc("mem.trace.refs_built", len(self._addrs))
         return Trace(
             np.asarray(self._addrs, dtype=np.int64),
             np.asarray(self._kinds, dtype=np.uint8),

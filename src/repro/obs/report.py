@@ -1,0 +1,375 @@
+"""Static post-hoc campaign report (markdown or HTML).
+
+``python -m repro.experiments report <run-dir>`` renders one document
+answering "what happened and where did the time go" for a finished (or
+interrupted) campaign: per-experiment timings and verdicts, the
+retry/fault/validation story from ``events.jsonl``, miss-rate result
+tables from the checkpointed outcomes, the campaign metrics rollup
+from ``metrics.json``, and the slowest spans from ``spans.jsonl``.
+
+Everything is reconstructed read-only through the same tolerant
+readers as :mod:`repro.obs.status`; a torn or damaged artifact costs a
+section, never the report.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.status import (
+    CampaignStatus,
+    _format_seconds,
+    load_metrics_snapshot,
+    load_status,
+)
+
+
+def _md_table(headers: List[str], rows: List[List[object]]) -> List[str]:
+    """Markdown table lines (empty when there are no rows)."""
+    if not rows:
+        return []
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return lines
+
+
+def _event_tallies(events: List[Dict[str, object]]) -> Dict[str, int]:
+    tally: Dict[str, int] = {}
+    for record in events:
+        name = record.get("event")
+        if isinstance(name, str):
+            tally[name] = tally.get(name, 0) + 1
+    return tally
+
+
+def _result_sections(run_dir: Path) -> List[str]:
+    """Paper-vs-measured tables from every valid result checkpoint."""
+    from repro.experiments.runner import ExperimentResult
+    from repro.runtime.checkpoint import CheckpointStore
+
+    store = CheckpointStore(run_dir)
+    lines: List[str] = []
+    for experiment_id in store.completed_ids():
+        try:
+            outcome = store.load_outcome(experiment_id)
+        except Exception:  # noqa: BLE001 - a bad checkpoint costs a section
+            continue
+        result = outcome.result
+        if not isinstance(result, ExperimentResult):
+            continue
+        lines.append(f"### {experiment_id}: {result.title}")
+        lines.append("")
+        meta = [f"status **{outcome.status}**", f"{outcome.attempts} attempt(s)"]
+        if outcome.elapsed_seconds:
+            meta.append(f"{_format_seconds(outcome.elapsed_seconds)} elapsed")
+        lines.append(", ".join(meta))
+        lines.append("")
+        if result.comparisons:
+            lines.extend(
+                _md_table(
+                    ["quantity", "paper", "measured", "unit", "ratio", "note"],
+                    [comp.row() for comp in result.comparisons],
+                )
+            )
+            lines.append("")
+        if result.curves:
+            rows = []
+            for curve in result.curves:
+                rates = list(curve.miss_rates)
+                rows.append(
+                    [
+                        curve.label or curve.metric,
+                        len(curve.capacities),
+                        f"{min(rates):.4g}" if rates else "-",
+                        f"{max(rates):.4g}" if rates else "-",
+                    ]
+                )
+            lines.extend(
+                _md_table(["curve", "points", "min miss rate", "max miss rate"], rows)
+            )
+            lines.append("")
+        for note in result.notes:
+            lines.append(f"> note: {note}")
+        if result.notes:
+            lines.append("")
+    return lines
+
+
+def _metrics_sections(run_dir: Path) -> List[str]:
+    snapshot = load_metrics_snapshot(run_dir)
+    if snapshot is None:
+        return ["_No readable `metrics.json` (campaign ran without obs?)._", ""]
+    campaign = snapshot.get("campaign")
+    lines: List[str] = []
+    if isinstance(campaign, dict):
+        counters = campaign.get("counters")
+        if isinstance(counters, dict) and counters:
+            lines.append("#### Counters")
+            lines.append("")
+            lines.extend(
+                _md_table(
+                    ["counter", "value"],
+                    [[name, counters[name]] for name in sorted(counters)],
+                )
+            )
+            lines.append("")
+        gauges = campaign.get("gauges")
+        if isinstance(gauges, dict) and gauges:
+            lines.append("#### Gauges")
+            lines.append("")
+            lines.extend(
+                _md_table(
+                    ["gauge", "value"],
+                    [[name, gauges[name]] for name in sorted(gauges)],
+                )
+            )
+            lines.append("")
+        histograms = campaign.get("histograms")
+        if isinstance(histograms, dict) and histograms:
+            rows = []
+            for name in sorted(histograms):
+                hist = histograms[name]
+                if not isinstance(hist, dict):
+                    continue
+                count = hist.get("count", 0)
+                total = hist.get("sum", 0.0)
+                mean = (
+                    f"{float(total) / float(count):.4g}"
+                    if isinstance(count, (int, float)) and count
+                    else "-"
+                )
+                rows.append([name, count, f"{float(total):.4g}", mean])
+            lines.append("#### Histograms")
+            lines.append("")
+            lines.extend(_md_table(["histogram", "count", "sum", "mean"], rows))
+            lines.append("")
+    attempts = snapshot.get("attempts")
+    if isinstance(attempts, dict) and attempts:
+        rows = []
+        for uid in sorted(attempts):
+            entry = attempts[uid]
+            if not isinstance(entry, dict):
+                continue
+            rss = entry.get("rss_peak_kb")
+            rows.append(
+                [
+                    uid,
+                    f"{int(rss):,}" if isinstance(rss, (int, float)) else "-",
+                    entry.get("spans", "-"),
+                ]
+            )
+        lines.append("#### Per-attempt telemetry")
+        lines.append("")
+        lines.extend(_md_table(["attempt uid", "rss peak (KiB)", "spans"], rows))
+        lines.append("")
+    return lines or ["_metrics.json holds no samples._", ""]
+
+
+def _span_sections(run_dir: Path, top: int = 12) -> List[str]:
+    from repro.obs.tracing import SPANS_FILENAME, read_spans
+
+    spans = read_spans(run_dir / SPANS_FILENAME)
+    if not spans:
+        return ["_No readable `spans.jsonl`._", ""]
+    slowest = sorted(spans, key=lambda s: s.dur_s, reverse=True)[:top]
+    rows = []
+    for span in slowest:
+        detail = ", ".join(
+            f"{key}={value}" for key, value in sorted(span.attrs.items())
+        )
+        rows.append(
+            [span.name, _format_seconds(span.dur_s), span.status, detail or "-"]
+        )
+    lines = [f"{len(spans)} span(s) recorded; slowest {len(slowest)}:", ""]
+    lines.extend(_md_table(["span", "duration", "status", "attributes"], rows))
+    lines.append("")
+    return lines
+
+
+def render_report(
+    run_dir: Union[str, Path],
+    status: Optional[CampaignStatus] = None,
+    now: Optional[float] = None,
+) -> str:
+    """Render the campaign report for ``run_dir`` as markdown."""
+    from repro.runtime.events import read_events
+
+    run_dir = Path(run_dir)
+    status = load_status(run_dir, now=now) if status is None else status
+    counts = status.counts()
+    now = time.time() if now is None else now
+
+    lines: List[str] = [
+        f"# Campaign report: `{status.run_dir}`",
+        "",
+        f"Generated {time.strftime('%Y-%m-%d %H:%M:%S', time.localtime(now))}"
+        f" — campaign state **{status.state}**.",
+        "",
+        "## Overview",
+        "",
+    ]
+    lines.extend(
+        _md_table(
+            ["requested", "ok", "degraded", "failed", "in-doubt", "pending"],
+            [
+                [
+                    len(status.requested),
+                    counts["ok"],
+                    counts["degraded"],
+                    counts["failed"],
+                    counts["in-doubt"],
+                    counts["pending"],
+                ]
+            ],
+        )
+    )
+    lines.append("")
+    if status.refs_simulated is not None or status.refs_per_second is not None:
+        bits = []
+        if status.refs_simulated is not None:
+            bits.append(f"{status.refs_simulated:,} references simulated")
+        if status.refs_per_second is not None:
+            bits.append(f"last hot-loop rate {status.refs_per_second:,.0f} refs/s")
+        lines.append("Throughput: " + ", ".join(bits) + ".")
+        lines.append("")
+    if status.trace_id:
+        lines.append(f"Trace id: `{status.trace_id}`.")
+        lines.append("")
+
+    # -- timings -------------------------------------------------------
+    lines.append("## Experiment timings")
+    lines.append("")
+    rows = []
+    for experiment_id in sorted(status.experiments):
+        entry = status.experiments[experiment_id]
+        rows.append(
+            [
+                experiment_id,
+                entry.state + (" (resumed)" if entry.resumed else ""),
+                entry.attempts,
+                entry.retries,
+                _format_seconds(entry.elapsed_seconds(now)),
+                entry.last_failure or "-",
+            ]
+        )
+    lines.extend(
+        _md_table(
+            ["experiment", "state", "attempts", "retries", "elapsed", "last failure"],
+            rows,
+        )
+        or ["_No experiments recorded._"]
+    )
+    lines.append("")
+
+    # -- retries / faults / validation ---------------------------------
+    lines.append("## Retries, faults, and validation")
+    lines.append("")
+    events = read_events(run_dir / "events.jsonl")
+    tallies = _event_tallies(events)
+    failed_attempts = sum(
+        entry.failed_attempts for entry in status.experiments.values()
+    )
+    kills = sum(entry.worker_kills for entry in status.experiments.values())
+    lines.extend(
+        _md_table(
+            ["signal", "count"],
+            [
+                ["retries", tallies.get("retry", 0)],
+                ["failed attempts", failed_attempts],
+                ["worker kills", kills],
+                ["checkpoint write retries", tallies.get("checkpoint-retry", 0)],
+                ["validated results", tallies.get("validated", 0)],
+                ["resumed experiments", tallies.get("resume", 0)],
+                ["obs snapshot failures", tallies.get("obs-snapshot-failed", 0)],
+            ],
+        )
+    )
+    lines.append("")
+    categories: Dict[str, int] = {}
+    for entry in status.experiments.values():
+        if entry.last_failure:
+            categories[entry.last_failure] = categories.get(entry.last_failure, 0) + 1
+    if categories:
+        lines.extend(
+            _md_table(
+                ["last failure category", "experiments"],
+                [[name, categories[name]] for name in sorted(categories)],
+            )
+        )
+        lines.append("")
+
+    # -- results -------------------------------------------------------
+    lines.append("## Results")
+    lines.append("")
+    result_lines = _result_sections(run_dir)
+    lines.extend(result_lines or ["_No valid result checkpoints._", ""])
+
+    # -- metrics / spans -----------------------------------------------
+    lines.append("## Metrics rollup")
+    lines.append("")
+    lines.extend(_metrics_sections(run_dir))
+    lines.append("## Spans")
+    lines.append("")
+    lines.extend(_span_sections(run_dir))
+
+    for note in status.notes:
+        lines.append(f"> {note}")
+    if status.notes:
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_report_html(
+    run_dir: Union[str, Path],
+    status: Optional[CampaignStatus] = None,
+    now: Optional[float] = None,
+) -> str:
+    """The same report wrapped as a static self-contained HTML page."""
+    markdown = render_report(run_dir, status=status, now=now)
+    title = _html.escape(f"Campaign report: {run_dir}")
+    body = _html.escape(markdown)
+    return (
+        "<!DOCTYPE html>\n"
+        "<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
+        f"<title>{title}</title>\n"
+        "<style>body{font-family:monospace;max-width:72rem;margin:2rem auto;"
+        "white-space:pre-wrap;}</style>\n"
+        "</head>\n<body>\n"
+        f"{body}\n"
+        "</body>\n</html>\n"
+    )
+
+
+def write_report(
+    run_dir: Union[str, Path],
+    output: Optional[Union[str, Path]] = None,
+    html: bool = False,
+) -> str:
+    """Render (and optionally write) the report; returns the text."""
+    text = (
+        render_report_html(run_dir) if html else render_report(run_dir)
+    )
+    if output is not None:
+        Path(output).write_text(text, encoding="utf-8")
+    return text
+
+
+def report_to_json(run_dir: Union[str, Path]) -> str:
+    """Machine-readable form: the status dict plus event tallies."""
+    from repro.runtime.events import read_events
+
+    run_dir = Path(run_dir)
+    status = load_status(run_dir)
+    payload = status.to_dict()
+    payload["event_tallies"] = _event_tallies(
+        read_events(run_dir / "events.jsonl")
+    )
+    return json.dumps(payload, indent=1, sort_keys=True)

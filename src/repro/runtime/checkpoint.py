@@ -33,6 +33,8 @@ import json
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing
 from repro.runtime.errors import CheckpointCorruptError
 from repro.runtime.iofault import atomic_write_text as _shared_atomic_write_text
 
@@ -142,8 +144,13 @@ class CheckpointStore:
         }
         # Single-writer discipline: the cross-process lock serializes
         # every envelope flush touching this run directory.
-        with file_lock(self.lock_path):
-            atomic_write_text(path, json.dumps(envelope, indent=1, sort_keys=True))
+        with tracing.span("checkpoint.write", file=path.name):
+            with file_lock(self.lock_path):
+                with obs_metrics.timed("runtime.checkpoint.write_seconds"):
+                    atomic_write_text(
+                        path, json.dumps(envelope, indent=1, sort_keys=True)
+                    )
+        obs_metrics.inc("runtime.checkpoint.writes")
 
     def _read_envelope(self, path: Path) -> Dict[str, object]:
         try:

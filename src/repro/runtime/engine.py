@@ -44,6 +44,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.runner import ExperimentResult
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing
 from repro.runtime.budget import Budget, activate
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.errors import CheckpointWriteError, ExperimentFailure
@@ -319,6 +321,10 @@ class CampaignEngine:
         self._store_lock = threading.RLock()
         self._emit_lock = threading.Lock()
         self._abort = threading.Event()
+        # Per-attempt observability detail (worker RSS peak, span
+        # counts), keyed by attempt_uid; folded into metrics.json.
+        self._obs_lock = threading.Lock()
+        self._obs_attempts: Dict[str, Dict[str, object]] = {}
 
     @property
     def fencing_token(self) -> int:
@@ -378,18 +384,25 @@ class CampaignEngine:
         self._abort.clear()
         collected: List[ExperimentOutcome] = []
         try:
-            if self.config.jobs == 0:
-                for experiment_id in wanted:
-                    collected.append(self.run_one(experiment_id))
-            else:
-                from repro.runtime.workers import WorkerPool
+            with tracing.span(
+                "campaign.run",
+                experiments=len(wanted),
+                jobs=self.config.jobs,
+                quick=self.config.quick,
+            ):
+                if self.config.jobs == 0:
+                    for experiment_id in wanted:
+                        collected.append(self.run_one(experiment_id))
+                else:
+                    from repro.runtime.workers import WorkerPool
 
-                WorkerPool(self, jobs=self.config.jobs).run(wanted, collected)
+                    WorkerPool(self, jobs=self.config.jobs).run(wanted, collected)
         except KeyboardInterrupt:
             self._finalize_interrupt(collected, wanted)
             raise
         report = CampaignReport(outcomes=collected)
         self._write_summary("complete", collected, wanted)
+        self._write_obs_snapshot()
         return report
 
     def run_one(
@@ -407,6 +420,7 @@ class CampaignEngine:
             if self.store is not None and self._resume_skips(experiment_id):
                 outcome = self.store.load_outcome(experiment_id)
                 outcome.resumed = True
+                obs_metrics.inc("engine.resumed")
                 self._emit("resume", outcome, experiment_id=experiment_id)
                 return outcome
 
@@ -443,16 +457,28 @@ class CampaignEngine:
                 degraded=degraded,
             )
             budget = Budget(config.budget_seconds, clock=config.clock)
-            result, failure = run_attempt(
-                experiment_id, attempt, degraded, kwargs, budget
-            )
-            if failure is None and config.validate:
-                failure = self._validate_attempt(
-                    experiment_id, result, attempt, degraded
+            obs_metrics.inc("engine.attempts")
+            if attempt > 1:
+                obs_metrics.inc("engine.retries")
+            with tracing.span(
+                "engine.attempt",
+                experiment_id=experiment_id,
+                attempt=attempt,
+                attempt_uid=uid,
+                degraded=degraded,
+            ):
+                result, failure = run_attempt(
+                    experiment_id, attempt, degraded, kwargs, budget
                 )
-                if failure is not None:
-                    result = None
+                if failure is None and config.validate:
+                    failure = self._validate_attempt(
+                        experiment_id, result, attempt, degraded
+                    )
+                    if failure is not None:
+                        result = None
+            self._note_attempt_obs(uid)
             if failure is not None:
+                obs_metrics.inc(f"engine.failures.{failure.category}")
                 failures.append(failure)
                 # A failed attempt commits nothing; its attempt-end can
                 # be journaled immediately.
@@ -547,6 +573,13 @@ class CampaignEngine:
                 attempts=outcome.attempts,
                 last_failure=failures[-1].category if failures else None,
             )
+        obs_metrics.inc(f"engine.outcomes.{outcome.status}")
+        obs_metrics.observe(
+            "engine.experiment_seconds",
+            outcome.elapsed_seconds,
+            buckets=obs_metrics.LATENCY_BUCKETS_S,
+        )
+        self._write_obs_snapshot()
         self._emit(
             "finish",
             outcome,
@@ -789,6 +822,94 @@ class CampaignEngine:
                 " expected ExperimentResult"
             )
         return result
+
+    # -- observability ------------------------------------------------
+
+    def record_worker_obs(self, spec, obs: Dict[str, object]) -> None:
+        """Fold one worker's shipped telemetry into the campaign rollup.
+
+        Called by the worker supervisor (from its pool thread, inside
+        the attempt span) with the ``obs`` block of a worker payload:
+        worker-process metrics merge into the campaign registry, worker
+        spans are re-emitted into the campaign span log under the
+        current attempt span, and the RSS peak is kept per attempt_uid
+        for ``metrics.json``.
+        """
+        uid = attempt_uid(spec.experiment_id, spec.fencing_token, spec.attempt)
+        entry: Dict[str, object] = {}
+        rss = obs.get("rss_peak_kb")
+        if isinstance(rss, (int, float)):
+            entry["rss_peak_kb"] = int(rss)
+            obs_metrics.set_gauge("worker.last_rss_peak_kb", int(rss))
+        metrics_snap = obs.get("metrics")
+        if isinstance(metrics_snap, dict) and obs_metrics.obs_enabled():
+            try:
+                obs_metrics.get_registry().merge_snapshot(metrics_snap)
+                entry["metrics_merged"] = True
+            except (ValueError, TypeError, KeyError):
+                entry["metrics_merged"] = False
+        spans = obs.get("spans")
+        if isinstance(spans, list) and spans:
+            tracer = tracing.get_tracer()
+            if tracer is not None:
+                entry["spans"] = tracer.ingest(
+                    spans, parent_id=tracer.current_span_id()
+                )
+        with self._obs_lock:
+            self._obs_attempts.setdefault(uid, {}).update(entry)
+
+    def _note_attempt_obs(self, uid: str) -> None:
+        """Ensure every attempt has a metrics.json entry (in-process
+        attempts have no worker to ship one)."""
+        if not obs_metrics.obs_enabled():
+            return
+        with self._obs_lock:
+            entry = self._obs_attempts.setdefault(uid, {})
+            if "rss_peak_kb" not in entry:
+                try:
+                    import resource
+
+                    entry["rss_peak_kb"] = int(
+                        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                    )
+                except (ImportError, OSError):  # pragma: no cover - platform
+                    pass
+        self._write_obs_snapshot()
+
+    def _write_obs_snapshot(self) -> None:
+        """Atomically refresh ``<run_dir>/metrics.json``.
+
+        Best-effort telemetry: an unwritable snapshot is logged, never
+        fatal — observability must not be able to fail a campaign.
+        """
+        if self.store is None or not obs_metrics.obs_enabled():
+            return
+        from repro.obs.metrics import METRICS_FORMAT
+        from repro.runtime.iofault import atomic_write_text
+
+        tracer = tracing.get_tracer()
+        with self._obs_lock:
+            snapshot = {
+                "format": METRICS_FORMAT,
+                "written_wall": time.time(),
+                "trace_id": tracer.trace_id if tracer is not None else None,
+                "campaign": obs_metrics.get_registry().snapshot(),
+                "attempts": {
+                    uid: dict(entry)
+                    for uid, entry in sorted(self._obs_attempts.items())
+                },
+            }
+        import json as _json
+
+        try:
+            atomic_write_text(
+                self.store.run_dir / obs_metrics.METRICS_FILENAME,
+                _json.dumps(snapshot, indent=1, sort_keys=True),
+                site="metrics",
+                durable=False,
+            )
+        except OSError as exc:
+            self.log_event("obs-snapshot-failed", error=str(exc))
 
     def log_event(
         self, event: str, experiment_id: Optional[str] = None, **detail: object

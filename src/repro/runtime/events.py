@@ -161,7 +161,7 @@ def read_events(path: Union[str, Path]) -> List[Dict[str, object]]:
     path = Path(path)
     if not path.is_file():
         return events
-    for line in path.read_text(encoding="utf-8").splitlines():
+    for line in path.read_text(encoding="utf-8", errors="replace").splitlines():
         line = line.strip()
         if not line:
             continue

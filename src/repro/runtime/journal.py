@@ -61,6 +61,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
+from repro.obs import metrics as obs_metrics
 from repro.runtime.errors import JournalCorruptError
 from repro.runtime.iofault import fsync_directory, io_fsync, io_write
 
@@ -180,7 +181,9 @@ class Journal:
                     record[key] = value
             io_write(fd, frame_record(record), "journal")
             if self.fsync:
-                io_fsync(fd, "journal")
+                with obs_metrics.timed("runtime.journal.fsync_seconds"):
+                    io_fsync(fd, "journal")
+            obs_metrics.inc("runtime.journal.appends")
             return record
 
     def close(self) -> None:

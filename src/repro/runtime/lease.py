@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Optional, Union
 
+from repro.obs import metrics as obs_metrics
 from repro.runtime.errors import LeaseHeldError
 from repro.runtime.iofault import atomic_write_text
 
@@ -216,9 +217,11 @@ class Lease:
         which fails safe, and fsyncing twice a TTL forever is real I/O.
         """
         self.state.heartbeat_wall = self._wall_clock()
-        atomic_write_text(
-            self.path, self.state.to_json(), site="lease", durable=False
-        )
+        with obs_metrics.timed("runtime.lease.heartbeat_seconds"):
+            atomic_write_text(
+                self.path, self.state.to_json(), site="lease", durable=False
+            )
+        obs_metrics.inc("runtime.lease.heartbeats")
 
     def start_heartbeat(self, interval_seconds: Optional[float] = None) -> None:
         """Refresh the heartbeat from a daemon thread until release."""

@@ -61,6 +61,8 @@ from importlib import import_module
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.experiments.runner import ExperimentResult
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing
 from repro.runtime.errors import (
     ExperimentFailure,
     FencingViolationError,
@@ -142,6 +144,9 @@ class AttemptSpec:
     fault: Optional[Dict[str, object]] = None
     workspace: Optional[str] = None
     fencing_token: int = 0
+    obs: bool = False
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
 
     def to_json(self) -> str:
         return json.dumps(
@@ -156,6 +161,9 @@ class AttemptSpec:
                 "fault": self.fault,
                 "workspace": self.workspace,
                 "fencing_token": self.fencing_token,
+                "obs": self.obs,
+                "trace_id": self.trace_id,
+                "parent_span_id": self.parent_span_id,
             }
         )
 
@@ -173,6 +181,9 @@ class AttemptSpec:
             fault=payload.get("fault"),
             workspace=payload.get("workspace"),
             fencing_token=int(payload.get("fencing_token", 0)),
+            obs=bool(payload.get("obs", False)),
+            trace_id=payload.get("trace_id"),
+            parent_span_id=payload.get("parent_span_id"),
         )
 
 
@@ -202,6 +213,7 @@ def parse_worker_payload(
     stdout: str,
     stderr_tail: str = "",
     expected_token: Optional[int] = None,
+    obs_sink: Optional[Callable[[Dict[str, object]], None]] = None,
 ) -> Tuple[Optional[ExperimentResult], Optional[ExperimentFailure]]:
     """Decode a worker's stdout into ``(result, failure)``.
 
@@ -216,6 +228,11 @@ def parse_worker_payload(
     :class:`~repro.runtime.errors.FencingViolationError` failure rather
     than committed.  A payload with no token field counts as token 0,
     so any fenced supervisor (token >= 1) rejects it too.
+
+    ``obs_sink`` receives the payload's optional ``obs`` block (worker
+    metrics snapshot, buffered spans, RSS peak) once the payload passes
+    the fencing check — telemetry from a fenced-out worker generation
+    is dropped with its result.
     """
     try:
         payload = json.loads(stdout)
@@ -233,6 +250,9 @@ def parse_worker_payload(
                     "is from a superseded supervisor and was rejected",
                     stderr_tail,
                 )
+        obs = payload.get("obs")
+        if obs_sink is not None and isinstance(obs, dict):
+            obs_sink(obs)
         if payload.get("ok"):
             return ExperimentResult.from_dict(payload["result"]), None
         return None, ExperimentFailure.from_dict(payload["failure"])
@@ -321,6 +341,9 @@ class WorkerSupervisor:
             time (not spawn time), so a token bumped mid-flight by a
             lease reclaim fences out workers already running.  None
             disables the check (legacy callers).
+        obs_sink: Callback ``(spec, obs_dict)`` receiving the telemetry
+            block a worker shipped in its payload (the pool wires the
+            engine's campaign rollup here).
     """
 
     def __init__(
@@ -330,6 +353,9 @@ class WorkerSupervisor:
         python: Optional[str] = None,
         on_event: Optional[Callable[[str, str, Dict[str, object]], None]] = None,
         current_token: Optional[Callable[[], int]] = None,
+        obs_sink: Optional[
+            Callable[[AttemptSpec, Dict[str, object]], None]
+        ] = None,
     ) -> None:
         if hard_timeout_seconds is not None and hard_timeout_seconds <= 0:
             raise ValueError("hard_timeout_seconds must be positive")
@@ -340,6 +366,7 @@ class WorkerSupervisor:
         self.python = python or sys.executable
         self.on_event = on_event
         self.current_token = current_token
+        self.obs_sink = obs_sink
         self._live: Dict[int, subprocess.Popen] = {}
         self._lock = threading.Lock()
 
@@ -349,19 +376,31 @@ class WorkerSupervisor:
         self, spec: AttemptSpec
     ) -> Tuple[Optional[ExperimentResult], Optional[ExperimentFailure]]:
         """Run one attempt in a fresh worker; classify however it ends."""
-        proc = subprocess.Popen(
-            [self.python, "-m", WORKER_MODULE],
-            stdin=subprocess.PIPE,
-            stdout=subprocess.PIPE,
-            stderr=subprocess.PIPE,
-            text=True,
-            env=worker_environment(),
-            start_new_session=True,  # own process group: killable as a unit
-        )
+        with tracing.span(
+            "worker.spawn", experiment_id=spec.experiment_id, attempt=spec.attempt
+        ) as spawn_span:
+            proc = subprocess.Popen(
+                [self.python, "-m", WORKER_MODULE],
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env=worker_environment(),
+                start_new_session=True,  # own process group: killable as a unit
+            )
+            if spawn_span is not None:
+                spawn_span.attrs["worker_pid"] = proc.pid
+        obs_metrics.inc("worker.spawns")
         with self._lock:
             self._live[proc.pid] = proc
         try:
-            return self._converse(spec, proc)
+            with tracing.span(
+                "worker.attempt",
+                experiment_id=spec.experiment_id,
+                attempt=spec.attempt,
+                worker_pid=proc.pid,
+            ):
+                return self._converse(spec, proc)
         finally:
             with self._lock:
                 self._live.pop(proc.pid, None)
@@ -401,8 +440,19 @@ class WorkerSupervisor:
             expected = (
                 self.current_token() if self.current_token is not None else None
             )
+            sink = None
+            if self.obs_sink is not None:
+                obs_sink = self.obs_sink
+
+                def sink(obs: Dict[str, object]) -> None:
+                    obs_sink(spec, obs)
+
             return parse_worker_payload(
-                spec, stdout or "", stderr_tail, expected_token=expected
+                spec,
+                stdout or "",
+                stderr_tail,
+                expected_token=expected,
+                obs_sink=sink,
             )
         if returncode < 0:
             return None, _worker_failure(
@@ -424,6 +474,7 @@ class WorkerSupervisor:
         self, spec: AttemptSpec, proc: subprocess.Popen
     ) -> Tuple[str, str]:
         """SIGTERM, wait out the grace period, then SIGKILL."""
+        obs_metrics.inc("worker.deadline_kills")
         self._emit(
             "worker-killed",
             spec.experiment_id,
@@ -551,7 +602,11 @@ class WorkerPool:
             term_grace_seconds=config.term_grace_seconds,
             on_event=self._supervisor_event,
             current_token=lambda: engine.fencing_token,
+            obs_sink=getattr(engine, "record_worker_obs", None),
         )
+        # Submit timestamps for queue-wait accounting (experiment id ->
+        # monotonic submit time); written once before the threads start.
+        self._submitted: Dict[str, float] = {}
 
     @staticmethod
     def _hard_deadline(config) -> Optional[float]:
@@ -594,6 +649,7 @@ class WorkerPool:
         workspace = None
         if engine.faults is not None and engine.faults.workspace is not None:
             workspace = str(engine.faults.workspace)
+        tracer = tracing.get_tracer()
         spec = AttemptSpec(
             experiment_id=experiment_id,
             runner=runner_ref(runner),
@@ -605,6 +661,11 @@ class WorkerPool:
             fault=fault_dict,
             workspace=workspace,
             fencing_token=engine.fencing_token,
+            obs=obs_metrics.obs_enabled(),
+            trace_id=tracer.trace_id if tracer is not None else None,
+            parent_span_id=(
+                tracer.current_span_id() if tracer is not None else None
+            ),
         )
         return self.supervisor.run_attempt(spec)
 
@@ -620,6 +681,8 @@ class WorkerPool:
         self.check_shippable(wanted)
         engine = self.engine
         outcomes: Dict[str, object] = {}
+        now = _monotonic()
+        self._submitted = {experiment_id: now for experiment_id in wanted}
         executor = ThreadPoolExecutor(
             max_workers=self.jobs, thread_name_prefix="campaign-worker"
         )
@@ -667,6 +730,20 @@ class WorkerPool:
         """Thread body: run one experiment; swallow abort, return None."""
         from repro.runtime.engine import CampaignAborted
 
+        submitted = self._submitted.get(experiment_id)
+        if submitted is not None:
+            wait_s = max(0.0, _monotonic() - submitted)
+            obs_metrics.observe("worker.queue_wait_seconds", wait_s)
+            tracer = tracing.get_tracer()
+            if tracer is not None:
+                import time as _time
+
+                tracer.record(
+                    "worker.queue_wait",
+                    t_wall=_time.time() - wait_s,
+                    dur_s=wait_s,
+                    experiment_id=experiment_id,
+                )
         try:
             return self.engine.run_one(
                 experiment_id, attempt_runner=self.run_attempt

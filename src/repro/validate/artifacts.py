@@ -40,6 +40,13 @@ finding code                defect class
 ``lease-stale``             a supervisor lease file left behind by a
                             dead owner (warning: reclaimed on resume)
 ``lease-schema``            lease file undecodable / violates schema
+``spans-torn``              undecodable span line *before* the end of
+                            ``spans.jsonl`` (only the tail may tear)
+``spans-schema``            span record violates the span schema
+``metrics-schema``          ``metrics.json`` undecodable or violates
+                            the snapshot schema
+``metrics-dangling-id``     metrics snapshot records telemetry for an
+                            attempt uid the journal/events never saw
 ``result-*`` / ``curve-*``  invariant-oracle findings on stored results
 ==========================  =============================================
 
@@ -311,6 +318,134 @@ def validate_trace_file(path: Union[str, Path]) -> ValidationReport:
     return report
 
 
+def validate_spans_file(path: Union[str, Path]) -> ValidationReport:
+    """Validate a ``spans.jsonl`` trace-span log line by line.
+
+    Same strictness contract as :func:`validate_events_file`: the span
+    writer is line-buffered and single-writer per process, so a crash
+    can only tear the final line.  An undecodable line anywhere earlier
+    is an error (``spans-torn``); a torn trailing line is the expected
+    crash signature and only warns.  Every intact record is checked
+    against the span schema (``spans-schema``), plus one invariant the
+    schema language cannot express: ``dur_s`` must not be NaN.
+    """
+    path = Path(path)
+    report = ValidationReport(subject=f"spans {path.name}")
+    if not path.is_file():
+        return report
+    lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        report.tick()
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+            if not isinstance(record, dict):
+                raise ValueError("span line is not a JSON object")
+        except (json.JSONDecodeError, ValueError) as exc:
+            severity = "error" if lineno < len(lines) else SEVERITY_WARNING
+            report.add(
+                "spans-torn",
+                f"line {lineno} is not a JSON object ({exc})"
+                + ("" if lineno < len(lines) else " [trailing line: tolerated]"),
+                path=str(path.name),
+                severity=severity,
+            )
+            continue
+        for problem in check_schema(record, schema_for("span")):
+            report.add(
+                "spans-schema", f"line {lineno}: {problem}", path=str(path.name)
+            )
+        dur = record.get("dur_s")
+        if isinstance(dur, float) and dur != dur:  # NaN sneaks past "number"
+            report.add(
+                "spans-schema",
+                f"line {lineno}: dur_s is NaN",
+                path=str(path.name),
+            )
+    return report
+
+
+def validate_metrics_file(
+    path: Union[str, Path],
+    known_uids: Optional[List[str]] = None,
+) -> ValidationReport:
+    """Validate a campaign ``metrics.json`` snapshot.
+
+    The snapshot is written atomically (tmp + rename) so partial JSON
+    indicts the storage and is an error (``metrics-schema``), as is any
+    schema violation or a histogram whose ``counts`` length is not
+    ``len(buckets) + 1`` (the +Inf overflow slot).  When ``known_uids``
+    is given, every per-attempt telemetry key must be an attempt uid
+    the journal or event log actually issued (``metrics-dangling-id``)
+    — telemetry for an attempt nobody started means the snapshot and
+    the run directory disagree about history.
+    """
+    path = Path(path)
+    report = ValidationReport(subject=f"metrics {path.name}")
+    if not path.is_file():
+        return report
+    report.tick()
+    try:
+        snapshot = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(snapshot, dict):
+            raise ValueError("metrics snapshot is not a JSON object")
+    except (json.JSONDecodeError, ValueError, OSError) as exc:
+        report.add("metrics-schema", f"undecodable: {exc}", path=path.name)
+        return report
+    for problem in check_schema(snapshot, schema_for("metrics")):
+        report.add("metrics-schema", problem, path=path.name)
+    campaign = snapshot.get("campaign")
+    histograms = (
+        campaign.get("histograms") if isinstance(campaign, dict) else None
+    )
+    if isinstance(histograms, dict):
+        for name, hist in sorted(histograms.items()):
+            if not isinstance(hist, dict):
+                continue
+            buckets = hist.get("buckets")
+            counts = hist.get("counts")
+            report.tick()
+            if (
+                isinstance(buckets, list)
+                and isinstance(counts, list)
+                and len(counts) != len(buckets) + 1
+            ):
+                report.add(
+                    "metrics-schema",
+                    f"histogram {name!r} has {len(counts)} count slot(s) "
+                    f"for {len(buckets)} bucket bound(s); expected "
+                    f"{len(buckets) + 1} (+Inf overflow)",
+                    path=path.name,
+                )
+            elif (
+                isinstance(counts, list)
+                and isinstance(hist.get("count"), int)
+                and all(isinstance(c, int) for c in counts)
+                and sum(counts) != hist["count"]
+            ):
+                report.add(
+                    "metrics-schema",
+                    f"histogram {name!r} bucket counts sum to "
+                    f"{sum(counts)} but count says {hist['count']}",
+                    path=path.name,
+                )
+    attempts = snapshot.get("attempts")
+    if known_uids is not None and isinstance(attempts, dict):
+        known = set(known_uids)
+        for uid in sorted(attempts):
+            report.tick()
+            if uid not in known:
+                report.add(
+                    "metrics-dangling-id",
+                    f"per-attempt telemetry for uid {uid!r} which neither "
+                    "the journal nor the event log ever started",
+                    path=path.name,
+                )
+    return report
+
+
 def validate_run_dir(
     run_dir: Union[str, Path], deep: bool = True
 ) -> ValidationReport:
@@ -455,6 +590,26 @@ def validate_run_dir(
             severity=SEVERITY_WARNING,
         )
     report.extend(validate_lease_file(run_dir / "supervisor.lease"))
+
+    # -- observability artifacts --------------------------------------
+    report.extend(validate_spans_file(run_dir / "spans.jsonl"))
+    known_uids: List[str] = []
+    if journal_path.is_file():
+        from repro.runtime.journal import read_journal
+
+        for record in read_journal(journal_path).records:
+            uid = record.get("attempt_uid")
+            if isinstance(uid, str):
+                known_uids.append(uid)
+    from repro.runtime.events import read_events
+
+    for record in read_events(store.events_path):
+        uid = record.get("attempt_uid")
+        if isinstance(uid, str):
+            known_uids.append(uid)
+    report.extend(
+        validate_metrics_file(run_dir / "metrics.json", known_uids=known_uids)
+    )
 
     # -- traces --------------------------------------------------------
     for path in sorted(run_dir.rglob("*.npz")):

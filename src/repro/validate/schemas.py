@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 #: Bumped whenever any artifact schema below changes shape.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 # -- the minimal validator -------------------------------------------------
 
@@ -272,6 +272,80 @@ TRACE_HEADER_SCHEMA: Dict[str, object] = {
     },
 }
 
+#: One line of ``spans.jsonl`` (:mod:`repro.obs.tracing`).  ``attrs``
+#: stays open: every span name carries its own detail attributes.
+SPAN_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["name", "trace_id", "span_id", "t_wall", "dur_s", "status"],
+    "properties": {
+        "name": {"type": "string"},
+        "trace_id": {"type": "string"},
+        "span_id": {"type": "string"},
+        "parent_id": {"type": "string"},
+        "t_wall": {"type": "number"},
+        "dur_s": {"type": "number", "minimum": 0},
+        "status": {"type": "string", "enum": ["ok", "error"]},
+        "attrs": {"type": "object"},
+        "pid": {"type": "integer", "minimum": 0},
+    },
+}
+
+#: One serialized histogram inside a metrics snapshot
+#: (:meth:`repro.obs.metrics.Histogram.snapshot`).  ``counts`` has one
+#: more slot than ``buckets`` (the +Inf overflow), checked by the
+#: artifact validator rather than the schema language.
+METRICS_HISTOGRAM_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["buckets", "counts", "sum", "count"],
+    "properties": {
+        "buckets": {"type": "array", "items": {"type": "number"}},
+        "counts": {"type": "array", "items": {"type": "integer", "minimum": 0}},
+        "sum": {"type": "number"},
+        "count": {"type": "integer", "minimum": 0},
+    },
+}
+
+#: The campaign metrics snapshot (``<run_dir>/metrics.json``, written
+#: by :meth:`repro.runtime.engine.CampaignEngine._write_obs_snapshot`).
+METRICS_SNAPSHOT_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["format", "written_wall", "campaign", "attempts"],
+    "properties": {
+        "format": {"type": "integer", "minimum": 1},
+        "written_wall": {"type": "number"},
+        "trace_id": {"type": ["string", "null"]},
+        "campaign": {
+            "type": "object",
+            "required": ["counters", "gauges", "histograms"],
+            "properties": {
+                "counters": {
+                    "type": "object",
+                    "additionalProperties": {"type": "number"},
+                },
+                "gauges": {
+                    "type": "object",
+                    "additionalProperties": {"type": "number"},
+                },
+                "histograms": {
+                    "type": "object",
+                    "additionalProperties": METRICS_HISTOGRAM_SCHEMA,
+                },
+            },
+        },
+        "attempts": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "properties": {
+                    "rss_peak_kb": {"type": "integer", "minimum": 0},
+                    "metrics_merged": {"type": "boolean"},
+                    "spans": {"type": "integer", "minimum": 0},
+                },
+            },
+        },
+    },
+}
+
 #: Artifact-kind name -> payload schema (what sits inside an envelope).
 PAYLOAD_SCHEMAS: Dict[str, Dict[str, object]] = {
     "manifest": MANIFEST_SCHEMA,
@@ -283,6 +357,8 @@ PAYLOAD_SCHEMAS: Dict[str, Dict[str, object]] = {
     "trace-header": TRACE_HEADER_SCHEMA,
     "journal-record": JOURNAL_RECORD_SCHEMA,
     "lease": LEASE_SCHEMA,
+    "span": SPAN_SCHEMA,
+    "metrics": METRICS_SNAPSHOT_SCHEMA,
 }
 
 

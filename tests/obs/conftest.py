@@ -1,0 +1,32 @@
+"""Shared isolation for the observability tests.
+
+Metrics, tracing, and console all keep deliberate process-global state
+(one registry, one ambient tracer, one console).  Every test in this
+package starts and ends with that state reset and the controlling
+environment variables unset, so tests cannot leak samples, spans, or
+log levels into each other — or into the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import console
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation(monkeypatch):
+    monkeypatch.delenv(obs_metrics.OBS_ENV, raising=False)
+    monkeypatch.delenv(obs_metrics.SAMPLE_ENV, raising=False)
+    monkeypatch.delenv(console.LOG_LEVEL_ENV, raising=False)
+    obs_metrics.set_obs_enabled(False)
+    obs_metrics.get_registry().reset()
+    obs_tracing.shutdown()
+    console.set_level(console.DEFAULT_LEVEL)
+    yield
+    obs_tracing.shutdown()
+    obs_metrics.set_obs_enabled(False)
+    obs_metrics.get_registry().reset()
+    console.set_level(console.DEFAULT_LEVEL)

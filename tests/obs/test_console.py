@@ -1,0 +1,60 @@
+"""Tests for the leveled console logger."""
+
+from __future__ import annotations
+
+from repro.obs import console
+from repro.obs.console import Console
+
+
+class TestLevels:
+    def test_info_goes_to_stdout(self, capsys):
+        console.info("progress line")
+        captured = capsys.readouterr()
+        assert captured.out == "progress line\n"
+        assert captured.err == ""
+
+    def test_warning_and_error_go_to_stderr(self, capsys):
+        console.warning("careful")
+        console.error("broken")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == "careful\nbroken\n"
+
+    def test_debug_hidden_at_default_level(self, capsys):
+        console.debug("noise")
+        assert capsys.readouterr().out == ""
+
+    def test_debug_visible_at_debug_level(self, capsys):
+        console.set_level("debug")
+        console.debug("noise")
+        assert capsys.readouterr().out == "noise\n"
+
+
+class TestQuiet:
+    def test_quiet_suppresses_progress_not_warnings(self, capsys):
+        console.set_quiet(True)
+        console.info("progress")
+        console.warning("still visible")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == "still visible\n"
+
+    def test_unquiet_restores_env_level(self, capsys, monkeypatch):
+        monkeypatch.setenv(console.LOG_LEVEL_ENV, "debug")
+        console.set_quiet(True)
+        console.set_quiet(False)
+        console.debug("back on")
+        assert capsys.readouterr().out == "back on\n"
+
+
+class TestEnvironment:
+    def test_env_level_honored_at_construction(self, monkeypatch):
+        monkeypatch.setenv(console.LOG_LEVEL_ENV, "warning")
+        fresh = Console()
+        assert not fresh.is_enabled("info")
+        assert fresh.is_enabled("warning")
+
+    def test_unknown_level_falls_back_to_info(self):
+        fresh = Console(level="noise-level")
+        assert fresh.is_enabled("info")
+        assert not fresh.is_enabled("debug")

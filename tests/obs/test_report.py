@@ -1,0 +1,200 @@
+"""Tests for the campaign report and the status/report CLI commands."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.report import render_report, render_report_html, report_to_json
+from repro.validate.fuzz import MUTATIONS
+
+from tests.obs.test_status import run_campaign
+from tests.runtime.conftest import FakeExperiment
+
+
+class TestRenderReport:
+    def test_completed_campaign_sections(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_campaign(run_dir, [FakeExperiment("a"), FakeExperiment("b")])
+        text = render_report(run_dir)
+        assert text.startswith("# Campaign report:")
+        assert "campaign state **complete**" in text
+        assert "## Overview" in text
+        assert "## Experiment timings" in text
+        assert "## Retries, faults, and validation" in text
+        assert "## Results" in text
+        assert "## Metrics rollup" in text
+        assert "## Spans" in text
+        assert "### a: fake a" in text
+        assert "### b: fake b" in text
+
+    def test_retry_story_counted(self, tmp_path):
+        from repro.runtime.errors import SimulationError
+
+        run_dir = tmp_path / "run"
+        run_campaign(
+            run_dir,
+            [FakeExperiment("flaky", fail_times=1, error=SimulationError("x"))],
+            max_attempts=2,
+        )
+        text = render_report(run_dir)
+        assert "| retries | 1 |" in text
+        assert "| failed attempts | 1 |" in text
+        assert "| simulation | 1 |" in text
+
+    def test_curve_and_comparison_tables(self, tmp_path):
+        from repro.core.curves import MissRateCurve
+        from repro.experiments.runner import SeriesComparison
+
+        run_dir = tmp_path / "run"
+        exp = FakeExperiment("figX")
+
+        original_run = exp.run
+
+        def run_with_artifacts(**kwargs):
+            result = original_run(**kwargs)
+            result.comparisons.append(
+                SeriesComparison(
+                    quantity="knee",
+                    paper_value=64.0,
+                    measured_value=64.0,
+                    unit="KB",
+                )
+            )
+            result.curves.append(
+                MissRateCurve(
+                    capacities=np.array([1024.0, 2048.0]),
+                    miss_rates=np.array([0.2, 0.1]),
+                    label="lu p=16",
+                )
+            )
+            return result
+
+        exp.run = run_with_artifacts
+        run_campaign(run_dir, [exp])
+        text = render_report(run_dir)
+        assert "| knee | 64" in text
+        assert "| lu p=16 | 2 | 0.1 | 0.2 |" in text
+
+    def test_spans_and_metrics_sections_render(self, tmp_path):
+        from repro.obs.metrics import METRICS_FORMAT
+
+        run_dir = tmp_path / "run"
+        run_campaign(run_dir, [FakeExperiment("a")])
+        (run_dir / "spans.jsonl").write_text(
+            json.dumps(
+                {
+                    "name": "campaign.run",
+                    "trace_id": "t",
+                    "span_id": "s",
+                    "t_wall": 1.0,
+                    "dur_s": 2.0,
+                    "status": "ok",
+                    "pid": 1,
+                }
+            )
+            + "\n"
+        )
+        (run_dir / "metrics.json").write_text(
+            json.dumps(
+                {
+                    "format": METRICS_FORMAT,
+                    "written_wall": 1.0,
+                    "trace_id": "t",
+                    "campaign": {
+                        "counters": {"engine.attempts": 1},
+                        "gauges": {},
+                        "histograms": {},
+                    },
+                    "attempts": {
+                        "a-1-2": {"rss_peak_kb": 2048, "spans": 3},
+                    },
+                }
+            )
+        )
+        text = render_report(run_dir)
+        assert "| engine.attempts | 1 |" in text
+        assert "| a-1-2 | 2,048 | 3 |" in text
+        assert "campaign.run" in text
+
+    def test_html_wraps_and_escapes(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_campaign(run_dir, [FakeExperiment("a")])
+        html = render_report_html(run_dir)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<title>Campaign report:" in html
+        assert "&lt;" not in render_report(run_dir)  # sanity: markdown is plain
+
+    def test_json_form_carries_status_and_tallies(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_campaign(run_dir, [FakeExperiment("a")])
+        payload = json.loads(report_to_json(run_dir))
+        assert payload["state"] == "complete"
+        assert payload["experiments"]["a"]["state"] == "ok"
+        assert payload["event_tallies"]["finish"] == 1
+
+    @pytest.mark.parametrize("mutation", sorted(MUTATIONS))
+    def test_mutated_events_never_break_the_report(self, tmp_path, mutation):
+        run_dir = tmp_path / "run"
+        run_campaign(run_dir, [FakeExperiment("a")])
+        target = run_dir / "events.jsonl"
+        rng = np.random.default_rng(11)
+        target.write_bytes(MUTATIONS[mutation](target.read_bytes(), rng))
+        text = render_report(run_dir)
+        assert text.startswith("# Campaign report:")
+
+
+class TestCli:
+    def _campaign(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_campaign(run_dir, [FakeExperiment("a")])
+        return run_dir
+
+    def test_status_command(self, tmp_path, capsys):
+        from repro.experiments.__main__ import status_command
+
+        run_dir = self._campaign(tmp_path)
+        assert status_command([str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "== campaign status:" in out
+        assert "state: complete" in out
+
+    def test_status_command_json(self, tmp_path, capsys):
+        from repro.experiments.__main__ import status_command
+
+        run_dir = self._campaign(tmp_path)
+        assert status_command([str(run_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["state"] == "complete"
+
+    def test_status_command_rejects_bad_inputs(self, tmp_path, capsys):
+        from repro.experiments.__main__ import status_command
+
+        assert status_command([str(tmp_path / "nope")]) == 2
+        run_dir = self._campaign(tmp_path)
+        assert status_command([str(run_dir), "--follow", "--interval", "0"]) == 2
+
+    def test_report_command_stdout_and_file(self, tmp_path, capsys):
+        from repro.experiments.__main__ import report_command
+
+        run_dir = self._campaign(tmp_path)
+        assert report_command([str(run_dir)]) == 0
+        assert "# Campaign report:" in capsys.readouterr().out
+
+        out_file = tmp_path / "report.html"
+        assert report_command([str(run_dir), "--html", "-o", str(out_file)]) == 0
+        assert out_file.read_text().startswith("<!DOCTYPE html>")
+
+    def test_report_command_rejects_conflicting_formats(self, tmp_path):
+        from repro.experiments.__main__ import report_command
+
+        run_dir = self._campaign(tmp_path)
+        assert report_command([str(run_dir), "--html", "--json"]) == 2
+
+    def test_subcommands_registered(self):
+        from repro.experiments.__main__ import SUBCOMMANDS
+
+        assert "status" in SUBCOMMANDS
+        assert "report" in SUBCOMMANDS

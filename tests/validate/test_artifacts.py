@@ -352,3 +352,110 @@ class TestJournalAndLease:
         report = validate_run_dir(clean_run)
         assert "lease-schema" in report.codes()
         assert not report.ok
+
+
+class TestObservabilityArtifacts:
+    """The spans/metrics validators added with the obs subsystem."""
+
+    def _span_line(self, **overrides):
+        record = {
+            "name": "campaign.run",
+            "trace_id": "t0",
+            "span_id": "s0",
+            "t_wall": 1.0,
+            "dur_s": 0.5,
+            "status": "ok",
+            "pid": 1,
+        }
+        record.update(overrides)
+        return json.dumps(record)
+
+    def _metrics(self, clean_run, **overrides):
+        payload = {
+            "format": 1,
+            "written_wall": 1.0,
+            "trace_id": "t0",
+            "campaign": {"counters": {}, "gauges": {}, "histograms": {}},
+            "attempts": {},
+        }
+        payload.update(overrides)
+        (clean_run / "metrics.json").write_text(json.dumps(payload))
+        return payload
+
+    def test_clean_spans_and_metrics_pass(self, clean_run):
+        (clean_run / "spans.jsonl").write_text(self._span_line() + "\n")
+        self._metrics(clean_run)
+        report = validate_run_dir(clean_run)
+        assert report.ok, report.render()
+
+    def test_torn_span_line_before_eof_is_an_error(self, clean_run):
+        (clean_run / "spans.jsonl").write_text(
+            '{"torn\n' + self._span_line() + "\n"
+        )
+        report = validate_run_dir(clean_run)
+        torn = report.by_code("spans-torn")
+        assert torn and torn[0].severity == "error"
+
+    def test_torn_trailing_span_line_only_warns(self, clean_run):
+        (clean_run / "spans.jsonl").write_text(
+            self._span_line() + "\n" + '{"torn'
+        )
+        report = validate_run_dir(clean_run)
+        torn = report.by_code("spans-torn")
+        assert torn and torn[0].severity == "warning"
+        assert report.ok
+
+    def test_span_schema_violation(self, clean_run):
+        (clean_run / "spans.jsonl").write_text(
+            self._span_line(status="exploded", dur_s=-1.0) + "\n"
+        )
+        report = validate_run_dir(clean_run)
+        assert "spans-schema" in report.codes()
+
+    def test_undecodable_metrics_is_an_error(self, clean_run):
+        (clean_run / "metrics.json").write_text('{"format": ')
+        report = validate_run_dir(clean_run)
+        assert "metrics-schema" in report.codes()
+
+    def test_metrics_schema_violation(self, clean_run):
+        self._metrics(clean_run, campaign={"counters": {"c": "NaN-ish"}})
+        report = validate_run_dir(clean_run)
+        assert "metrics-schema" in report.codes()
+
+    def test_histogram_count_arity_checked(self, clean_run):
+        self._metrics(
+            clean_run,
+            campaign={
+                "counters": {},
+                "gauges": {},
+                "histograms": {
+                    "h": {
+                        "buckets": [1.0, 2.0],
+                        "counts": [1, 2],
+                        "sum": 3.0,
+                        "count": 3,
+                    }
+                },
+            },
+        )
+        report = validate_run_dir(clean_run)
+        assert "metrics-schema" in report.codes()
+
+    def test_dangling_attempt_uid_detected(self, clean_run):
+        self._metrics(
+            clean_run,
+            attempts={"never-started-1-1": {"rss_peak_kb": 1, "spans": 0}},
+        )
+        report = validate_run_dir(clean_run)
+        assert "metrics-dangling-id" in report.codes()
+
+    def test_known_attempt_uid_accepted(self, clean_run):
+        with EventLog(clean_run / "events.jsonl") as log:
+            log.emit("start", experiment_id="figA", attempt_uid="figA-1-1")
+        self._metrics(
+            clean_run,
+            attempts={"figA-1-1": {"rss_peak_kb": 1, "spans": 0}},
+        )
+        report = validate_run_dir(clean_run)
+        assert "metrics-dangling-id" not in report.codes()
+        assert report.ok, report.render()
