@@ -72,6 +72,10 @@ JOURNAL_FILENAME = "journal.wal"
 JOURNAL_MAGIC = "WAL1"
 
 #: Record types the engine writes (validated by the journal schema).
+#: The last three belong to :mod:`repro.service`: ``cache-hit`` marks
+#: an experiment committed from the content-addressed cache instead of
+#: an attempt, and the ``submission-*`` pair frames the service-level
+#: WAL (``service.wal``) around each accepted campaign submission.
 RECORD_TYPES = (
     "campaign-start",
     "attempt-start",
@@ -80,6 +84,9 @@ RECORD_TYPES = (
     "summary-flushed",
     "interrupted",
     "recovered",
+    "cache-hit",
+    "submission-accepted",
+    "submission-done",
 )
 
 #: ``attempt-end`` statuses that commit an experiment.

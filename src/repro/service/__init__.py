@@ -1,0 +1,53 @@
+"""Multi-tenant campaign service.
+
+A long-running, stdlib-only HTTP/JSON service that runs reproduction
+campaigns for many tenants concurrently over one shared
+content-addressed result cache, with bounded admission queues,
+explicit backpressure, a circuit breaker around the worker pool, and
+a crash-consistent graceful drain.  See ``docs/SERVICE.md``.
+
+Layers (each usable standalone):
+
+- :mod:`repro.service.cache` — content-addressed experiment store
+  keyed by ``sha256(app, canonical params, code fingerprint)``.
+- :mod:`repro.service.admission` — per-tenant bounded queues with
+  fair-share (round-robin) dequeue and honest ``Retry-After``.
+- :mod:`repro.service.breaker` — three-state circuit breaker fed by
+  worker-pool failure categories.
+- :mod:`repro.service.engine` — :class:`CachedCampaignEngine`, the
+  cache- and breaker-aware subclass of the runtime engine.
+- :mod:`repro.service.http` — the :class:`CampaignService` supervisor
+  and its HTTP surface.
+"""
+
+from repro.service.admission import (
+    AdmissionClosed,
+    AdmissionController,
+    AdmissionRejected,
+)
+from repro.service.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+from repro.service.cache import ResultCache, cache_key, code_fingerprint
+from repro.service.engine import CachedCampaignEngine
+from repro.service.http import CampaignService, ServiceConfig, Submission
+
+__all__ = [
+    "AdmissionClosed",
+    "AdmissionController",
+    "AdmissionRejected",
+    "CachedCampaignEngine",
+    "CampaignService",
+    "CircuitBreaker",
+    "ResultCache",
+    "ServiceConfig",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "Submission",
+    "cache_key",
+    "code_fingerprint",
+]

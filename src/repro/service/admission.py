@@ -1,0 +1,229 @@
+"""Per-tenant bounded admission queues with fair-share dequeue.
+
+The service's memory story starts here: every accepted submission
+lives in exactly one bounded per-tenant queue, and nothing else in the
+process grows with client behaviour.  When a tenant's queue is full
+the submission is *refused* — explicitly, with a ``Retry-After``
+estimate — rather than buffered; when the whole service is at its
+global cap the refusal says "overloaded" instead of "slow down".  The
+HTTP layer maps the two cases onto 429 (per-tenant: the client's own
+backlog) and 503 (global: the service's problem).
+
+Dequeue is round-robin across tenants with pending work, so a tenant
+that floods its own queue delays only itself: with T active tenants
+each gets ~1/T of the dispatch slots regardless of queue depth — the
+same fair-share policy the paper applies to cache capacity across
+processors.
+
+``Retry-After`` is an honest estimate, not a constant: an EWMA of
+recent job service times (fed by the dispatcher via
+:meth:`note_service_time`) multiplied by the work queued ahead of the
+refused client, clamped to ``[1, 600]`` seconds.
+
+Thread-safe; :meth:`next_job` blocks on a condition variable.  Queue
+depths are exported per tenant as ``service.queue.depth.<tenant>``
+gauges.
+"""
+
+from __future__ import annotations
+
+import collections
+import re
+import threading
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.obs import metrics as obs_metrics
+
+#: Tenant names are path/metric-safe identifiers.
+TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+#: Default per-job service-time guess before any job has finished.
+DEFAULT_SERVICE_SECONDS = 5.0
+
+
+class AdmissionRejected(Exception):
+    """A submission was refused at the door.
+
+    Attributes:
+        scope: ``"tenant"`` (this tenant's queue is full -> HTTP 429)
+            or ``"service"`` (global capacity reached -> HTTP 503).
+        retry_after_seconds: Honest wait estimate for the client.
+    """
+
+    def __init__(self, message: str, scope: str, retry_after_seconds: int):
+        super().__init__(message)
+        self.scope = scope
+        self.retry_after_seconds = retry_after_seconds
+
+
+class AdmissionClosed(Exception):
+    """The service is draining; no new submissions are admitted."""
+
+
+class AdmissionController:
+    """Bounded per-tenant queues + fair-share dequeue (module docstring).
+
+    Args:
+        queue_capacity: Maximum queued submissions per tenant.
+        max_total: Maximum queued submissions across all tenants (the
+            global memory bound).
+    """
+
+    def __init__(self, queue_capacity: int = 8, max_total: int = 64) -> None:
+        if queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1 (got {queue_capacity})"
+            )
+        if max_total < queue_capacity:
+            raise ValueError(
+                f"max_total ({max_total}) must be >= queue_capacity "
+                f"({queue_capacity})"
+            )
+        self.queue_capacity = queue_capacity
+        self.max_total = max_total
+        self._cond = threading.Condition()
+        self._queues: Dict[str, Deque[object]] = {}
+        self._rotation: Deque[str] = collections.deque()
+        self._total = 0
+        self._closed = False
+        self._service_ewma = DEFAULT_SERVICE_SECONDS
+        self._have_sample = False
+
+    # -- submission --------------------------------------------------
+
+    def submit(
+        self, tenant: str, item: object, enforce_bounds: bool = True
+    ) -> int:
+        """Enqueue ``item`` for ``tenant``; returns its queue position.
+
+        ``enforce_bounds=False`` skips the capacity checks — used only
+        by WAL recovery re-admitting work that was already within
+        bounds when originally accepted (the bound may have shrunk in
+        the meantime, and dropping accepted work is never an option).
+
+        Raises:
+            ValueError: Malformed tenant name.
+            AdmissionClosed: The service is draining.
+            AdmissionRejected: The tenant queue or the service is full.
+        """
+        if not TENANT_RE.match(tenant):
+            raise ValueError(
+                f"invalid tenant name {tenant!r} (want {TENANT_RE.pattern})"
+            )
+        with self._cond:
+            if self._closed:
+                raise AdmissionClosed("service is draining")
+            if enforce_bounds and self._total >= self.max_total:
+                obs_metrics.inc("service.admission.rejected_service")
+                raise AdmissionRejected(
+                    f"service at capacity ({self._total} queued across "
+                    f"all tenants)",
+                    scope="service",
+                    retry_after_seconds=self._retry_after_locked(self._total),
+                )
+            queue = self._queues.get(tenant)
+            depth = len(queue) if queue is not None else 0
+            if enforce_bounds and depth >= self.queue_capacity:
+                obs_metrics.inc("service.admission.rejected_tenant")
+                raise AdmissionRejected(
+                    f"tenant {tenant!r} queue is full "
+                    f"({depth}/{self.queue_capacity})",
+                    scope="tenant",
+                    retry_after_seconds=self._retry_after_locked(depth),
+                )
+            if queue is None:
+                queue = collections.deque()
+                self._queues[tenant] = queue
+                self._rotation.append(tenant)
+            queue.append(item)
+            self._total += 1
+            obs_metrics.inc("service.admission.accepted")
+            self._export_depth(tenant, len(queue))
+            self._cond.notify()
+            return len(queue)
+
+    def _retry_after_locked(self, queued_ahead: int) -> int:
+        estimate = self._service_ewma * max(1, queued_ahead)
+        return max(1, min(600, int(round(estimate))))
+
+    def note_service_time(self, seconds: float) -> None:
+        """Fold one finished job's wall time into the Retry-After EWMA."""
+        if seconds < 0:
+            return
+        with self._cond:
+            if not self._have_sample:
+                self._service_ewma = seconds
+                self._have_sample = True
+            else:
+                self._service_ewma = 0.7 * self._service_ewma + 0.3 * seconds
+
+    # -- dequeue -----------------------------------------------------
+
+    def next_job(
+        self, timeout: Optional[float] = None
+    ) -> Optional[Tuple[str, object]]:
+        """Dequeue the next ``(tenant, item)`` fairly, or None.
+
+        Round-robin: the tenant served is moved to the back of the
+        rotation, so every tenant with pending work is visited before
+        any tenant is visited twice.  Returns None on timeout or when
+        the controller is closed and empty (the drain-complete signal).
+        """
+        with self._cond:
+            while True:
+                for _ in range(len(self._rotation)):
+                    tenant = self._rotation[0]
+                    self._rotation.rotate(-1)
+                    queue = self._queues.get(tenant)
+                    if queue:
+                        item = queue.popleft()
+                        self._total -= 1
+                        self._export_depth(tenant, len(queue))
+                        return tenant, item
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+
+    # -- drain / introspection ---------------------------------------
+
+    def close(self) -> None:
+        """Stop admitting; wake every blocked dispatcher.
+
+        Already-queued work stays queued — drain semantics are "finish
+        what was accepted", enforced by the caller draining
+        :meth:`next_job` until it returns None.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def pending_total(self) -> int:
+        with self._cond:
+            return self._total
+
+    def depths(self) -> Dict[str, int]:
+        """Current queue depth per tenant (tenants seen, even if 0)."""
+        with self._cond:
+            return {t: len(q) for t, q in sorted(self._queues.items())}
+
+    def drain_remaining(self) -> List[Tuple[str, object]]:
+        """Remove and return everything still queued (shutdown path)."""
+        with self._cond:
+            remaining: List[Tuple[str, object]] = []
+            for tenant in sorted(self._queues):
+                queue = self._queues[tenant]
+                while queue:
+                    remaining.append((tenant, queue.popleft()))
+                self._export_depth(tenant, 0)
+            self._total = 0
+            return remaining
+
+    def _export_depth(self, tenant: str, depth: int) -> None:
+        obs_metrics.set_gauge(f"service.queue.depth.{tenant}", depth)
+        obs_metrics.set_gauge("service.queue.depth_total", self._total)

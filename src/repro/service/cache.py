@@ -1,0 +1,478 @@
+"""Content-addressed experiment result cache.
+
+The paper's headline artifacts — miss-rate curves and working-set
+knees — are *pure functions* of ``(app, canonical params, code
+version)``: the simulators are deterministic and take no ambient
+input.  That makes repeated campaign sweeps ideal for memoization: a
+submission whose key was already computed can be served from the store
+without re-simulating anything.
+
+**Keying.**  ``cache_key`` extends the canonical-JSON + SHA-256
+discipline of :func:`repro.runtime.checkpoint._payload_digest` to the
+triple ``sha256(app, canonical params, code fingerprint)``.  Params
+are canonicalized through a JSON round-trip (tuples become lists, key
+order is fixed), so two submissions that *mean* the same parameters
+hash identically.  The code fingerprint digests every ``repro``
+source file, so upgrading the simulator silently invalidates every
+old entry — stale physics can never be served as fresh.
+
+**Layout** (under one cache root, shareable by many campaigns)::
+
+    objects/<key[:2]>/<key>.json    checksummed entry envelopes
+    cache-manifest.json             index: key -> {experiment_id, ...}
+    quarantine/                     entries that failed verification
+    locks/<key>.lock                per-key cross-process compute locks
+    locks/.manifest.lock            serializes manifest updates
+
+**Trust nothing on read.**  :meth:`ResultCache.get` re-verifies every
+entry before serving it: envelope format, payload SHA-256, the
+cache-entry schema, and that the stored key both matches the filename
+and recomputes from the stored ``(app, params, code)``.  Any failure
+moves the entry to ``quarantine/`` (atomic rename — it is *gone* from
+the serving path before the miss is reported) so the caller recomputes
+instead of consuming corruption.
+
+**Exactly-once compute.**  :meth:`ResultCache.get_or_compute` takes a
+per-key ``flock`` around the miss path with a double-check inside, so
+N threads *and* N processes racing one cold key perform exactly one
+simulation; the losers serve the winner's verified entry.  Writers are
+additionally stamped with their supervisor fencing token
+(:mod:`repro.runtime.lease`); ``put`` is first-writer-wins, so a stale
+generation can never replace a committed entry.
+
+Counters (``service.cache.hits`` / ``.misses`` / ``.quarantined`` /
+``.puts``) flow through :mod:`repro.obs.metrics` into ``metrics.json``
+and the ``report`` subcommand.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.obs import metrics as obs_metrics
+from repro.runtime.checkpoint import file_lock
+from repro.runtime.iofault import atomic_write_text
+
+#: Bumped when the entry envelope layout changes (old entries are then
+#: quarantined on read instead of served).
+CACHE_FORMAT = 1
+
+MANIFEST_FILENAME = "cache-manifest.json"
+OBJECTS_DIRNAME = "objects"
+QUARANTINE_DIRNAME = "quarantine"
+LOCKS_DIRNAME = "locks"
+
+#: Environment override for the code fingerprint (tests use it to
+#: simulate a code-version change without editing sources).
+FINGERPRINT_ENV = "REPRO_CODE_FINGERPRINT"
+
+
+class CacheKeyError(ValueError):
+    """Parameters cannot be canonicalized into a cache key."""
+
+
+def canonical_params(params: Dict[str, object]) -> Dict[str, object]:
+    """Normalize ``params`` into canonical JSON-compatible form.
+
+    A JSON round-trip collapses representation differences that do not
+    change meaning (tuples vs lists, dict insertion order), so the key
+    depends on what the parameters *are*, not how they were spelled.
+    """
+    try:
+        text = json.dumps(params, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise CacheKeyError(f"params are not canonicalizable: {exc}") from exc
+    return json.loads(text)
+
+
+def _digest(payload: object) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+_FINGERPRINT_CACHE: Dict[str, str] = {}
+
+
+def code_fingerprint() -> str:
+    """Digest of every ``repro`` source file (or the env override).
+
+    The fingerprint folds each file's repo-relative path and content
+    hash into one SHA-256, so any source edit — simulator, runtime,
+    experiment definition — changes every cache key and invalidates
+    the whole store without touching it.
+    """
+    override = os.environ.get(FINGERPRINT_ENV)
+    if override:
+        return override
+    cached = _FINGERPRINT_CACHE.get("computed")
+    if cached is not None:
+        return cached
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    entries = []
+    for path in sorted(root.rglob("*.py")):
+        entries.append(
+            [
+                str(path.relative_to(root)),
+                hashlib.sha256(path.read_bytes()).hexdigest(),
+            ]
+        )
+    fingerprint = _digest(entries)
+    _FINGERPRINT_CACHE["computed"] = fingerprint
+    return fingerprint
+
+
+def cache_key(
+    experiment_id: str,
+    params: Dict[str, object],
+    fingerprint: Optional[str] = None,
+) -> str:
+    """``sha256(app, canonical params, code fingerprint)`` as hex."""
+    return _digest(
+        {
+            "app": experiment_id,
+            "params": canonical_params(params),
+            "code": fingerprint or code_fingerprint(),
+        }
+    )
+
+
+class ResultCache:
+    """The content-addressed store (see module docstring).
+
+    Args:
+        root: Cache root directory; created on first write.
+        fingerprint: Code fingerprint override (defaults to
+            :func:`code_fingerprint`, resolved lazily per call so the
+            ``REPRO_CODE_FINGERPRINT`` override is honoured even when
+            set after construction).
+        wall_clock: Injectable time source for entry timestamps.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        fingerprint: Optional[str] = None,
+        wall_clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.root = Path(root)
+        self._fingerprint = fingerprint
+        self._wall_clock = wall_clock
+
+    # -- paths -------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / OBJECTS_DIRNAME
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / QUARANTINE_DIRNAME
+
+    @property
+    def locks_dir(self) -> Path:
+        return self.root / LOCKS_DIRNAME
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_FILENAME
+
+    def object_path(self, key: str) -> Path:
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    def lock_path(self, key: str) -> Path:
+        return self.locks_dir / f"{key}.lock"
+
+    def fingerprint(self) -> str:
+        return self._fingerprint or code_fingerprint()
+
+    def key_for(self, experiment_id: str, params: Dict[str, object]) -> str:
+        return cache_key(experiment_id, params, self.fingerprint())
+
+    # -- read path ---------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """Return the *verified* payload for ``key``, or None.
+
+        Never serves an unverified byte: a missing entry is a plain
+        miss; an entry that fails any verification step is quarantined
+        (atomically moved out of the serving path) and reported as a
+        miss, so the caller recomputes.  Counters are recorded here —
+        hits on success, quarantines on eviction; the ``misses``
+        counter belongs to :meth:`get_or_compute`, which knows whether
+        a miss actually led to a computation.
+        """
+        path = self.object_path(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            self._quarantine(path, f"unreadable: {exc}")
+            return None
+        problem = self._verify_entry_text(key, raw)
+        if problem is not None:
+            self._quarantine(path, problem)
+            return None
+        obs_metrics.inc("service.cache.hits")
+        return json.loads(raw)["payload"]
+
+    def _verify_entry_text(
+        self, key: str, raw: str, check_fingerprint: bool = True
+    ) -> Optional[str]:
+        """Why the entry must not be served, or None when it verifies."""
+        try:
+            envelope = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            return f"entry is not valid JSON: {exc}"
+        return verify_entry_envelope(
+            key, envelope, self.fingerprint() if check_fingerprint else None
+        )
+
+    def _quarantine(self, path: Path, reason: str) -> Optional[Path]:
+        """Atomically evict a bad entry into ``quarantine/``."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        target = self.quarantine_dir / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = self.quarantine_dir / f"{path.name}.{suffix}"
+        try:
+            os.replace(path, target)
+        except OSError:
+            # Lost a race with another evictor (or the entry vanished):
+            # either way it is out of the serving path, which is what
+            # quarantine is for.
+            return None
+        try:
+            target.with_suffix(target.suffix + ".reason").write_text(
+                reason + "\n", encoding="utf-8"
+            )
+        except OSError:
+            pass  # forensics are best-effort; eviction already happened
+        obs_metrics.inc("service.cache.quarantined")
+        return target
+
+    # -- write path --------------------------------------------------
+
+    def put(
+        self,
+        experiment_id: str,
+        params: Dict[str, object],
+        outcome: Dict[str, object],
+        token: int = 0,
+    ) -> Tuple[str, Path]:
+        """Store one computed outcome; first writer wins.
+
+        Returns ``(key, path)``.  If a *verified* entry already exists
+        for the key the existing entry is kept (idempotent put — a
+        superseded supervisor generation re-finishing an attempt must
+        not replace the committed entry), but a corrupt existing entry
+        is quarantined and replaced.
+        """
+        key = self.key_for(experiment_id, params)
+        with file_lock(self.lock_path(key)):
+            path = self._put_locked(key, experiment_id, params, outcome, token)
+        return key, path
+
+    def _put_locked(
+        self,
+        key: str,
+        experiment_id: str,
+        params: Dict[str, object],
+        outcome: Dict[str, object],
+        token: int,
+    ) -> Path:
+        """Write one entry; caller holds the per-key lock.
+
+        ``flock`` locks conflict across file descriptors even within
+        one process, so the lock is taken exactly once, here at the
+        boundary, never nested.
+        """
+        path = self.object_path(key)
+        payload: Dict[str, object] = {
+            "key": key,
+            "experiment_id": experiment_id,
+            "params": canonical_params(params),
+            "code_fingerprint": self.fingerprint(),
+            "created_wall": self._wall_clock(),
+            "token": int(token),
+            "outcome": outcome,
+        }
+        envelope = {
+            "format": CACHE_FORMAT,
+            "sha256": _digest(payload),
+            "payload": payload,
+        }
+        if path.is_file():
+            existing = self._verify_entry_text(
+                key, path.read_text(encoding="utf-8", errors="replace")
+            )
+            if existing is None:
+                return path  # committed entry stands: first writer wins
+            self._quarantine(path, existing)
+        atomic_write_text(
+            path,
+            json.dumps(envelope, indent=1, sort_keys=True),
+            site="cache",
+        )
+        self._manifest_record(key, experiment_id)
+        obs_metrics.inc("service.cache.puts")
+        return path
+
+    def _manifest_record(self, key: str, experiment_id: str) -> None:
+        """Add ``key`` to the manifest index (read-modify-write under
+        the manifest lock so concurrent writers never drop entries)."""
+        with file_lock(self.locks_dir / ".manifest.lock"):
+            manifest = self.read_manifest() or {
+                "format": CACHE_FORMAT,
+                "entries": {},
+            }
+            entries = manifest.setdefault("entries", {})
+            entries[key] = {
+                "experiment_id": experiment_id,
+                "file": str(self.object_path(key).relative_to(self.root)),
+                "created_wall": self._wall_clock(),
+            }
+            atomic_write_text(
+                self.manifest_path,
+                json.dumps(manifest, indent=1, sort_keys=True),
+                site="cache",
+            )
+            obs_metrics.set_gauge("service.cache.entries", len(entries))
+
+    def read_manifest(self) -> Optional[Dict[str, object]]:
+        """The manifest index, or None when absent/undecodable.
+
+        Tolerant by design: the manifest is an *index*, the entries
+        are the truth; ``validate`` flags disagreements.
+        """
+        try:
+            manifest = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        return manifest if isinstance(manifest, dict) else None
+
+    # -- the memoization seam ---------------------------------------
+
+    def get_or_compute(
+        self,
+        experiment_id: str,
+        params: Dict[str, object],
+        compute: Callable[[], Dict[str, object]],
+        token: int = 0,
+    ) -> Tuple[Dict[str, object], bool]:
+        """Serve a verified hit, or compute exactly once under lock.
+
+        Returns ``(outcome_dict, was_hit)``.  The fast path reads
+        without any lock (entries are immutable once committed); the
+        miss path takes the per-key flock and re-checks, so concurrent
+        threads and processes racing a cold key run ``compute`` exactly
+        once.  ``compute`` returning a *failed* outcome (status other
+        than ``"ok"``) is returned but never cached — a degraded
+        fallback answers a different question than the requested
+        parameters.
+        """
+        key = self.key_for(experiment_id, params)
+        entry = self.get(key)
+        if entry is not None:
+            return entry["outcome"], True
+        with file_lock(self.lock_path(key)):
+            entry = self.get(key)
+            if entry is not None:
+                return entry["outcome"], True
+            obs_metrics.inc("service.cache.misses")
+            outcome = compute()
+            if outcome.get("status") == "ok":
+                # Publish while still holding the lock: a racer's
+                # double-check must not find the key cold after we
+                # computed it.
+                self._put_locked(key, experiment_id, params, outcome, token)
+        return outcome, False
+
+    # -- integrity ---------------------------------------------------
+
+    def verify_all(self) -> Dict[str, str]:
+        """Check every entry; path -> problem for each bad one.
+
+        Read-only (no quarantining) — this is the ``--verify-store``
+        audit, not the serving path.
+        """
+        problems: Dict[str, str] = {}
+        if not self.objects_dir.is_dir():
+            return problems
+        for path in sorted(self.objects_dir.rglob("*.json")):
+            rel = str(path.relative_to(self.root))
+            try:
+                raw = path.read_text(encoding="utf-8")
+            except OSError as exc:
+                problems[rel] = f"unreadable: {exc}"
+                continue
+            # Entries written by an older code fingerprint are stale,
+            # not corrupt: they hash to different keys and are simply
+            # never looked up, so the audit does not indict them.
+            problem = self._verify_entry_text(
+                path.stem, raw, check_fingerprint=False
+            )
+            if problem is not None:
+                problems[rel] = problem
+        return problems
+
+
+def verify_entry_envelope(
+    key: str, envelope: object, fingerprint: Optional[str] = None
+) -> Optional[str]:
+    """Why a decoded entry envelope must not be served, or None.
+
+    Checks, in order: envelope shape and format, payload checksum, the
+    cache-entry schema, filename-vs-stored-key agreement, and that the
+    stored key recomputes from the stored ``(app, params, code)``.
+    When ``fingerprint`` is given, the entry must also have been
+    written by the *current* code version — an entry from older code
+    is stale, not corrupt, but equally unservable.
+    """
+    from repro.validate.schemas import check_schema, schema_for
+
+    if not isinstance(envelope, dict) or "payload" not in envelope:
+        return "entry has no payload envelope"
+    if envelope.get("format") != CACHE_FORMAT:
+        return (
+            f"entry has format {envelope.get('format')!r} "
+            f"(expected {CACHE_FORMAT})"
+        )
+    payload = envelope["payload"]
+    digest = _digest(payload)
+    if digest != envelope.get("sha256"):
+        return (
+            f"entry failed its integrity check (stored sha256 "
+            f"{envelope.get('sha256')!r}, recomputed {digest!r})"
+        )
+    problems = check_schema(payload, schema_for("cache-entry"))
+    if problems:
+        return f"entry violates the cache-entry schema: {problems[0]}"
+    stored_key = str(payload["key"])
+    if stored_key != key:
+        return f"entry is filed under {key!r} but records key {stored_key!r}"
+    recomputed = cache_key(
+        str(payload["experiment_id"]),
+        payload["params"],  # type: ignore[arg-type]
+        str(payload["code_fingerprint"]),
+    )
+    if recomputed != stored_key:
+        return (
+            f"stored key {stored_key!r} does not recompute from the stored "
+            f"(app, params, code) triple (got {recomputed!r})"
+        )
+    if fingerprint is not None and payload["code_fingerprint"] != fingerprint:
+        return (
+            "entry was written by code fingerprint "
+            f"{str(payload['code_fingerprint'])[:12]}… but the current code "
+            f"is {fingerprint[:12]}… (stale entry)"
+        )
+    return None

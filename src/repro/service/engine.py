@@ -1,0 +1,228 @@
+"""Cache-aware, breaker-aware campaign engine.
+
+:class:`CachedCampaignEngine` is the seam between the multi-tenant
+service and the crash-consistent engine of
+:mod:`repro.runtime.engine`: it keeps the whole recovery policy
+(retry, degradation, checkpoint, journal, fencing) and adds two
+service behaviours in front of it:
+
+- **Content-addressed memoization** — before running an experiment it
+  derives the *effective* parameters (full-scale or quick, exactly as
+  the base engine would), keys them through
+  :func:`repro.service.cache.cache_key`, and consults the shared
+  :class:`~repro.service.cache.ResultCache`.  A verified hit skips
+  simulation entirely: the stored outcome is journaled as a
+  ``cache-hit`` record, checkpointed into this campaign's own run
+  directory (so resume, validate, status, and report all see a normal
+  campaign), and returned.  A miss computes under the cache's per-key
+  cross-process lock — exactly once per key across every concurrent
+  campaign sharing the store — and commits the result for the next
+  submission.  Only ``ok`` outcomes are cached: a degraded fallback
+  answers different parameters than the ones keyed.
+- **Circuit-breaker degradation** — when the attached
+  :class:`~repro.service.breaker.CircuitBreaker` refuses full-scale
+  dispatch, the experiment runs at its ``QUICK_OVERRIDES``
+  parameterization instead of being refused outright, and the cache
+  key honestly reflects the quick parameters.  Worker-category
+  failures feed the breaker; a full-scale success (including the
+  half-open probe) closes it.
+
+The breaker override swaps ``config`` through a thread-local, because
+worker-pool supervisor threads call :meth:`run_one` concurrently and
+must not see each other's degradation decisions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Dict, Optional
+
+from repro.obs import metrics as obs_metrics
+from repro.runtime.checkpoint import file_lock
+from repro.runtime.engine import (
+    STATUS_OK,
+    AttemptRunner,
+    CampaignEngine,
+    ExperimentOutcome,
+)
+from repro.service.breaker import CircuitBreaker
+from repro.service.cache import ResultCache
+
+
+class CachedCampaignEngine(CampaignEngine):
+    """A :class:`CampaignEngine` with memoization and breaker gating.
+
+    Args:
+        cache: Shared content-addressed store (None disables
+            memoization — the engine then behaves like the base class
+            plus breaker gating).
+        breaker: Worker-pool circuit breaker (None disables gating).
+        *args, **kwargs: Forwarded to :class:`CampaignEngine`.
+    """
+
+    def __init__(
+        self,
+        *args,
+        cache: Optional[ResultCache] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        **kwargs,
+    ) -> None:
+        # The config property below reads the thread-local *before*
+        # the base __init__ assigns ``self.config`` (via our setter).
+        self._local = threading.local()
+        self._base_config = None
+        super().__init__(*args, **kwargs)
+        self.cache = cache
+        self.breaker = breaker
+        #: Experiment ids served from the cache during this run.
+        self.cache_hits: list = []
+
+    # The base engine reads ``self.config`` throughout run_one; the
+    # breaker's quick-degradation must only be visible to the thread
+    # that decided it, so the override lives in a thread-local.
+    @property
+    def config(self):
+        override = getattr(self._local, "override", None)
+        return override if override is not None else self._base_config
+
+    @config.setter
+    def config(self, value) -> None:
+        self._base_config = value
+
+    # -- the dispatch policy -----------------------------------------
+
+    def run_one(
+        self,
+        experiment_id: str,
+        attempt_runner: Optional[AttemptRunner] = None,
+    ) -> ExperimentOutcome:
+        if self.store is not None and self._resume_skips(experiment_id):
+            return super().run_one(experiment_id, attempt_runner)
+
+        breaker_degraded = (
+            self.breaker is not None
+            and not self._base_config.quick
+            and not self.breaker.allow_full_scale()
+        )
+        if self.cache is None:
+            return self._run_live(experiment_id, attempt_runner, breaker_degraded)
+
+        params = self._effective_params(experiment_id, breaker_degraded)
+        key = self.cache.key_for(experiment_id, params)
+        entry = self.cache.get(key)
+        if entry is not None:
+            return self._serve_hit(experiment_id, key, entry)
+        with file_lock(self.cache.lock_path(key)):
+            entry = self.cache.get(key)
+            if entry is not None:
+                hit = self._serve_hit(experiment_id, key, entry)
+            else:
+                obs_metrics.inc("service.cache.misses")
+                outcome = self._run_live(
+                    experiment_id, attempt_runner, breaker_degraded
+                )
+                # Only an ``ok`` outcome corresponds to the keyed
+                # parameters: a retry that degraded mid-flight ran
+                # quick params under a full-scale key.  Publish before
+                # releasing the lock so racers' double-checks hit.
+                if outcome.status == STATUS_OK:
+                    self.cache._put_locked(
+                        key,
+                        experiment_id,
+                        params,
+                        outcome.to_dict(),
+                        self.fencing_token,
+                    )
+                return outcome
+        return hit
+
+    def _effective_params(
+        self, experiment_id: str, breaker_degraded: bool
+    ) -> Dict[str, object]:
+        """The kwargs the first attempt will actually run with."""
+        _, base_kwargs = self.registry[experiment_id]
+        params = dict(base_kwargs)
+        if self._base_config.quick or breaker_degraded:
+            params.update(self.quick_overrides.get(experiment_id, {}))
+        return params
+
+    def _run_live(
+        self,
+        experiment_id: str,
+        attempt_runner: Optional[AttemptRunner],
+        breaker_degraded: bool,
+    ) -> ExperimentOutcome:
+        if breaker_degraded:
+            self._local.override = dataclasses.replace(
+                self._base_config, quick=True
+            )
+            obs_metrics.inc("service.breaker.degraded_dispatches")
+            self.log_event(
+                "breaker-degraded",
+                experiment_id,
+                state=self.breaker.state if self.breaker else None,
+            )
+        try:
+            outcome = super().run_one(experiment_id, attempt_runner)
+        finally:
+            if breaker_degraded:
+                self._local.override = None
+        if self.breaker is not None:
+            for failure in outcome.failures:
+                self.breaker.record_failure(failure.category)
+            if outcome.succeeded and not breaker_degraded:
+                # Only a full-scale success vouches for the pool; a
+                # quick run surviving a sick pool proves little.
+                self.breaker.record_success()
+        return outcome
+
+    def _serve_hit(
+        self, experiment_id: str, key: str, entry: Dict[str, object]
+    ) -> ExperimentOutcome:
+        """Commit a verified cache hit into this campaign's artifacts.
+
+        The hit is journaled (``cache-hit`` record) and checkpointed
+        like a computed outcome, so the run directory remains a
+        self-contained, resumable, auditable campaign; recovery
+        classifies the checkpoint as committed via the
+        ``checkpoint-flushed`` corroboration path.
+        """
+        outcome = ExperimentOutcome.from_dict(entry["outcome"])
+        outcome.resumed = False
+        if outcome.result is not None:
+            outcome.result.notes.append(
+                f"served from content-addressed cache (key {key[:12]}…)"
+            )
+        self.journal_append(
+            "cache-hit",
+            experiment_id=experiment_id,
+            key=key,
+            status=outcome.status,
+        )
+        if self.store is not None:
+            path = self._flush_outcome(outcome)
+            self.journal_append(
+                "checkpoint-flushed",
+                experiment_id=experiment_id,
+                status=outcome.status,
+                path=str(path.name),
+            )
+            self.log_event(
+                "checkpointed",
+                experiment_id,
+                status=outcome.status,
+                path=str(path),
+            )
+        self.log_event("cache-hit", experiment_id, key=key, status=outcome.status)
+        self.cache_hits.append(experiment_id)
+        obs_metrics.inc(f"engine.outcomes.{outcome.status}")
+        self._write_obs_snapshot()
+        self._emit(
+            "finish",
+            outcome,
+            experiment_id=experiment_id,
+            status=outcome.status,
+            attempts=outcome.attempts,
+        )
+        return outcome

@@ -237,6 +237,9 @@ JOURNAL_RECORD_SCHEMA: Dict[str, object] = {
                 "summary-flushed",
                 "interrupted",
                 "recovered",
+                "cache-hit",
+                "submission-accepted",
+                "submission-done",
             ],
         },
         "experiment_id": {"type": "string"},
@@ -346,6 +349,57 @@ METRICS_SNAPSHOT_SCHEMA: Dict[str, object] = {
     },
 }
 
+#: One entry of the content-addressed result cache
+#: (:mod:`repro.service.cache`): the payload inside the entry's
+#: integrity envelope.  The stored key must both match the filename
+#: and recompute from ``(experiment_id, params, code_fingerprint)`` —
+#: checked by :func:`repro.service.cache.verify_entry_envelope`, not
+#: expressible in the schema language.
+CACHE_ENTRY_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": [
+        "key",
+        "experiment_id",
+        "params",
+        "code_fingerprint",
+        "created_wall",
+        "token",
+        "outcome",
+    ],
+    "properties": {
+        "key": {"type": "string"},
+        "experiment_id": {"type": "string"},
+        "params": {"type": "object"},
+        "code_fingerprint": {"type": "string"},
+        "created_wall": {"type": "number"},
+        "token": {"type": "integer", "minimum": 0},
+        "outcome": OUTCOME_SCHEMA,
+    },
+}
+
+#: The cache's manifest index (``cache-manifest.json``).  The manifest
+#: is an index, the entries are the truth; ``validate`` flags
+#: disagreements between the two rather than trusting either blindly.
+CACHE_MANIFEST_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["format", "entries"],
+    "properties": {
+        "format": {"type": "integer", "minimum": 1},
+        "entries": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "required": ["experiment_id", "file"],
+                "properties": {
+                    "experiment_id": {"type": "string"},
+                    "file": {"type": "string"},
+                    "created_wall": {"type": "number"},
+                },
+            },
+        },
+    },
+}
+
 #: Artifact-kind name -> payload schema (what sits inside an envelope).
 PAYLOAD_SCHEMAS: Dict[str, Dict[str, object]] = {
     "manifest": MANIFEST_SCHEMA,
@@ -359,6 +413,8 @@ PAYLOAD_SCHEMAS: Dict[str, Dict[str, object]] = {
     "lease": LEASE_SCHEMA,
     "span": SPAN_SCHEMA,
     "metrics": METRICS_SNAPSHOT_SCHEMA,
+    "cache-entry": CACHE_ENTRY_SCHEMA,
+    "cache-manifest": CACHE_MANIFEST_SCHEMA,
 }
 
 

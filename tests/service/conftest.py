@@ -1,0 +1,61 @@
+"""Shared isolation and helpers for the service-layer tests.
+
+The service keeps deliberate process-global state through the obs
+registry (cache counters, queue-depth gauges, breaker state) and keys
+the cache by the live code fingerprint.  Every test here starts with
+metrics collection ON over a reset registry and a *pinned* code
+fingerprint, so cache keys are stable regardless of source edits and
+no counter leaks between tests — or into the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.service import cache as cache_mod
+
+from tests.runtime.conftest import (  # noqa: F401  (re-exported fixtures)
+    FakeClock,
+    FakeExperiment,
+    SleepRecorder,
+    fake_clock,
+    sleep_recorder,
+)
+
+#: Deterministic stand-in for the real code fingerprint.
+PINNED_FINGERPRINT = "test-fingerprint-0000"
+
+
+@pytest.fixture(autouse=True)
+def _service_isolation(monkeypatch):
+    monkeypatch.delenv(obs_metrics.OBS_ENV, raising=False)
+    monkeypatch.setenv(cache_mod.FINGERPRINT_ENV, PINNED_FINGERPRINT)
+    obs_metrics.set_obs_enabled(True)
+    obs_metrics.get_registry().reset()
+    yield
+    obs_metrics.set_obs_enabled(False)
+    obs_metrics.get_registry().reset()
+
+
+class ManualClock:
+    """A monotonic clock that only moves when told to (breaker tests)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def counter(name: str) -> float:
+    """Current value of one obs counter (0 when never incremented)."""
+    snapshot = obs_metrics.get_registry().snapshot()
+    return snapshot["counters"].get(name, 0)
+
+
+def gauge(name: str):
+    return obs_metrics.get_registry().snapshot()["gauges"].get(name)

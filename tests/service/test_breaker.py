@@ -1,0 +1,136 @@
+"""Circuit breaker state machine: trip on consecutive worker-category
+failures, cooldown, the single half-open probe, and close semantics.
+All transitions run on a manual clock — no sleeping, no flaking."""
+
+import pytest
+
+from repro.service.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+
+from tests.service.conftest import ManualClock, counter, gauge
+
+
+def make_breaker(threshold=3, cooldown=30.0):
+    clock = ManualClock()
+    return CircuitBreaker(
+        failure_threshold=threshold, cooldown_seconds=cooldown, clock=clock
+    ), clock
+
+
+class TestClosed:
+    def test_starts_closed_and_allows_full_scale(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.allow_full_scale()
+
+    def test_non_worker_failures_never_trip(self):
+        breaker, _ = make_breaker(threshold=2)
+        for _ in range(10):
+            breaker.record_failure("analysis")
+            breaker.record_failure("result-rejected")
+        assert breaker.state == STATE_CLOSED
+
+    def test_non_worker_failure_resets_the_consecutive_run(self):
+        breaker, _ = make_breaker(threshold=3)
+        breaker.record_failure("worker-crash")
+        breaker.record_failure("worker-timeout")
+        breaker.record_failure("analysis")  # the pool answered
+        breaker.record_failure("worker-crash")
+        breaker.record_failure("worker-crash")
+        assert breaker.state == STATE_CLOSED
+        assert breaker.consecutive_failures == 2
+
+    def test_success_resets_the_consecutive_run(self):
+        breaker, _ = make_breaker(threshold=2)
+        breaker.record_failure("worker-crash")
+        breaker.record_success()
+        breaker.record_failure("worker-crash")
+        assert breaker.state == STATE_CLOSED
+
+    def test_validates_constructor_args(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_seconds=-1)
+
+
+class TestTripAndCooldown:
+    def test_threshold_consecutive_worker_failures_trip(self):
+        breaker, _ = make_breaker(threshold=3)
+        for _ in range(3):
+            breaker.record_failure("worker-crash")
+        assert breaker.state == STATE_OPEN
+        assert not breaker.allow_full_scale()
+        assert counter("service.breaker.trips") == 1
+        assert gauge("service.breaker.state") == 2
+
+    def test_both_worker_categories_count_toward_one_run(self):
+        breaker, _ = make_breaker(threshold=2)
+        breaker.record_failure("worker-crash")
+        breaker.record_failure("worker-timeout")
+        assert breaker.state == STATE_OPEN
+
+    def test_open_refuses_until_the_cooldown_elapses(self):
+        breaker, clock = make_breaker(threshold=1, cooldown=30.0)
+        breaker.record_failure("worker-crash")
+        clock.advance(29.9)
+        assert not breaker.allow_full_scale()
+        clock.advance(0.2)
+        assert breaker.state == STATE_HALF_OPEN
+
+
+class TestHalfOpen:
+    def tripped(self):
+        breaker, clock = make_breaker(threshold=1, cooldown=10.0)
+        breaker.record_failure("worker-crash")
+        clock.advance(10.0)
+        return breaker, clock
+
+    def test_exactly_one_probe_is_admitted(self):
+        breaker, _ = self.tripped()
+        assert breaker.allow_full_scale()  # claims the probe slot
+        assert not breaker.allow_full_scale()
+        assert not breaker.allow_full_scale()
+        assert counter("service.breaker.probes") == 1
+
+    def test_probe_success_closes(self):
+        breaker, _ = self.tripped()
+        assert breaker.allow_full_scale()
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.allow_full_scale()
+        assert counter("service.breaker.closes") == 1
+
+    def test_probe_worker_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = self.tripped()
+        assert breaker.allow_full_scale()
+        breaker.record_failure("worker-timeout")
+        assert breaker.state == STATE_OPEN
+        clock.advance(9.9)
+        assert not breaker.allow_full_scale()
+        clock.advance(0.2)
+        assert breaker.allow_full_scale()  # next probe
+
+    def test_probe_failing_for_experiment_reasons_closes(self):
+        # The pool answered; the experiment itself was wrong.  That is
+        # a healthy pool, so the breaker must not stay wedged half-open.
+        breaker, _ = self.tripped()
+        assert breaker.allow_full_scale()
+        breaker.record_failure("analysis")
+        assert breaker.state == STATE_CLOSED
+        assert breaker.allow_full_scale()
+
+
+class TestDescribe:
+    def test_describe_reports_live_state(self):
+        breaker, clock = make_breaker(threshold=1, cooldown=5.0)
+        breaker.record_failure("worker-crash")
+        desc = breaker.describe()
+        assert desc["state"] == STATE_OPEN
+        assert desc["consecutive_failures"] == 1
+        clock.advance(5.0)
+        assert breaker.describe()["state"] == STATE_HALF_OPEN

@@ -1,0 +1,191 @@
+"""Content-addressed result cache: keying, verified reads, quarantine,
+first-writer-wins publication, and the memoization seam."""
+
+import json
+
+import pytest
+
+from repro.service.cache import (
+    CacheKeyError,
+    ResultCache,
+    cache_key,
+    canonical_params,
+    code_fingerprint,
+    verify_entry_envelope,
+)
+
+from tests.service.conftest import PINNED_FINGERPRINT, counter
+
+
+def ok_outcome(experiment_id: str = "a") -> dict:
+    return {"experiment_id": experiment_id, "status": "ok", "value": 42}
+
+
+class TestKeying:
+    def test_key_ignores_dict_order_and_tuple_spelling(self):
+        a = cache_key("fig2", {"n": 100, "grid": (4, 4)}, "f")
+        b = cache_key("fig2", {"grid": [4, 4], "n": 100}, "f")
+        assert a == b
+
+    def test_key_distinguishes_params_app_and_code(self):
+        base = cache_key("fig2", {"n": 100}, "f")
+        assert cache_key("fig2", {"n": 101}, "f") != base
+        assert cache_key("fig3", {"n": 100}, "f") != base
+        assert cache_key("fig2", {"n": 100}, "g") != base
+
+    def test_canonical_params_round_trips_tuples(self):
+        assert canonical_params({"grid": (4, 4)}) == {"grid": [4, 4]}
+
+    def test_uncanonicalizable_params_raise(self):
+        with pytest.raises(CacheKeyError):
+            cache_key("fig2", {"bad": object()}, "f")
+
+    def test_env_override_pins_the_fingerprint(self):
+        # The conftest pins REPRO_CODE_FINGERPRINT for every test here.
+        assert code_fingerprint() == PINNED_FINGERPRINT
+
+    def test_code_change_invalidates_by_changing_the_key(self, tmp_path):
+        old = ResultCache(tmp_path, fingerprint="code-v1")
+        new = ResultCache(tmp_path, fingerprint="code-v2")
+        old.put("a", {"n": 1}, ok_outcome())
+        assert new.get(new.key_for("a", {"n": 1})) is None  # plain miss
+
+
+class TestRoundTrip:
+    def test_put_then_get_serves_the_verified_payload(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key, path = cache.put("a", {"n": 1}, ok_outcome())
+        assert path.is_file()
+        entry = cache.get(key)
+        assert entry["outcome"] == ok_outcome()
+        assert entry["experiment_id"] == "a"
+        assert counter("service.cache.hits") == 1
+        assert counter("service.cache.puts") == 1
+
+    def test_missing_key_is_a_plain_miss(self, tmp_path):
+        assert ResultCache(tmp_path).get("0" * 64) is None
+        assert counter("service.cache.quarantined") == 0
+
+    def test_first_writer_wins(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key, _ = cache.put("a", {"n": 1}, ok_outcome())
+        cache.put("a", {"n": 1}, {**ok_outcome(), "value": 99})
+        assert cache.get(key)["outcome"]["value"] == 42
+
+    def test_manifest_indexes_every_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key, _ = cache.put("a", {"n": 1}, ok_outcome())
+        manifest = cache.read_manifest()
+        assert manifest["entries"][key]["experiment_id"] == "a"
+
+
+class TestQuarantine:
+    def test_tampered_entry_is_quarantined_not_served(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key, path = cache.put("a", {"n": 1}, ok_outcome())
+        path.write_text(
+            path.read_text(encoding="utf-8").replace('"value": 42', '"value": 43'),
+            encoding="utf-8",
+        )
+        assert cache.get(key) is None
+        assert not path.exists()
+        quarantined = list(cache.quarantine_dir.glob("*.json"))
+        assert len(quarantined) == 1
+        reason = quarantined[0].with_suffix(".json.reason").read_text()
+        assert "integrity" in reason
+        assert counter("service.cache.quarantined") == 1
+
+    def test_entry_filed_under_wrong_key_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key, path = cache.put("a", {"n": 1}, ok_outcome())
+        wrong = "f" * 64
+        wrong_path = cache.object_path(wrong)
+        wrong_path.parent.mkdir(parents=True, exist_ok=True)
+        wrong_path.write_text(path.read_text(encoding="utf-8"), encoding="utf-8")
+        assert cache.get(wrong) is None
+        assert not wrong_path.exists()
+        assert cache.get(key) is not None  # the real entry is untouched
+
+    def test_undecodable_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key, path = cache.put("a", {"n": 1}, ok_outcome())
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+        assert counter("service.cache.quarantined") == 1
+
+    def test_put_replaces_a_corrupt_existing_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key, path = cache.put("a", {"n": 1}, ok_outcome())
+        path.write_text("{not json", encoding="utf-8")
+        cache.put("a", {"n": 1}, ok_outcome())
+        assert cache.get(key)["outcome"] == ok_outcome()
+        assert list(cache.quarantine_dir.glob("*.json"))  # evicted, kept
+
+
+class TestGetOrCompute:
+    def test_computes_once_then_serves_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return ok_outcome()
+
+        first, was_hit = cache.get_or_compute("a", {"n": 1}, compute)
+        second, was_hit2 = cache.get_or_compute("a", {"n": 1}, compute)
+        assert (was_hit, was_hit2) == (False, True)
+        assert first == second == ok_outcome()
+        assert len(calls) == 1
+        assert counter("service.cache.misses") == 1
+
+    def test_failed_outcomes_are_returned_but_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        failed = {"experiment_id": "a", "status": "failed"}
+        outcome, was_hit = cache.get_or_compute("a", {"n": 1}, lambda: failed)
+        assert outcome == failed and not was_hit
+        assert cache.get(cache.key_for("a", {"n": 1})) is None
+
+    def test_corrupt_entry_is_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key, path = cache.put("a", {"n": 1}, ok_outcome())
+        path.write_text("{not json", encoding="utf-8")
+        outcome, was_hit = cache.get_or_compute(
+            "a", {"n": 1}, lambda: {**ok_outcome(), "value": 7}
+        )
+        assert not was_hit and outcome["value"] == 7
+        assert cache.get(key)["outcome"]["value"] == 7  # republished
+
+
+class TestVerifyAll:
+    def test_clean_store_verifies(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a", {"n": 1}, ok_outcome())
+        cache.put("b", {"n": 2}, ok_outcome("b"))
+        assert cache.verify_all() == {}
+
+    def test_corruption_is_reported_not_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key, path = cache.put("a", {"n": 1}, ok_outcome())
+        path.write_text("{not json", encoding="utf-8")
+        problems = cache.verify_all()
+        assert list(problems) == [str(path.relative_to(cache.root))]
+        assert path.exists()  # read-only audit
+
+    def test_stale_fingerprint_entries_are_not_indicted(self, tmp_path):
+        old = ResultCache(tmp_path, fingerprint="code-v1")
+        old.put("a", {"n": 1}, ok_outcome())
+        assert ResultCache(tmp_path, fingerprint="code-v2").verify_all() == {}
+
+
+class TestEnvelopeVerifier:
+    def test_stale_entry_is_unservable_when_fingerprint_given(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="code-v1")
+        key, path = cache.put("a", {"n": 1}, ok_outcome())
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        assert verify_entry_envelope(key, envelope, "code-v1") is None
+        assert "stale" in verify_entry_envelope(key, envelope, "code-v2")
+
+    def test_rejects_missing_payload_and_bad_format(self):
+        assert verify_entry_envelope("k", {"format": 1}) is not None
+        assert verify_entry_envelope("k", {"format": 99, "payload": {}}) is not None
+        assert verify_entry_envelope("k", "not a dict") is not None

@@ -1,0 +1,178 @@
+"""Concurrent multi-campaign access to one shared content-addressed
+store: N threads *and* N spawned processes race the same cold keys and
+the per-key flock + publish-under-lock protocol must yield exactly one
+computation per key, with no torn or unverifiable entries."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+from repro.service.cache import ResultCache
+
+from tests.service.conftest import PINNED_FINGERPRINT
+
+KEYS = [("expA", {"n": 1}), ("expB", {"n": 2}), ("expC", {"n": 3})]
+
+
+def compute_marker(markers: Path, experiment_id: str):
+    """A compute() that leaves one unique marker file per invocation."""
+
+    def compute():
+        fd, _ = None, None
+        import tempfile
+
+        fd, path = tempfile.mkstemp(
+            prefix=f"{experiment_id}-", dir=str(markers)
+        )
+        os.close(fd)
+        return {"experiment_id": experiment_id, "status": "ok", "path": path}
+
+    return compute
+
+
+class TestThreadRaces:
+    def test_threads_racing_cold_keys_compute_each_exactly_once(
+        self, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        errors = []
+
+        def hammer():
+            try:
+                for experiment_id, params in KEYS * 5:
+                    outcome, _ = cache.get_or_compute(
+                        experiment_id,
+                        params,
+                        compute_marker(markers, experiment_id),
+                    )
+                    assert outcome["experiment_id"] == experiment_id
+            except Exception as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        by_key = {}
+        for marker in markers.iterdir():
+            by_key.setdefault(marker.name.split("-")[0], []).append(marker)
+        assert {k: len(v) for k, v in sorted(by_key.items())} == {
+            "expA": 1, "expB": 1, "expC": 1
+        }
+        assert cache.verify_all() == {}
+
+
+WORKER_SCRIPT = r"""
+import json, sys, threading
+from pathlib import Path
+from repro.service.cache import ResultCache
+
+cache_root, markers_dir, worker_id = sys.argv[1], sys.argv[2], sys.argv[3]
+cache = ResultCache(cache_root)
+KEYS = [("expA", {"n": 1}), ("expB", {"n": 2}), ("expC", {"n": 3})]
+
+
+def compute_for(experiment_id):
+    def compute():
+        import os, tempfile
+        fd, path = tempfile.mkstemp(
+            prefix=f"{experiment_id}-", dir=markers_dir
+        )
+        os.close(fd)
+        return {"experiment_id": experiment_id, "status": "ok", "path": path}
+    return compute
+
+
+def hammer():
+    for experiment_id, params in KEYS * 3:
+        outcome, _ = cache.get_or_compute(
+            experiment_id, params, compute_for(experiment_id)
+        )
+        assert outcome["experiment_id"] == experiment_id, outcome
+
+
+threads = [threading.Thread(target=hammer) for _ in range(4)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join(60)
+print(f"worker {worker_id} ok")
+"""
+
+
+class TestProcessRaces:
+    def test_processes_and_threads_share_one_store_exactly_once(
+        self, tmp_path
+    ):
+        cache_root = tmp_path / "cache"
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        env = dict(os.environ)
+        env["REPRO_CODE_FINGERPRINT"] = PINNED_FINGERPRINT
+        src = Path(__file__).resolve().parents[2] / "src"
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", WORKER_SCRIPT,
+                 str(cache_root), str(markers), str(i)],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for i in range(4)
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, f"worker failed:\n{out}\n{err}"
+
+        # Exactly one computation per key across 4 processes x 4 threads.
+        by_key = {}
+        for marker in markers.iterdir():
+            by_key.setdefault(marker.name.split("-")[0], []).append(marker)
+        assert {k: len(v) for k, v in sorted(by_key.items())} == {
+            "expA": 1, "expB": 1, "expC": 1
+        }
+
+        # No torn entries: every envelope re-verifies, the manifest
+        # indexes every key, and every key serves its committed value.
+        cache = ResultCache(cache_root, fingerprint=PINNED_FINGERPRINT)
+        assert cache.verify_all() == {}
+        manifest = cache.read_manifest()
+        assert len(manifest["entries"]) == 3
+        for experiment_id, params in KEYS:
+            entry = cache.get(cache.key_for(experiment_id, params))
+            assert entry is not None
+            assert entry["outcome"]["experiment_id"] == experiment_id
+
+    def test_no_quarantines_were_needed(self, tmp_path):
+        # A clean race must never route through the corruption path.
+        cache_root = tmp_path / "cache"
+        cache = ResultCache(cache_root, fingerprint=PINNED_FINGERPRINT)
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        threads = [
+            threading.Thread(
+                target=lambda: cache.get_or_compute(
+                    "expA", {"n": 1}, compute_marker(markers, "expA")
+                )
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not cache.quarantine_dir.exists() or not list(
+            cache.quarantine_dir.iterdir()
+        )

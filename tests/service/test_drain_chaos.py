@@ -1,0 +1,162 @@
+"""Service-level chaos: SIGKILL in the middle of a graceful drain.
+
+The drain contract is that accepted work is never lost: in-flight
+campaigns are finished, queued ones are parked in the WAL.  A SIGKILL
+mid-drain voids none of that — the next incarnation replays the
+service WAL, re-queues everything accepted-but-not-done, and each
+campaign's own journal recovery guarantees exactly-once execution per
+attempt.  This test does it for real: a ``serve`` subprocess, real
+quick experiments, a kill window in the middle of the drain."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+EXPERIMENTS = ["table1", "fig2"]
+
+
+def serve_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    env["REPRO_CODE_FINGERPRINT"] = "drain-chaos-fingerprint"
+    return env
+
+
+def start_serve(root: Path) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.experiments", "serve", str(root),
+            "--quick", "--quiet",
+        ],
+        env=serve_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def wait_for_address(root: Path, proc: subprocess.Popen, timeout=30.0) -> str:
+    deadline = time.monotonic() + timeout
+    info_path = root / "service.json"
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out, err = proc.communicate()
+            raise AssertionError(f"serve died at startup:\n{out}\n{err}")
+        try:
+            info = json.loads(info_path.read_text(encoding="utf-8"))
+            # A SIGKILLed incarnation leaves its stale service.json
+            # behind; only trust the file once THIS process wrote it.
+            if info.get("pid") == proc.pid:
+                return f"http://{info['host']}:{info['port']}"
+        except (OSError, json.JSONDecodeError, KeyError):
+            pass
+        time.sleep(0.1)
+    raise AssertionError("service.json never appeared")
+
+
+def get_json(url: str):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return json.load(resp)
+
+
+def post_campaign(base: str, tenant: str) -> str:
+    request = urllib.request.Request(
+        base + "/v1/campaigns",
+        data=json.dumps(
+            {"tenant": tenant, "experiments": EXPERIMENTS}
+        ).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as resp:
+        assert resp.status == 202
+        return json.load(resp)["campaign_id"]
+
+
+def wait_state(base, campaign_id, states, timeout=90.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        body = get_json(base + f"/v1/campaigns/{campaign_id}")
+        if body["state"] in states:
+            return body
+        time.sleep(0.1)
+    raise AssertionError(f"{campaign_id} never reached {states}")
+
+
+def test_sigkill_mid_drain_resumes_exactly_once(tmp_path):
+    root = tmp_path / "svc"
+    first = start_serve(root)
+    try:
+        base = wait_for_address(root, first)
+        campaign_id = post_campaign(base, "alice")
+        wait_state(base, campaign_id, ("running", "complete"))
+        # Drain with the campaign (probably) in flight, then SIGKILL
+        # before the drain can possibly finish it.
+        first.send_signal(signal.SIGTERM)
+        time.sleep(0.2)
+        first.kill()
+        first.wait(timeout=30)
+    finally:
+        if first.poll() is None:
+            first.kill()
+            first.wait(timeout=30)
+
+    # Second incarnation: WAL replay re-queues the owed submission
+    # under its original id; its run directory resumes exactly-once.
+    second = start_serve(root)
+    try:
+        base = wait_for_address(root, second)
+        done = wait_state(base, campaign_id, ("complete", "failed"))
+        assert done["state"] == "complete", done
+        result = get_json(base + f"/v1/campaigns/{campaign_id}/result")
+        assert set(result["summary"]["statuses"]) == set(EXPERIMENTS)
+        second.send_signal(signal.SIGTERM)
+        out, err = second.communicate(timeout=60)
+        assert second.returncode == 0, f"drain was not clean:\n{out}\n{err}"
+    finally:
+        if second.poll() is None:
+            second.kill()
+            second.communicate(timeout=30)
+
+    # Exactly-once per attempt: no attempt uid committed twice in the
+    # campaign's own journal across the two incarnations.
+    run_dir = root / "campaigns" / "alice" / campaign_id
+    committed = []
+    journal_path = run_dir / "journal.wal"
+    for line in journal_path.read_text(encoding="utf-8").splitlines():
+        record = json.loads(line.split(" ", 2)[2])
+        if record.get("type") == "attempt-end" and record.get("attempt_uid"):
+            committed.append(record["attempt_uid"])
+    assert len(committed) == len(set(committed)), committed
+
+    # The drained root passes the full artifact audit.
+    audit = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "validate", str(root)],
+        env=serve_env(),
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert audit.returncode == 0, audit.stdout + audit.stderr
+    assert "PASS" in audit.stdout
+    store = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "--verify-store",
+         str(root)],
+        env=serve_env(),
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert store.returncode == 0, store.stdout + store.stderr

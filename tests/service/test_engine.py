@@ -1,0 +1,196 @@
+"""CachedCampaignEngine: memoization in front of the crash-consistent
+engine, honest cache keys under degradation, and breaker gating."""
+
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.engine import EngineConfig
+from repro.runtime.errors import WorkerCrashError
+from repro.service.breaker import STATE_CLOSED, STATE_OPEN, CircuitBreaker
+from repro.service.cache import ResultCache
+from repro.service.engine import CachedCampaignEngine
+
+from tests.service.conftest import FakeExperiment, ManualClock, counter
+
+
+def make_engine(experiments, fake_clock, sleep_recorder, cache=None,
+                breaker=None, store=None, **config_kwargs):
+    registry = {exp.experiment_id: (exp, {"n": 1000}) for exp in experiments}
+    overrides = {exp.experiment_id: {"n": 10} for exp in experiments}
+    config_kwargs.setdefault("jobs", 0)
+    config = EngineConfig(
+        sleep=sleep_recorder, clock=fake_clock, **config_kwargs
+    )
+    return CachedCampaignEngine(
+        registry,
+        quick_overrides=overrides,
+        config=config,
+        store=store,
+        cache=cache,
+        breaker=breaker,
+    )
+
+
+class TestMemoization:
+    def test_identical_work_is_simulated_once_then_served(
+        self, tmp_path, fake_clock, sleep_recorder
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        first_exp = FakeExperiment("a")
+        make_engine([first_exp], fake_clock, sleep_recorder, cache=cache).run()
+        assert len(first_exp.calls) == 1
+
+        second_exp = FakeExperiment("a")
+        engine = make_engine([second_exp], fake_clock, sleep_recorder, cache=cache)
+        report = engine.run()
+        assert second_exp.calls == []  # served, not simulated
+        assert engine.cache_hits == ["a"]
+        assert report.ok_ids == ["a"]
+        assert counter("service.cache.hits") == 1
+        assert counter("service.cache.misses") == 1
+
+    def test_served_hits_are_marked_in_the_result_notes(
+        self, tmp_path, fake_clock, sleep_recorder
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        make_engine(
+            [FakeExperiment("a")], fake_clock, sleep_recorder, cache=cache
+        ).run()
+        engine = make_engine(
+            [FakeExperiment("a")], fake_clock, sleep_recorder, cache=cache
+        )
+        outcome = engine.run().outcome("a")
+        assert any("content-addressed cache" in n for n in outcome.result.notes)
+
+    def test_hits_are_checkpointed_like_computed_outcomes(
+        self, tmp_path, fake_clock, sleep_recorder
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        make_engine(
+            [FakeExperiment("a")], fake_clock, sleep_recorder, cache=cache
+        ).run()
+        store = CheckpointStore(tmp_path / "run")
+        engine = make_engine(
+            [FakeExperiment("a")], fake_clock, sleep_recorder,
+            cache=cache, store=store,
+        )
+        engine.run()
+        assert store.completed_ids() == ["a"]
+        assert store.verify_all() == {}
+
+    def test_different_params_miss(self, tmp_path, fake_clock, sleep_recorder):
+        cache = ResultCache(tmp_path / "cache")
+        make_engine(
+            [FakeExperiment("a")], fake_clock, sleep_recorder, cache=cache
+        ).run()
+        # Quick run keys on the quick parameterization: a fresh miss.
+        exp = FakeExperiment("a")
+        make_engine(
+            [exp], fake_clock, sleep_recorder, cache=cache, quick=True
+        ).run()
+        assert len(exp.calls) == 1
+        assert exp.calls[0]["n"] == 10
+
+    def test_degraded_outcomes_are_never_cached(
+        self, tmp_path, fake_clock, sleep_recorder
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        exp = FakeExperiment("a", fail_times=1)
+        report = make_engine(
+            [exp], fake_clock, sleep_recorder, cache=cache, max_attempts=2
+        ).run()
+        assert report.degraded_ids == ["a"]
+        # The degraded retry ran quick params under a full-scale key;
+        # caching it would serve wrong physics to full-scale lookups.
+        assert not list((tmp_path / "cache").rglob("*.json")) or (
+            cache.read_manifest() is None
+            or cache.read_manifest()["entries"] == {}
+        )
+        assert cache.get(cache.key_for("a", {"n": 1000})) is None
+
+    def test_without_a_cache_the_engine_just_runs(
+        self, fake_clock, sleep_recorder
+    ):
+        exp = FakeExperiment("a")
+        report = make_engine([exp], fake_clock, sleep_recorder).run()
+        assert report.ok_ids == ["a"]
+        assert len(exp.calls) == 1
+
+
+class TestBreakerGating:
+    def open_breaker(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=1000.0, clock=clock
+        )
+        breaker.record_failure("worker-crash")
+        assert breaker.state == STATE_OPEN
+        return breaker
+
+    def test_open_breaker_degrades_to_quick_parameters(
+        self, tmp_path, fake_clock, sleep_recorder
+    ):
+        exp = FakeExperiment("a")
+        report = make_engine(
+            [exp], fake_clock, sleep_recorder, breaker=self.open_breaker()
+        ).run()
+        assert report.ok_ids == ["a"]
+        assert exp.calls[0]["n"] == 10  # quick, not full scale
+        assert counter("service.breaker.degraded_dispatches") == 1
+
+    def test_degraded_dispatch_keys_the_cache_on_quick_params(
+        self, tmp_path, fake_clock, sleep_recorder
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        make_engine(
+            [FakeExperiment("a")], fake_clock, sleep_recorder,
+            cache=cache, breaker=self.open_breaker(),
+        ).run()
+        assert cache.get(cache.key_for("a", {"n": 10})) is not None
+        assert cache.get(cache.key_for("a", {"n": 1000})) is None
+
+    def test_quick_success_does_not_close_the_breaker(
+        self, fake_clock, sleep_recorder
+    ):
+        breaker = self.open_breaker()
+        make_engine(
+            [FakeExperiment("a")], fake_clock, sleep_recorder, breaker=breaker
+        ).run()
+        # A quick run surviving a sick pool proves little.
+        assert breaker.state == STATE_OPEN
+
+    def test_worker_failures_feed_the_breaker(
+        self, fake_clock, sleep_recorder
+    ):
+        breaker = CircuitBreaker(failure_threshold=10, clock=ManualClock())
+        exp = FakeExperiment(
+            "a", fail_times=99, error=WorkerCrashError("pool died")
+        )
+        make_engine(
+            [exp], fake_clock, sleep_recorder,
+            breaker=breaker, max_attempts=2,
+        ).run()
+        assert breaker.consecutive_failures == 2
+
+    def test_full_scale_success_closes_the_breaker(
+        self, fake_clock, sleep_recorder
+    ):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=5.0, clock=clock
+        )
+        breaker.record_failure("worker-crash")
+        clock.advance(5.0)  # half-open: the engine's run is the probe
+        make_engine(
+            [FakeExperiment("a")], fake_clock, sleep_recorder, breaker=breaker
+        ).run()
+        assert breaker.state == STATE_CLOSED
+
+    def test_explicit_quick_config_skips_breaker_gating(
+        self, fake_clock, sleep_recorder
+    ):
+        exp = FakeExperiment("a")
+        make_engine(
+            [exp], fake_clock, sleep_recorder,
+            breaker=self.open_breaker(), quick=True,
+        ).run()
+        assert exp.calls[0]["n"] == 10
+        assert counter("service.breaker.degraded_dispatches") == 0

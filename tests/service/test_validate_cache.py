@@ -1,0 +1,96 @@
+"""Store-audit findings for the content-addressed cache: one typed
+code per corruption class, tolerant of stale-fingerprint entries."""
+
+import json
+
+from repro.service.cache import ResultCache
+from repro.validate.artifacts import (
+    is_service_root,
+    validate_cache_dir,
+)
+
+
+def seeded_cache(tmp_path) -> ResultCache:
+    cache = ResultCache(tmp_path / "cache", fingerprint="audit-f")
+    cache.put("a", {"n": 1}, {"experiment_id": "a", "status": "ok"})
+    cache.put("b", {"n": 2}, {"experiment_id": "b", "status": "ok"})
+    return cache
+
+
+class TestCacheAudit:
+    def test_clean_cache_passes(self, tmp_path):
+        cache = seeded_cache(tmp_path)
+        report = validate_cache_dir(cache.root)
+        assert report.ok, report.render()
+
+    def test_tampered_entry_is_cache_entry_corrupt(self, tmp_path):
+        cache = seeded_cache(tmp_path)
+        key = cache.key_for("a", {"n": 1})
+        path = cache.object_path(key)
+        path.write_text(
+            path.read_text(encoding="utf-8").replace('"ok"', '"OK"'),
+            encoding="utf-8",
+        )
+        report = validate_cache_dir(cache.root)
+        assert "cache-entry-corrupt" in report.codes()
+        assert not report.ok
+
+    def test_entry_under_wrong_key_is_cache_key_mismatch(self, tmp_path):
+        cache = seeded_cache(tmp_path)
+        key = cache.key_for("a", {"n": 1})
+        wrong = cache.object_path("f" * 64)
+        wrong.parent.mkdir(parents=True, exist_ok=True)
+        wrong.write_text(
+            cache.object_path(key).read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        report = validate_cache_dir(cache.root)
+        assert "cache-key-mismatch" in report.codes()
+
+    def test_manifest_key_without_entry_is_dangling(self, tmp_path):
+        cache = seeded_cache(tmp_path)
+        key = cache.key_for("a", {"n": 1})
+        cache.object_path(key).unlink()
+        report = validate_cache_dir(cache.root)
+        assert "cache-dangling-entry" in report.codes()
+        assert not report.ok
+
+    def test_entry_missing_from_manifest_is_a_warning(self, tmp_path):
+        cache = seeded_cache(tmp_path)
+        manifest = cache.read_manifest()
+        key = cache.key_for("a", {"n": 1})
+        del manifest["entries"][key]
+        cache.manifest_path.write_text(
+            json.dumps(manifest), encoding="utf-8"
+        )
+        report = validate_cache_dir(cache.root)
+        assert "cache-unindexed-entry" in report.codes()
+        assert report.ok  # warning, not error: the manifest is an index
+
+    def test_quarantined_entries_are_surfaced_as_warnings(self, tmp_path):
+        cache = seeded_cache(tmp_path)
+        key = cache.key_for("a", {"n": 1})
+        path = cache.object_path(key)
+        path.write_text("{torn", encoding="utf-8")
+        assert cache.get(key) is None  # quarantines
+        report = validate_cache_dir(cache.root)
+        assert "cache-quarantined" in report.codes()
+
+    def test_stale_fingerprint_entries_are_not_indicted(self, tmp_path):
+        seeded_cache(tmp_path)
+        # Audit with no knowledge of the writing fingerprint: entries
+        # from other code versions are stale, not corrupt.
+        report = validate_cache_dir(tmp_path / "cache")
+        assert "cache-entry-corrupt" not in report.codes()
+        assert "cache-key-mismatch" not in report.codes()
+
+
+class TestServiceRootDetection:
+    def test_campaigns_dir_or_wal_marks_a_service_root(self, tmp_path):
+        assert not is_service_root(tmp_path)
+        (tmp_path / "campaigns").mkdir()
+        assert is_service_root(tmp_path)
+        other = tmp_path / "other"
+        other.mkdir()
+        (other / "service.wal").write_text("", encoding="utf-8")
+        assert is_service_root(other)
