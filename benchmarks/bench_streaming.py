@@ -1,0 +1,103 @@
+"""Microbenchmarks for the sharded streaming trace substrate.
+
+These track the overhead the out-of-core path adds over the in-memory
+hot loops: shard build + seal throughput, chunk-wise decode + verify
+throughput, and a full streamed stack-distance profile (the
+checkpointed consumer the experiments actually run).
+"""
+
+import numpy as np
+
+from repro.mem.shards import StreamingTraceBuilder
+from repro.mem.stack_distance import StackDistanceProfiler
+from repro.mem.streamsim import profile_streamed, run_cache_streamed
+
+NUM_REFS = 50_000
+SHARD_REFS = 8_192
+
+
+def _columns(num_refs=NUM_REFS, num_blocks=4096, seed=0):
+    rng = np.random.default_rng(seed)
+    addrs = rng.integers(0, num_blocks, size=num_refs).astype(np.int64) * 8
+    kinds = rng.integers(0, 2, size=num_refs).astype(np.uint8)
+    return addrs, kinds
+
+
+def _note_throughput(benchmark, refs: int) -> None:
+    benchmark.extra_info["refs"] = refs
+    if benchmark.stats and benchmark.stats.stats.mean:
+        benchmark.extra_info["refs_per_second"] = refs / benchmark.stats.stats.mean
+
+
+def _build(tmp_path, name, seed=0):
+    addrs, kinds = _columns(seed=seed)
+    builder = StreamingTraceBuilder(tmp_path / name, shard_refs=SHARD_REFS)
+    builder.extend_arrays(addrs, kinds)
+    return builder.build()
+
+
+def bench_streaming_shard_build(benchmark, tmp_path):
+    """Generator-side cost: spill, compress, checksum, seal, journal."""
+    addrs, kinds = _columns()
+    counter = iter(range(10_000_000))
+
+    def build():
+        builder = StreamingTraceBuilder(
+            tmp_path / f"b{next(counter)}.trd", shard_refs=SHARD_REFS
+        )
+        builder.extend_arrays(addrs, kinds)
+        return builder.build()
+
+    streamed = benchmark(build)
+    assert len(streamed) == NUM_REFS
+    _note_throughput(benchmark, NUM_REFS)
+
+
+def bench_streaming_chunk_decode(benchmark, tmp_path):
+    """Consumer-side cost: decode + SHA-256/CRC verify every shard."""
+    streamed = _build(tmp_path, "d.trd")
+
+    def drain():
+        total = 0
+        for _, addrs, _ in streamed.iter_chunks():
+            total += addrs.shape[0]
+        return total
+
+    assert benchmark(drain) == NUM_REFS
+    _note_throughput(benchmark, NUM_REFS)
+
+
+def bench_streaming_profile(benchmark, tmp_path):
+    """Streamed stack-distance profile, checkpointing every boundary."""
+    streamed = _build(tmp_path, "p.trd")
+    ckpt = tmp_path / "p.ckpt"
+
+    def profile():
+        if ckpt.exists():
+            ckpt.unlink()  # no resume: time the full streamed run
+        return profile_streamed(
+            StackDistanceProfiler(block_size=8), streamed, checkpoint_path=ckpt
+        )
+
+    result = benchmark(profile)
+    assert result.total == NUM_REFS
+    _note_throughput(benchmark, NUM_REFS)
+
+
+def bench_streaming_fullassoc(benchmark, tmp_path):
+    """Streamed fully associative simulation with checkpoints."""
+    from repro.mem.cache import FullyAssociativeCache
+
+    streamed = _build(tmp_path, "f.trd")
+    ckpt = tmp_path / "f.ckpt"
+
+    def run():
+        if ckpt.exists():
+            ckpt.unlink()
+        return run_cache_streamed(
+            FullyAssociativeCache(1024 * 8), streamed, checkpoint_path=ckpt
+        )
+
+    stats = benchmark(run)
+    assert stats.accesses == NUM_REFS
+    _note_throughput(benchmark, NUM_REFS)

@@ -28,6 +28,7 @@ from repro.apps.barnes_hut.octree import Cell, Octree
 from repro.apps.barnes_hut.partition import morton_partition
 from repro.mem.address import AddressSpace
 from repro.mem.trace import Trace, TraceBuilder
+from repro.mem.shards import trace_builder
 from repro.obs.tracing import traced
 from repro.units import DOUBLE_WORD
 
@@ -167,7 +168,7 @@ class BarnesHutTraceGenerator:
         """Trace processor ``pid`` computing forces on its partition."""
         if not 0 <= pid < self.num_processors:
             raise IndexError("processor id out of range")
-        tb = TraceBuilder()
+        tb = trace_builder()
         self.stats = WalkStats()
         self.scratch = self.scratch_regions[pid]
 
@@ -232,7 +233,7 @@ class BarnesHutTraceGenerator:
         that "building the octree ... do[es] not yield quite as good
         speedups" (Section 6.4).
         """
-        tb = TraceBuilder()
+        tb = trace_builder()
         cells = self.tree.cells
         for body in self.partitions[pid]:
             body = int(body)
@@ -257,7 +258,7 @@ class BarnesHutTraceGenerator:
         """Trace of the moment-computation phase: processor ``pid``
         computes mass/center-of-mass/quadrupole for the cells it owns,
         reading its children's records (which other processors wrote)."""
-        tb = TraceBuilder()
+        tb = trace_builder()
         for cell in self.tree.cells:
             if self.cell_owner(cell) != pid:
                 continue

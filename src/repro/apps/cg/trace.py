@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, List, Optional
 
 from repro.mem.address import AddressSpace
 from repro.mem.trace import Trace, TraceBuilder
+from repro.mem.shards import trace_builder
 from repro.obs.tracing import traced
 from repro.units import DOUBLE_WORD
 
@@ -193,7 +194,7 @@ class CGTraceGenerator:
         cold misses, per the paper's methodology.
         """
         self.flops = 0.0
-        tb = TraceBuilder()
+        tb = trace_builder()
         for _ in range(iterations):
             if tile is None:
                 self._trace_matvec(tb, pid)

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.apps.fft.transform import stage_structure
 from repro.mem.address import AddressSpace
 from repro.mem.trace import Trace, TraceBuilder
+from repro.mem.shards import trace_builder
 from repro.obs.tracing import traced
 from repro.units import DOUBLE_WORD
 
@@ -144,7 +145,7 @@ class FFTTraceGenerator:
         """Trace one processor through all radix-D stages of the FFT."""
         self.flops = 0.0
         self._twiddle_cursor = 0
-        tb = TraceBuilder()
+        tb = trace_builder()
         base = pid * self.points_local
         num_stages, stages = stage_structure(self.n, self.points_local)
         levels_per_pass = int(math.log2(self.radix))

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, List, Optional
 
 from repro.mem.address import AddressSpace, Region
 from repro.mem.trace import Trace, TraceBuilder
+from repro.mem.shards import trace_builder
 from repro.obs.tracing import traced
 from repro.units import DOUBLE_WORD
 
@@ -179,7 +180,7 @@ class LUTraceGenerator:
                 for trimming trace length).
         """
         self.flops = 0.0
-        tb = TraceBuilder()
+        tb = trace_builder()
         nb = self.num_blocks
         last_k = nb if max_k is None else min(nb, max_k)
         for bk in range(skip_k, last_k):

@@ -25,6 +25,7 @@ from repro.apps.volrend.render import Camera, RayCaster
 from repro.apps.volrend.volume import VOXEL_BYTES, Volume
 from repro.mem.address import AddressSpace
 from repro.mem.trace import Trace, TraceBuilder
+from repro.mem.shards import trace_builder
 from repro.obs.tracing import traced
 from repro.units import DOUBLE_WORD
 
@@ -142,7 +143,7 @@ class VolrendTraceGenerator:
         frames with a gradually changing viewing angle."""
         if not 0 <= pid < self.num_processors:
             raise IndexError("processor id out of range")
-        tb = TraceBuilder()
+        tb = trace_builder()
         rows, cols = self.partition.block(pid)
         self.rays_cast = 0
         self.samples = 0

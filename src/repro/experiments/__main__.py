@@ -69,6 +69,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.experiments import (
@@ -270,6 +272,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="testing/CI only: inject a fault into experiment ID for its "
         f"first ATTEMPTS attempts (default 1); kinds: "
         f"{', '.join(INJECTABLE_FAULTS)}",
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="generate and simulate traces out-of-core: generators spill "
+        "CRC'd shards to disk (bounded memory), simulators consume them "
+        "chunk-wise and checkpoint at shard boundaries so a kill "
+        "mid-simulation resumes from the last boundary; shards live "
+        "under <run-dir>/stream (or a temp directory without --run-dir)",
+    )
+    parser.add_argument(
+        "--shard-refs",
+        type=int,
+        default=None,
+        metavar="N",
+        dest="shard_refs",
+        help="references per trace shard when --stream is on "
+        "(default: 262144); smaller shards mean more frequent "
+        "mid-simulation checkpoints at more I/O cost",
     )
     parser.add_argument(
         "--quiet",
@@ -500,6 +521,18 @@ def chaos_command(argv: List[str]) -> int:
         "--deep", action="store_true",
         help="run the invariant oracles during each audit (slower)",
     )
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="run every campaign under test with --stream, and aim the "
+        "io-kill cycles at the shard/simulator-checkpoint writes so "
+        "kills land mid-generation and mid-simulation (needs --jobs 0 "
+        "for the planted faults to fire in the supervisor process)",
+    )
+    parser.add_argument(
+        "--shard-refs", type=int, default=None, metavar="N",
+        dest="shard_refs",
+        help="--shard-refs for the streamed campaigns under test",
+    )
     try:
         args = parser.parse_args(argv)
     except SystemExit as exc:
@@ -509,6 +542,12 @@ def chaos_command(argv: List[str]) -> int:
         return 2
     if args.cycles + args.enospc_cycles < 1:
         print("nothing to do: --cycles + --enospc-cycles must be >= 1")
+        return 2
+    if args.shard_refs is not None and not args.stream:
+        print("--shard-refs requires --stream")
+        return 2
+    if args.shard_refs is not None and args.shard_refs < 1:
+        print("--shard-refs must be >= 1")
         return 2
     experiments = [e for e in args.experiments.split(",") if e]
     unknown = [e for e in experiments if e not in EXPERIMENTS]
@@ -527,6 +566,8 @@ def chaos_command(argv: List[str]) -> int:
         work_dir=args.work_dir,
         timeout=args.timeout,
         deep=args.deep,
+        stream=args.stream,
+        shard_refs=args.shard_refs,
     )
     print(report.render())
     if not report.passed:
@@ -929,6 +970,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.max_rss_mb is not None and args.max_rss_mb <= 0:
         print("--max-rss-mb must be positive")
         return 2
+    if args.shard_refs is not None and not args.stream:
+        print("--shard-refs requires --stream")
+        return 2
+    if args.shard_refs is not None and args.shard_refs < 1:
+        print("--shard-refs must be >= 1")
+        return 2
     try:
         fault_plan = parse_fault_plan(args.inject_faults)
     except ValueError as exc:
@@ -954,6 +1001,23 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     run_dir = args.resume or args.run_dir
     store = CheckpointStore(run_dir) if run_dir else None
+
+    # Out-of-core trace streaming: install the ambient configuration
+    # (module global + environment, so worker subprocesses inherit it).
+    # Under --run-dir/--resume the shards and simulator checkpoints
+    # live inside the run directory, which keeps them on the same
+    # filesystem as the journal and lets resume find the mid-simulation
+    # snapshots of a killed attempt.
+    if args.stream:
+        from repro.mem.shards import configure_streaming
+
+        if store is not None:
+            stream_dir = store.run_dir / "stream"
+        else:
+            stream_dir = Path(
+                tempfile.mkdtemp(prefix="repro-stream-")
+            )
+        configure_streaming(stream_dir, shard_refs=args.shard_refs)
 
     # Campaign telemetry: on by default, off with --no-obs; the
     # REPRO_OBS environment variable overrides in either direction.

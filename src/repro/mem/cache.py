@@ -113,12 +113,20 @@ class FullyAssociativeCache:
     def run(self, trace: Trace, budget: Optional[Budget] = None) -> CacheStats:
         """Run a whole trace through the cache; returns cumulative stats.
 
+        A sharded :class:`~repro.mem.shards.StreamingTrace` is consumed
+        chunk-wise in bounded memory, with checkpoint/resume at shard
+        boundaries when a stream configuration is active.
+
         Args:
             trace: The reference stream.
             budget: Optional wall-clock :class:`Budget` polled every
                 few thousand references (defaults to the ambient
                 campaign budget, if any).
         """
+        if hasattr(trace, "iter_chunks"):
+            from repro.mem.streamsim import run_cache_streamed
+
+            return run_cache_streamed(self, trace, budget=budget)
         if budget is None:
             budget = active_budget()
         blocks = trace.block_ids(self.block_size)
@@ -179,6 +187,39 @@ class FullyAssociativeCache:
         """Empty the cache and forget cold-miss history."""
         self._lru = LRUList()
         self._ever_seen = set()
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of contents, history and stats."""
+        return {
+            "capacity_bytes": self.capacity_bytes,
+            "block_size": self.block_size,
+            "lru_mru_to_lru": list(self._lru.keys_mru_to_lru()),
+            "ever_seen": sorted(self._ever_seen),
+            "stats": {
+                "reads": self.stats.reads,
+                "writes": self.stats.writes,
+                "read_misses": self.stats.read_misses,
+                "write_misses": self.stats.write_misses,
+                "cold_misses": self.stats.cold_misses,
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (geometry must match)."""
+        for field_name in ("capacity_bytes", "block_size"):
+            if state.get(field_name) != getattr(self, field_name):
+                raise ValueError(
+                    f"checkpoint {field_name}={state.get(field_name)!r} does "
+                    f"not match this cache's "
+                    f"{field_name}={getattr(self, field_name)!r}"
+                )
+        lru = LRUList()
+        # Touching in LRU->MRU order reproduces the recency list exactly.
+        for key in reversed([int(k) for k in state["lru_mru_to_lru"]]):
+            lru.touch(key)
+        self._lru = lru
+        self._ever_seen = {int(b) for b in state["ever_seen"]}
+        self.stats = CacheStats(**{k: int(v) for k, v in state["stats"].items()})
 
 
 def sweep_cache_sizes(

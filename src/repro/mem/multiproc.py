@@ -18,10 +18,10 @@ sharing protocol, and miss classification into
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.mem.lru import LRUList
-from repro.mem.trace import Access, READ, Trace, interleave_round_robin
+from repro.mem.trace import Access, READ, Trace, iter_interleave_round_robin
 
 
 @dataclass
@@ -154,19 +154,29 @@ class MultiprocessorMemory:
             self._last_writer[block] = pid
         return hit
 
-    def run(self, interleaved: Sequence[Tuple[int, Access]]) -> List[ProcessorStats]:
-        """Run an interleaved multiprocessor reference stream."""
+    def run(
+        self, interleaved: Iterable[Tuple[int, Access]]
+    ) -> List[ProcessorStats]:
+        """Run an interleaved multiprocessor reference stream.
+
+        Accepts any iterable — a materialized list or the lazy
+        :func:`~repro.mem.trace.iter_interleave_round_robin` stream.
+        """
         for pid, access in interleaved:
             self.access(pid, access.addr, access.kind)
         return self.stats
 
     def run_traces(self, traces: Sequence[Trace]) -> List[ProcessorStats]:
-        """Round-robin interleave per-processor traces and run them."""
+        """Round-robin interleave per-processor traces and run them.
+
+        The interleaving is lazy, so out-of-core per-processor traces
+        are merged without ever materializing the combined stream.
+        """
         if len(traces) != self.num_processors:
             raise ValueError(
                 f"expected {self.num_processors} traces, got {len(traces)}"
             )
-        return self.run(interleave_round_robin(traces))
+        return self.run(iter_interleave_round_robin(traces))
 
     def reset_stats(self) -> None:
         """Zero counters without flushing cache or directory state.

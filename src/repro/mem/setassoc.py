@@ -95,12 +95,20 @@ class SetAssociativeCache:
     def run(self, trace: Trace, budget: Optional[Budget] = None) -> CacheStats:
         """Run a whole trace through the cache; returns cumulative stats.
 
+        A sharded :class:`~repro.mem.shards.StreamingTrace` is consumed
+        chunk-wise in bounded memory, with checkpoint/resume at shard
+        boundaries when a stream configuration is active.
+
         Args:
             trace: The reference stream.
             budget: Optional wall-clock :class:`Budget` polled every
                 few thousand references (defaults to the ambient
                 campaign budget, if any).
         """
+        if hasattr(trace, "iter_chunks"):
+            from repro.mem.streamsim import run_setassoc_streamed
+
+            return run_setassoc_streamed(self, trace, budget=budget)
         if budget is None:
             budget = active_budget()
         sampler = hot_loop_sampler("mem.setassoc")
@@ -128,3 +136,60 @@ class SetAssociativeCache:
     def flush(self) -> None:
         self._sets = [LRUList() for _ in range(self.num_sets)]
         self._ever_seen = set()
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of every set, history and stats.
+
+        Per-set recency orders are flattened into one list plus a
+        per-set length vector to keep the JSON shallow.
+        """
+        orders = []
+        counts = []
+        for cache_set in self._sets:
+            keys = list(cache_set.keys_mru_to_lru())
+            orders.extend(keys)
+            counts.append(len(keys))
+        return {
+            "capacity_bytes": self.capacity_bytes,
+            "block_size": self.block_size,
+            "associativity": self.associativity,
+            "set_orders_mru_to_lru": orders,
+            "set_counts": counts,
+            "ever_seen": sorted(self._ever_seen),
+            "stats": {
+                "reads": self.stats.reads,
+                "writes": self.stats.writes,
+                "read_misses": self.stats.read_misses,
+                "write_misses": self.stats.write_misses,
+                "cold_misses": self.stats.cold_misses,
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (geometry must match)."""
+        for field_name in ("capacity_bytes", "block_size", "associativity"):
+            if state.get(field_name) != getattr(self, field_name):
+                raise ValueError(
+                    f"checkpoint {field_name}={state.get(field_name)!r} does "
+                    f"not match this cache's "
+                    f"{field_name}={getattr(self, field_name)!r}"
+                )
+        counts = [int(c) for c in state["set_counts"]]
+        if len(counts) != self.num_sets:
+            raise ValueError(
+                f"checkpoint has {len(counts)} sets, cache has {self.num_sets}"
+            )
+        orders = [int(k) for k in state["set_orders_mru_to_lru"]]
+        if len(orders) != sum(counts):
+            raise ValueError("checkpoint set orders disagree with set counts")
+        sets = []
+        offset = 0
+        for count in counts:
+            cache_set = LRUList()
+            for key in reversed(orders[offset : offset + count]):
+                cache_set.touch(key)
+            sets.append(cache_set)
+            offset += count
+        self._sets = sets
+        self._ever_seen = {int(b) for b in state["ever_seen"]}
+        self.stats = CacheStats(**{k: int(v) for k, v in state["stats"].items()})

@@ -64,6 +64,25 @@ class _FenwickTree:
             total -= self.prefix_sum(lo - 1)
         return total
 
+    @classmethod
+    def from_ones(cls, count: int, capacity: int) -> "_FenwickTree":
+        """Tree of ``capacity`` slots with ones in slots ``[0, count)``.
+
+        Linear-time construction (set the leaves, propagate each node
+        into its parent once) — used when rebuilding from a compacted
+        timestamp space, where the live slots are exactly a prefix.
+        """
+        if count > capacity:
+            raise ValueError("count cannot exceed capacity")
+        tree = cls(capacity)
+        arr = tree._tree
+        arr[1 : count + 1] = 1
+        for i in range(1, capacity + 1):
+            j = i + (i & -i)
+            if j <= capacity:
+                arr[j] += arr[i]
+        return tree
+
 
 @dataclass
 class StackDistanceProfile:
@@ -165,6 +184,11 @@ class StackDistanceProfiler:
     ) -> StackDistanceProfile:
         """Profile a trace; returns the full stack-depth distribution.
 
+        A sharded :class:`~repro.mem.shards.StreamingTrace` is consumed
+        chunk-wise in bounded memory (with checkpoint/resume when a
+        stream configuration is active); an in-memory trace runs the
+        same incremental engine in a single feed.
+
         Args:
             trace: The reference stream.
             budget: Optional wall-clock :class:`Budget` polled
@@ -173,29 +197,120 @@ class StackDistanceProfiler:
                 :class:`~repro.runtime.errors.BudgetExceeded` when the
                 deadline passes.
         """
+        if hasattr(trace, "iter_chunks"):
+            from repro.mem.streamsim import profile_streamed
+
+            return profile_streamed(self, trace, budget=budget)
+        run = StackDistanceRun(
+            block_size=self.block_size,
+            count_reads_only=self.count_reads_only,
+            warmup=self.warmup,
+            capacity_hint=len(trace),
+        )
+        run.feed(trace, budget=budget)
+        return run.result()
+
+
+class StackDistanceRun:
+    """Incremental stack-distance engine with bounded, serializable state.
+
+    The classic single-pass algorithm indexes its Fenwick tree by raw
+    reference timestamp, so the tree grows with the *trace* — fatal for
+    out-of-core streams.  The saving observation: the tree slot for
+    time ``i`` holds 1 exactly when ``i`` is some block's most recent
+    access time, so the entire tree is a function of the ``last_time``
+    map alone.  Depths depend only on the *relative order* of last
+    accesses, which lets us compact: renumber the live timestamps to
+    ``0..F-1`` (order preserved), rebuild the tree linearly, and keep
+    going — results are bit-identical while memory stays
+    ``O(footprint + chunk)`` instead of ``O(trace)``.
+
+    The same property makes checkpoints small: :meth:`state_dict`
+    compacts first, so a snapshot is just the blocks in last-access
+    order plus the histogram — no tree, no raw timestamps.
+
+    Feed chunks with :meth:`feed`; finish with :meth:`result`.
+    """
+
+    def __init__(
+        self,
+        block_size: int = 8,
+        count_reads_only: bool = False,
+        warmup: int = 0,
+        capacity_hint: int = 0,
+    ) -> None:
+        if block_size <= 0 or (block_size & (block_size - 1)) != 0:
+            raise ValueError("block_size must be a positive power of two")
+        if warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        self.block_size = block_size
+        self.count_reads_only = count_reads_only
+        self.warmup = warmup
+        capacity = max(int(capacity_hint), 1024)
+        self._tree = _FenwickTree(capacity)
+        self._last_time: Dict[int, int] = {}
+        self._clock = 0  # next free tree timestamp (resets on compaction)
+        self._pos = 0  # total references fed (never resets; drives warmup)
+        self._hist = np.zeros(max(int(capacity_hint) + 2, 1024), dtype=np.int64)
+        self._cold = 0
+        self._total = 0
+
+    @property
+    def refs_fed(self) -> int:
+        return self._pos
+
+    def _grow_hist(self, size: int) -> None:
+        if len(self._hist) < size:
+            grown = np.zeros(size, dtype=np.int64)
+            grown[: len(self._hist)] = self._hist
+            self._hist = grown
+
+    def _compact(self, incoming: int) -> None:
+        """Renumber live timestamps to ``0..F-1`` and rebuild the tree.
+
+        Order-preserving, so every subsequent depth is unchanged; the
+        new capacity leaves room for ``incoming`` more references plus
+        slack so compactions stay rare.
+        """
+        live = sorted(self._last_time.items(), key=lambda item: item[1])
+        footprint = len(live)
+        capacity = max(2 * (footprint + incoming), 4096)
+        self._last_time = {block: rank for rank, (block, _) in enumerate(live)}
+        self._tree = _FenwickTree.from_ones(footprint, capacity)
+        self._clock = footprint
+
+    def feed(self, trace: Trace, budget: Optional[Budget] = None) -> None:
+        """Consume one chunk of references, updating the running state."""
         if budget is None:
             budget = active_budget()
         blocks = trace.block_ids(self.block_size).tolist()
         kinds = trace.kinds.tolist()
         n = len(blocks)
-        tree = _FenwickTree(n)
-        last_time: Dict[int, int] = {}
-        # Depth histogram sized to worst case (footprint <= n).
-        hist = np.zeros(n + 2, dtype=np.int64)
+        if n == 0:
+            return
+        if self._clock + n > self._tree._n:
+            self._compact(n)
+        self._grow_hist(len(self._last_time) + n + 2)
+        tree = self._tree
+        last_time = self._last_time
+        hist = self._hist
         cold = 0
         total = 0
+        t0 = self._clock
+        p0 = self._pos
         count_reads_only = self.count_reads_only
         warmup = self.warmup
         sampler = hot_loop_sampler("mem.stackdist")
-        for t in range(n):
-            if not (t & CHECK_MASK):
+        for i in range(n):
+            if not (i & CHECK_MASK):
                 if budget is not None:
                     budget.check("stack-distance profiling")
                 if sampler is not None:
-                    sampler.tick(t)
-            block = blocks[t]
-            counted = t >= warmup and (
-                not count_reads_only or kinds[t] == READ
+                    sampler.tick(i)
+            t = t0 + i
+            block = blocks[i]
+            counted = p0 + i >= warmup and (
+                not count_reads_only or kinds[i] == READ
             )
             prev = last_time.get(block)
             if prev is None:
@@ -212,17 +327,68 @@ class StackDistanceProfiler:
                 tree.add(prev, -1)
             tree.add(t, +1)
             last_time[block] = t
-        # Trim the histogram to the maximum observed depth.
+        self._clock = t0 + n
+        self._pos = p0 + n
+        self._cold += cold
+        self._total += total
         if sampler is not None:
             sampler.finish(refs=n, misses=cold)
-        nonzero = np.nonzero(hist)[0]
+
+    def result(self) -> StackDistanceProfile:
+        """The profile over everything fed so far (histogram trimmed)."""
+        nonzero = np.nonzero(self._hist)[0]
         top = int(nonzero[-1]) if nonzero.size else 0
         return StackDistanceProfile(
-            depth_histogram=hist[: top + 1].copy(),
-            cold_misses=cold,
-            total=total,
+            depth_histogram=self._hist[: top + 1].copy(),
+            cold_misses=self._cold,
+            total=self._total,
             block_size=self.block_size,
         )
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot; compacts first so it is small.
+
+        The ``last_time`` map serializes as just the blocks in
+        last-access order — after compaction their timestamps are
+        exactly ``0..F-1``, so order alone reconstructs the map *and*
+        the tree.
+        """
+        self._compact(0)
+        ordered = sorted(self._last_time.items(), key=lambda item: item[1])
+        nonzero = np.nonzero(self._hist)[0]
+        top = int(nonzero[-1]) if nonzero.size else 0
+        return {
+            "block_size": self.block_size,
+            "count_reads_only": self.count_reads_only,
+            "warmup": self.warmup,
+            "pos": self._pos,
+            "cold": self._cold,
+            "total": self._total,
+            "blocks_by_last_access": [block for block, _ in ordered],
+            "hist": self._hist[: top + 1].tolist(),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot (parameters must match)."""
+        for field in ("block_size", "count_reads_only", "warmup"):
+            if state.get(field) != getattr(self, field):
+                raise ValueError(
+                    f"checkpoint {field}={state.get(field)!r} does not match "
+                    f"this run's {field}={getattr(self, field)!r}"
+                )
+        blocks = [int(b) for b in state["blocks_by_last_access"]]
+        footprint = len(blocks)
+        self._last_time = {block: rank for rank, block in enumerate(blocks)}
+        self._tree = _FenwickTree.from_ones(
+            footprint, max(2 * footprint, 4096)
+        )
+        self._clock = footprint
+        self._pos = int(state["pos"])
+        self._cold = int(state["cold"])
+        self._total = int(state["total"])
+        hist = np.asarray(state["hist"], dtype=np.int64)
+        self._hist = np.zeros(max(len(hist), 1024), dtype=np.int64)
+        self._hist[: len(hist)] = hist
 
 
 def profile_trace(

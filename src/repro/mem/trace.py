@@ -166,16 +166,23 @@ class Trace:
         )
 
 
-def interleave_round_robin(
-    traces: Sequence[Trace], budget: Optional[Budget] = None
-) -> List[Tuple[int, Access]]:
-    """Round-robin interleaving of per-processor traces.
+def iter_interleave_round_robin(
+    traces: Sequence["Trace"], budget: Optional[Budget] = None
+) -> Iterator[Tuple[int, Access]]:
+    """Lazy round-robin interleaving of per-processor traces.
 
-    Produces a list of ``(processor_id, access)`` pairs, the canonical
-    input to :class:`repro.mem.multiproc.MultiprocessorMemory.run`.
-    Round-robin interleaving models processors proceeding in lock-step,
-    a reasonable approximation for the regular SPMD computations studied
+    Yields ``(processor_id, access)`` pairs one at a time — the merged
+    stream is never materialized, so interleaving P out-of-core traces
+    costs O(P) memory instead of O(total references).  Round-robin
+    interleaving models processors proceeding in lock-step, a
+    reasonable approximation for the regular SPMD computations studied
     in the paper.
+
+    Works over anything iterable of :class:`Access` — in-memory
+    :class:`Trace` and sharded
+    :class:`~repro.mem.shards.StreamingTrace` alike.  The emission
+    order is identical to the historical list-building implementation:
+    each round visits processors in pid order, skipping exhausted ones.
 
     Args:
         traces: One trace per processor.
@@ -185,16 +192,28 @@ def interleave_round_robin(
     """
     if budget is None:
         budget = active_budget()
-    merged: List[Tuple[int, Access]] = []
-    cursors = [0] * len(traces)
-    remaining = sum(len(t) for t in traces)
-    while remaining:
+    iterators = [iter(trace) for trace in traces]
+    live = list(range(len(iterators)))
+    while live:
         if budget is not None:
             budget.check("trace interleaving")
-        for pid, trace in enumerate(traces):
-            cursor = cursors[pid]
-            if cursor < len(trace):
-                merged.append((pid, trace[cursor]))
-                cursors[pid] = cursor + 1
-                remaining -= 1
-    return merged
+        exhausted = []
+        for pid in live:
+            try:
+                yield pid, next(iterators[pid])
+            except StopIteration:
+                exhausted.append(pid)
+        if exhausted:
+            live = [pid for pid in live if pid not in exhausted]
+
+
+def interleave_round_robin(
+    traces: Sequence["Trace"], budget: Optional[Budget] = None
+) -> List[Tuple[int, Access]]:
+    """Materialized round-robin interleaving (compatibility wrapper).
+
+    Historical callers expect a list; new code should prefer
+    :func:`iter_interleave_round_robin`, which interleaves lazily in
+    O(P) memory.
+    """
+    return list(iter_interleave_round_robin(traces, budget=budget))

@@ -98,10 +98,13 @@ def save_trace(
     path = Path(path)
     payload = json.dumps(metadata or {}).encode("utf-8")
     parent = path.parent if str(path.parent) else Path(".")
-    fd, tmp_name = tempfile.mkstemp(
-        prefix=f".{path.name}.", suffix=".tmp", dir=parent
-    )
+    tmp_name = None
     try:
+        # mkstemp lives inside the try so that a missing parent
+        # directory takes the same typed-error path as ENOSPC/EIO.
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{path.name}.", suffix=".tmp", dir=parent
+        )
         with os.fdopen(fd, "wb") as handle:
             # The archive bytes go through numpy's own writer; give the
             # fault injector its deterministic hook here so
@@ -120,11 +123,12 @@ def save_trace(
             io_fsync(handle.fileno(), "tracefile")
         io_replace(tmp_name, path, "tracefile")
     except BaseException as exc:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        if isinstance(exc, OSError) and not isinstance(exc, FileNotFoundError):
+        if tmp_name is not None:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+        if isinstance(exc, OSError):
             raise TraceFileWriteError(
                 f"cannot save trace to {path}: {exc}"
             ) from exc

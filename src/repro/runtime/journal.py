@@ -72,10 +72,15 @@ JOURNAL_FILENAME = "journal.wal"
 JOURNAL_MAGIC = "WAL1"
 
 #: Record types the engine writes (validated by the journal schema).
-#: The last three belong to :mod:`repro.service`: ``cache-hit`` marks
-#: an experiment committed from the content-addressed cache instead of
-#: an attempt, and the ``submission-*`` pair frames the service-level
-#: WAL (``service.wal``) around each accepted campaign submission.
+#: ``cache-hit`` and the ``submission-*`` pair belong to
+#: :mod:`repro.service` (``cache-hit`` marks an experiment committed
+#: from the content-addressed cache instead of an attempt; the
+#: ``submission-*`` pair frames the service-level WAL around each
+#: accepted campaign submission).  ``shard-sealed`` and
+#: ``sim-checkpoint`` belong to the streaming trace substrate
+#: (:mod:`repro.mem.shards` / :mod:`repro.mem.streamsim`): one per
+#: sealed trace shard (``shards.wal`` inside a ``.trd`` directory) and
+#: one per simulator snapshot (``<key>.ckpt.wal``).
 RECORD_TYPES = (
     "campaign-start",
     "attempt-start",
@@ -87,6 +92,8 @@ RECORD_TYPES = (
     "cache-hit",
     "submission-accepted",
     "submission-done",
+    "shard-sealed",
+    "sim-checkpoint",
 )
 
 #: ``attempt-end`` statuses that commit an experiment.

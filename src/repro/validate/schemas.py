@@ -240,6 +240,8 @@ JOURNAL_RECORD_SCHEMA: Dict[str, object] = {
                 "cache-hit",
                 "submission-accepted",
                 "submission-done",
+                "shard-sealed",
+                "sim-checkpoint",
             ],
         },
         "experiment_id": {"type": "string"},

@@ -121,3 +121,34 @@ class TestInterleave:
 
     def test_empty_traces(self):
         assert interleave_round_robin([Trace.from_addresses([])]) == []
+
+    def test_lazy_iterator_matches_wrapper(self):
+        from repro.mem.trace import iter_interleave_round_robin
+
+        traces = [Trace.from_addresses(range(0, n * 8, 8)) for n in (4, 2, 7)]
+        lazy = list(iter_interleave_round_robin(traces))
+        assert lazy == interleave_round_robin(traces)
+
+    def test_lazy_iterator_is_lazy(self):
+        """The generator pulls references on demand, never whole traces."""
+        from itertools import islice
+
+        from repro.mem.trace import iter_interleave_round_robin
+
+        pulled = []
+
+        class CountingTrace:
+            def __init__(self, addresses):
+                self._trace = Trace.from_addresses(addresses)
+
+            def __iter__(self):
+                for access in self._trace:
+                    pulled.append(access.addr)
+                    yield access
+
+        merged = iter_interleave_round_robin(
+            [CountingTrace(range(0, 8000, 8)), CountingTrace([100])]
+        )
+        head = list(islice(merged, 4))
+        assert len(head) == 4
+        assert len(pulled) <= 5  # not the 1001 total references

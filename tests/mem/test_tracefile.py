@@ -194,6 +194,15 @@ class TestIntegrity:
         monkeypatch.undo()
         assert os.listdir(tmp_path) == []
 
+    def test_missing_parent_directory_raises_typed_error(self, tmp_path):
+        """FileNotFoundError is an OSError like any other: callers get
+        the typed write error, not a leaked builtin."""
+        with pytest.raises(TraceFileWriteError):
+            save_trace(
+                tmp_path / "no" / "such" / "dir" / "t.npz",
+                random_trace(10, 10),
+            )
+
     def test_metadata_roundtrip_with_checksum(self, tmp_path):
         path, _ = self._saved(tmp_path, with_metadata=True)
         assert load_metadata(path) == {"app": "LU", "n": 96}

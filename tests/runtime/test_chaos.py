@@ -140,3 +140,27 @@ def test_small_real_chaos_campaign(tmp_path):
     )
     assert len(report.cycles) == 3
     assert report.passed, report.render()
+
+
+def test_small_real_streamed_chaos_campaign(tmp_path):
+    """Streamed chaos: the io-kill cycle plants its SIGKILL inside the
+    shard / simulator-checkpoint writes, so the campaign dies
+    mid-generation or mid-simulation and must resume from the last
+    sealed shard boundary to a byte-identical summary."""
+    report = run_chaos(
+        cycles=2,
+        seed=5,
+        experiments=("fig2",),
+        jobs=0,
+        enospc_cycles=0,
+        work_dir=tmp_path / "chaos",
+        timeout=120.0,
+        stream=True,
+        shard_refs=8192,
+    )
+    assert len(report.cycles) == 2
+    assert report.passed, report.render()
+    io_kill = [c for c in report.cycles if c.kind == "io-kill"]
+    assert io_kill and io_kill[0].detail, "no streamed fault was planted"
+    site = io_kill[0].detail.split(":")[0]
+    assert site in ("shard", "simckpt")

@@ -459,3 +459,73 @@ class TestObservabilityArtifacts:
         report = validate_run_dir(clean_run)
         assert "metrics-dangling-id" not in report.codes()
         assert report.ok, report.render()
+
+
+class TestStreamingArtifacts:
+    """Run-dir auditing of the sharded-trace streaming substrate."""
+
+    def _streamed_run(self, tmp_path, shard_refs=128):
+        from repro.mem.shards import StreamingTraceBuilder
+        from tests.conftest import random_trace
+
+        run_dir = tmp_path / "run"
+        stream = run_dir / "stream"
+        stream.mkdir(parents=True)
+        trace = random_trace(600, 90, seed=31)
+        builder = StreamingTraceBuilder(stream / "t.trd", shard_refs=shard_refs)
+        builder.extend_arrays(trace.addrs, trace.kinds)
+        return run_dir, builder.build()
+
+    def test_clean_streamed_run_dir_passes(self, tmp_path):
+        run_dir, _ = self._streamed_run(tmp_path)
+        report = validate_run_dir(run_dir)
+        assert not report.errors, report.render()
+
+    def test_shard_damage_surfaces_with_relative_path(self, tmp_path):
+        from repro.mem.shards import shard_name
+
+        run_dir, streamed = self._streamed_run(tmp_path)
+        (streamed.directory / shard_name(2)).unlink()
+        report = validate_run_dir(run_dir)
+        findings = [f for f in report.errors if f.code == "trace-shard-missing"]
+        assert findings and "stream/t.trd" in (findings[0].path or "")
+
+    def test_staging_dir_is_a_warning_only(self, tmp_path):
+        from repro.mem.shards import StreamingTraceBuilder
+        from tests.conftest import random_trace
+
+        run_dir, _ = self._streamed_run(tmp_path)
+        orphan = StreamingTraceBuilder(
+            run_dir / "stream" / "orphan.trd", shard_refs=64
+        )
+        trace = random_trace(200, 30, seed=32)
+        orphan.extend_arrays(trace.addrs, trace.kinds)  # never build()
+        report = validate_run_dir(run_dir)
+        assert not report.errors, report.render()
+        assert "trace-shard-incomplete" in report.codes()
+
+    def test_damaged_sim_checkpoint_is_a_warning(self, tmp_path):
+        from repro.mem.shards import save_sim_checkpoint
+
+        run_dir, _ = self._streamed_run(tmp_path)
+        ckpt_dir = run_dir / "stream" / "checkpoints"
+        ckpt_dir.mkdir()
+        path = ckpt_dir / "abc123.ckpt"
+        save_sim_checkpoint(path, {"next_shard": 1, "state": {}})
+        path.write_bytes(path.read_bytes()[:-5])
+        report = validate_run_dir(run_dir)
+        assert not report.errors, report.render()
+        assert "sim-checkpoint-corrupt" in report.codes()
+
+    def test_healthy_sim_checkpoint_passes(self, tmp_path):
+        from repro.mem.shards import save_sim_checkpoint
+
+        run_dir, _ = self._streamed_run(tmp_path)
+        ckpt_dir = run_dir / "stream" / "checkpoints"
+        ckpt_dir.mkdir()
+        save_sim_checkpoint(
+            ckpt_dir / "abc123.ckpt", {"next_shard": 1, "state": {}}
+        )
+        report = validate_run_dir(run_dir)
+        assert not report.errors, report.render()
+        assert "sim-checkpoint-corrupt" not in report.codes()

@@ -98,3 +98,54 @@ class TestCorpus:
         report = cross_check_corpus(names=["cg-n16-p4"])
         assert report.ok, report.render()
         assert report.checks_run > 0
+
+
+class TestStreamedDifferential:
+    """Streamed simulators must agree EXACTLY with in-memory ones."""
+
+    def test_random_trace_exact_agreement(self, tmp_path):
+        from repro.validate.differential import cross_check_streamed
+        from tests.conftest import random_trace
+
+        report = cross_check_streamed(
+            random_trace(3000, 400, seed=13), tmp_path, subject="random"
+        )
+        assert report.ok, report.render()
+        assert report.checks_run > 5
+
+    def test_sabotaged_shard_order_detected(self, tmp_path, monkeypatch):
+        """Swap two shards during chunk iteration: the oracle notices."""
+        from repro.mem.shards import StreamingTrace
+        from repro.validate.differential import cross_check_streamed
+        from tests.conftest import random_trace
+
+        original = StreamingTrace.iter_chunks
+
+        def swapped(self, start_shard=0):
+            chunks = list(original(self, start_shard))
+            if len(chunks) >= 2:
+                chunks[0], chunks[1] = chunks[1], chunks[0]
+            return iter(chunks)
+
+        monkeypatch.setattr(StreamingTrace, "iter_chunks", swapped)
+        report = cross_check_streamed(
+            random_trace(2000, 300, seed=14), tmp_path, subject="sabotaged"
+        )
+        assert "streaming-mismatch" in report.codes()
+
+    def test_corpus_entry_streams_exactly(self, tmp_path):
+        """One real application trace through the streamed oracle; the
+        full five-app sweep runs in CI via ``cross_check_corpus``."""
+        entry = corpus_entry("cg-n16-p4")
+        from repro.validate.differential import cross_check_streamed
+
+        report = cross_check_streamed(
+            entry.build(), tmp_path, subject=entry.name
+        )
+        assert report.ok, report.render()
+
+    def test_cross_check_corpus_streamed_subset(self, tmp_path):
+        report = cross_check_corpus(
+            names=["lu-n32-b8-p4"], streamed_work_dir=tmp_path
+        )
+        assert report.ok, report.render()
