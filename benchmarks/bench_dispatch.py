@@ -1,0 +1,56 @@
+"""Dispatch-fabric overhead: the same quick campaign through the
+multi-node dispatch fabric (``--nodes 1``) versus the plain worker-pool
+backend (``--jobs 1``).
+
+The difference of the two means, divided by the experiment count, is
+the per-experiment price of fenced assignment: node spawn + hello,
+WAL-framed assign/complete records, and the socket round trip.  Both
+benches run the real CLI as a subprocess, so interpreter start-up is
+paid identically on each side and cancels out of the comparison.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+#: Small quick experiments so the campaign is dominated by dispatch,
+#: not simulation.
+EXPERIMENTS = ("table1", "table2")
+
+
+def _run_campaign(run_dir, nodes=None):
+    cmd = [sys.executable, "-m", "repro.experiments", "--quick", "--jobs", "1"]
+    if nodes is not None:
+        cmd += ["--nodes", str(nodes)]
+    cmd += ["--run-dir", str(run_dir), *EXPERIMENTS]
+    env = dict(os.environ)
+    entries = [entry for entry in sys.path if entry]
+    if entries:
+        env["PYTHONPATH"] = os.pathsep.join(entries)
+    subprocess.run(
+        cmd,
+        check=True,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        timeout=300,
+    )
+    assert (run_dir / "summary.json").is_file()
+
+
+def bench_worker_pool_campaign(benchmark, run_once, tmp_path):
+    """Baseline: the subprocess worker-pool backend (``--jobs 1``)."""
+    run_once(benchmark, _run_campaign, tmp_path / "pool")
+    benchmark.extra_info["experiments"] = len(EXPERIMENTS)
+
+
+def bench_dispatch_fabric_campaign(benchmark, run_once, tmp_path):
+    """The same campaign dispatched over a one-node fabric."""
+    run_once(benchmark, _run_campaign, tmp_path / "fabric", nodes=1)
+    benchmark.extra_info["experiments"] = len(EXPERIMENTS)
+    if benchmark.stats and benchmark.stats.stats.mean:
+        benchmark.extra_info["seconds_per_experiment"] = (
+            benchmark.stats.stats.mean / len(EXPERIMENTS)
+        )

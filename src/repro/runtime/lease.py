@@ -125,6 +125,14 @@ def lease_is_stale(
     than the TTL (covers both a hung supervisor and PID reuse after a
     reboot).  A heartbeat from the *future* (clock step) is treated as
     fresh — refusing is the safe direction.
+
+    A TTL-only verdict (live PID, old-looking heartbeat) compares the
+    *owner's* wall clock against the *reader's*: a reader whose clock
+    runs more than one TTL ahead sees every live lease as stale.  This
+    function is therefore only a snapshot; before acting on a TTL-only
+    verdict, :meth:`Lease.acquire` additionally dwells on its own
+    monotonic clock and re-reads, so heartbeat *progress* (which no
+    wall-clock skew can forge or hide) gets the final say.
     """
     if not pid_alive(state.pid):
         return True
@@ -166,6 +174,8 @@ class Lease:
         ttl_seconds: float = DEFAULT_TTL_SECONDS,
         token_floor: int = 0,
         wall_clock: Callable[[], float] = time.time,
+        monotonic_clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> "Lease":
         """Acquire (or reclaim) the lease for ``run_dir``.
 
@@ -176,6 +186,10 @@ class Lease:
                 last recorded token so a deleted lease file cannot
                 rewind the fencing sequence).
             wall_clock: Injectable time source.
+            monotonic_clock: Injectable monotonic source, used (with
+                ``sleep``) for the skew-proof dwell before a TTL-only
+                reclaim.
+            sleep: Injectable sleep, paired with ``monotonic_clock``.
 
         Raises:
             LeaseHeldError: A live supervisor holds the lease.
@@ -195,6 +209,35 @@ class Lease:
                     f"{now - previous.heartbeat_wall:.1f}s ago); refusing to "
                     "run two supervisors against one run directory"
                 )
+            if pid_alive(previous.pid):
+                # TTL-only staleness with a live PID: either a hung
+                # owner, or *our* wall clock running more than one TTL
+                # ahead of a perfectly healthy one.  The wall clocks
+                # cannot arbitrate that — heartbeat progress can.  A
+                # live owner refreshes every ttl/3 seconds, so dwell
+                # ttl/2 on our own monotonic clock and re-read: any
+                # change to the lease proves a live writer and we
+                # refuse; a byte-identical lease after a full dwell is
+                # a genuinely silent owner and may be reclaimed.
+                dwell = ttl_seconds / 2.0
+                deadline = monotonic_clock() + dwell
+                while monotonic_clock() < deadline:
+                    sleep(min(1.0, dwell))
+                current = read_lease(path)
+                if current is not None and (
+                    current.pid != previous.pid
+                    or current.token != previous.token
+                    or current.heartbeat_wall != previous.heartbeat_wall
+                    or current.acquired_wall != previous.acquired_wall
+                ):
+                    raise LeaseHeldError(
+                        f"run directory {run_dir} looked stale by wall-clock "
+                        f"TTL but its lease advanced during a "
+                        f"{dwell:.1f}s monotonic dwell (pid {current.pid}, "
+                        f"token {current.token}) — the owner is alive and "
+                        "the staleness verdict was clock skew; refusing"
+                    )
+                now = wall_clock()
             previous_token = max(previous_token, previous.token)
         state = LeaseState(
             pid=os.getpid(),

@@ -24,14 +24,21 @@ does any success.
 
 The clock is injectable so every transition is deterministic under
 test.  State changes are exported as the ``service.breaker.state``
-gauge (0 closed, 1 half-open, 2 open) plus trip/probe counters.
+gauge (0 closed, 1 half-open, 2 open) plus trip/probe counters, and
+every state *transition* is additionally delivered to an optional
+``on_transition(old, new, t_wall)`` callback — the service uses it to
+write ``breaker-transition`` records into its event log so ``status``
+can show the closed→open→half-open history with timestamps, not just
+the current gauge.  A ``gauge_prefix`` makes the breaker reusable per
+node (``node.breaker.<id>.state``) without colliding with the
+service-wide instance.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.obs import metrics as obs_metrics
 
@@ -56,6 +63,11 @@ class CircuitBreaker:
         cooldown_seconds: How long the breaker stays open before it
             lets one half-open probe through.
         clock: Injectable monotonic time source.
+        gauge_prefix: Metric namespace (default ``service.breaker``;
+            per-node instances pass ``node.breaker.<node_id>``).
+        on_transition: Optional callback invoked (outside the lock)
+            once per state change as ``(old_state, new_state, t_wall)``.
+        wall_clock: Wall time stamped onto transitions.
     """
 
     def __init__(
@@ -63,6 +75,9 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         cooldown_seconds: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        gauge_prefix: str = "service.breaker",
+        on_transition: Optional[Callable[[str, str, float], None]] = None,
+        wall_clock: Callable[[], float] = time.time,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError(
@@ -74,12 +89,16 @@ class CircuitBreaker:
             )
         self.failure_threshold = failure_threshold
         self.cooldown_seconds = cooldown_seconds
+        self.gauge_prefix = gauge_prefix
+        self.on_transition = on_transition
         self._clock = clock
+        self._wall_clock = wall_clock
         self._lock = threading.Lock()
         self._state = STATE_CLOSED
         self._consecutive = 0
         self._opened_at = 0.0
         self._probe_outstanding = False
+        self._pending_transitions: List[Tuple[str, str, float]] = []
         self._export()
 
     # -- introspection -----------------------------------------------
@@ -88,7 +107,9 @@ class CircuitBreaker:
     def state(self) -> str:
         with self._lock:
             self._maybe_half_open_locked()
-            return self._state
+            state = self._state
+        self._flush_transitions()
+        return state
 
     @property
     def consecutive_failures(self) -> int:
@@ -98,12 +119,39 @@ class CircuitBreaker:
     def describe(self) -> dict:
         with self._lock:
             self._maybe_half_open_locked()
-            return {
+            description = {
                 "state": self._state,
                 "consecutive_failures": self._consecutive,
                 "failure_threshold": self.failure_threshold,
                 "cooldown_seconds": self.cooldown_seconds,
             }
+        self._flush_transitions()
+        return description
+
+    def _set_state_locked(self, new_state: str) -> None:
+        """Change state, queueing the transition for delivery.
+
+        The callback must run *outside* the lock (it may log, write
+        events, or re-enter the breaker), so transitions queue here and
+        every public entry point drains the queue after releasing.
+        """
+        if new_state == self._state:
+            return
+        self._pending_transitions.append(
+            (self._state, new_state, self._wall_clock())
+        )
+        self._state = new_state
+
+    def _flush_transitions(self) -> None:
+        if self.on_transition is None:
+            self._pending_transitions.clear()
+            return
+        while True:
+            with self._lock:
+                if not self._pending_transitions:
+                    return
+                old, new, t_wall = self._pending_transitions.pop(0)
+            self.on_transition(old, new, t_wall)
 
     # -- the dispatch gate -------------------------------------------
 
@@ -118,19 +166,22 @@ class CircuitBreaker:
         with self._lock:
             self._maybe_half_open_locked()
             if self._state == STATE_CLOSED:
-                return True
-            if self._state == STATE_HALF_OPEN and not self._probe_outstanding:
+                allowed = True
+            elif self._state == STATE_HALF_OPEN and not self._probe_outstanding:
                 self._probe_outstanding = True
-                obs_metrics.inc("service.breaker.probes")
-                return True
-            return False
+                obs_metrics.inc(f"{self.gauge_prefix}.probes")
+                allowed = True
+            else:
+                allowed = False
+        self._flush_transitions()
+        return allowed
 
     def _maybe_half_open_locked(self) -> None:
         if (
             self._state == STATE_OPEN
             and self._clock() - self._opened_at >= self.cooldown_seconds
         ):
-            self._state = STATE_HALF_OPEN
+            self._set_state_locked(STATE_HALF_OPEN)
             self._probe_outstanding = False
             self._export()
 
@@ -142,10 +193,11 @@ class CircuitBreaker:
             self._maybe_half_open_locked()
             self._consecutive = 0
             if self._state != STATE_CLOSED:
-                self._state = STATE_CLOSED
+                self._set_state_locked(STATE_CLOSED)
                 self._probe_outstanding = False
-                obs_metrics.inc("service.breaker.closes")
+                obs_metrics.inc(f"{self.gauge_prefix}.closes")
             self._export()
+        self._flush_transitions()
 
     def record_failure(self, category: str) -> None:
         """One attempt failed with ``category``.
@@ -162,34 +214,35 @@ class CircuitBreaker:
                     # The probe failed for experiment-level reasons,
                     # but the pool itself answered: that is a healthy
                     # pool, so the probe counts as pool success.
-                    self._state = STATE_CLOSED
+                    self._set_state_locked(STATE_CLOSED)
                     self._probe_outstanding = False
-                    obs_metrics.inc("service.breaker.closes")
+                    obs_metrics.inc(f"{self.gauge_prefix}.closes")
                 self._export()
-                return
-            self._consecutive += 1
-            if self._state == STATE_HALF_OPEN:
-                # The probe failed: straight back to open.
-                self._trip_locked()
-            elif (
-                self._state == STATE_CLOSED
-                and self._consecutive >= self.failure_threshold
-            ):
-                self._trip_locked()
             else:
-                self._export()
+                self._consecutive += 1
+                if self._state == STATE_HALF_OPEN:
+                    # The probe failed: straight back to open.
+                    self._trip_locked()
+                elif (
+                    self._state == STATE_CLOSED
+                    and self._consecutive >= self.failure_threshold
+                ):
+                    self._trip_locked()
+                else:
+                    self._export()
+        self._flush_transitions()
 
     def _trip_locked(self) -> None:
-        self._state = STATE_OPEN
+        self._set_state_locked(STATE_OPEN)
         self._opened_at = self._clock()
         self._probe_outstanding = False
-        obs_metrics.inc("service.breaker.trips")
+        obs_metrics.inc(f"{self.gauge_prefix}.trips")
         self._export()
 
     def _export(self) -> None:
         obs_metrics.set_gauge(
-            "service.breaker.state", STATE_GAUGE[self._state]
+            f"{self.gauge_prefix}.state", STATE_GAUGE[self._state]
         )
         obs_metrics.set_gauge(
-            "service.breaker.consecutive_failures", self._consecutive
+            f"{self.gauge_prefix}.consecutive_failures", self._consecutive
         )

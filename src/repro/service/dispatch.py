@@ -1,0 +1,1199 @@
+"""Fault-tolerant multi-node dispatch fabric.
+
+The worker pool (:mod:`repro.runtime.workers`) contains failures of a
+*process*; this module contains failures of a *node*.  A campaign's
+experiments are sharded across N worker nodes — separate long-lived
+processes standing in for hosts (:mod:`repro.service.node`), each
+running the existing supervised worker pool — and the dispatcher keeps
+the campaign correct while nodes die, partition, straggle, and come
+back from the dead carrying stale results:
+
+- **Node registry with fenced incarnations.**  Every node is spawned
+  with an incarnation token; a node declared dead is respawned under
+  ``token + 1``, and any message still carrying the old token — a
+  partitioned node's buffered results, a zombie's heartbeat — is
+  rejected and answered with ``fenced`` (the node exits).  This is the
+  lease protocol of :mod:`repro.runtime.lease` applied per node.
+- **Assignment WAL.**  ``<run_dir>/dispatch.wal`` is CRC-framed exactly
+  like ``journal.wal`` and records every ``dispatch-assign``,
+  ``dispatch-requeue``, ``dispatch-hedge``, ``dispatch-complete``, and
+  ``dispatch-fenced`` per ``attempt_uid``, so recovery and ``validate``
+  can prove the exactly-once-recorded discipline
+  (at-least-once *executed*, exactly-once *recorded*).
+- **Failover re-dispatch.**  A node death (socket loss, heartbeat
+  older than the TTL on the *dispatcher's monotonic clock*, process
+  exit) requeues its open assignments onto live nodes transparently —
+  inside the same engine attempt, so a completed campaign's
+  ``summary.json`` is byte-identical to an undisturbed single-node run.
+- **Straggler hedging.**  Once enough completions exist to estimate a
+  p95 duration, an assignment outliving it is duplicated onto a second
+  node; the first result wins and the loser is fenced out
+  (``dispatch-fenced`` with reason ``duplicate-result``).
+- **Per-node circuit breakers.**  Each node id carries a
+  :class:`~repro.service.breaker.CircuitBreaker`
+  (``node.breaker.<id>.*`` gauges); nodes with open breakers are
+  deprioritized for new assignments, and breaker transitions flow into
+  the event log.
+
+The engine sees none of this: :class:`DispatchPool` subclasses
+:class:`~repro.runtime.workers.WorkerPool` and swaps the
+``WorkerSupervisor`` for a :class:`DispatchSession`, which implements
+the same ``run_attempt(spec) / kill_all() / live_count()`` surface.
+Retry, degradation, journaling, checkpointing and summaries are
+untouched — the fabric is purely a different place to run an attempt.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.experiments.runner import ExperimentResult
+from repro.obs import metrics as obs_metrics
+from repro.runtime.errors import (
+    ExperimentFailure,
+    FencingViolationError,
+    JournalCorruptError,
+    NoLiveNodesError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+from repro.runtime.iofault import atomic_write_text
+from repro.runtime.journal import Journal, attempt_uid, truncate_torn_tail
+from repro.runtime.workers import AttemptSpec, WorkerPool, worker_environment
+from repro.service.breaker import CircuitBreaker
+
+#: The assignment WAL inside a campaign run directory.
+DISPATCH_WAL_FILENAME = "dispatch.wal"
+
+#: Read-only per-node health snapshot (for ``status``), refreshed
+#: atomically on every registry change.
+NODES_SNAPSHOT_FILENAME = "nodes.json"
+
+#: Module invoked as the node entry point (``python -m ...``).
+NODE_MODULE = "repro.service.node"
+
+#: Environment variable carrying chaos fault directives for nodes
+#: (see :func:`repro.service.node.parse_fault_directives`).
+NODE_FAULT_ENV = "REPRO_NODE_FAULT"
+
+#: Reasons stamped into ``dispatch-fenced`` WAL records.
+FENCE_STALE_NODE = "stale-node-token"
+FENCE_STALE_ENGINE = "stale-engine-token"
+FENCE_SUPERSEDED = "superseded-assignment"
+FENCE_DUPLICATE = "duplicate-result"
+FENCE_UNKNOWN = "unknown-assignment"
+
+
+@dataclass
+class FabricConfig:
+    """Policy knobs of the dispatch fabric.
+
+    Attributes:
+        nodes: Worker-node processes to run.
+        heartbeat_interval_seconds: How often nodes heartbeat.
+        heartbeat_ttl_seconds: A node silent for longer (on the
+            dispatcher's monotonic clock) is declared dead.
+        hedge_min_seconds: Floor of the hedging trigger.
+        hedge_p95_factor: Trigger = ``max(floor, p95 × factor)``.
+        hedge_min_samples: Completions required before the p95 is
+            trusted; below it no hedging happens (everything looks like
+            a straggler during warm-up).
+        max_respawns_per_node: Deaths after which a node id stays dead.
+        no_node_grace_seconds: How long an unassignable ticket waits
+            for a respawn before failing with
+            :class:`~repro.runtime.errors.NoLiveNodesError`.
+        breaker_failure_threshold / breaker_cooldown_seconds: Per-node
+            circuit breaker policy.
+        connect_timeout_seconds: How long :meth:`NodeFabric.start`
+            waits for the first node to say hello.
+    """
+
+    nodes: int = 2
+    heartbeat_interval_seconds: float = 0.5
+    heartbeat_ttl_seconds: float = 3.0
+    hedge_min_seconds: float = 5.0
+    hedge_p95_factor: float = 2.0
+    hedge_min_samples: int = 3
+    max_respawns_per_node: int = 5
+    no_node_grace_seconds: float = 15.0
+    breaker_failure_threshold: int = 3
+    breaker_cooldown_seconds: float = 10.0
+    connect_timeout_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1 (got {self.nodes})")
+        if self.heartbeat_interval_seconds <= 0:
+            raise ValueError("heartbeat_interval_seconds must be positive")
+        if self.heartbeat_ttl_seconds <= self.heartbeat_interval_seconds:
+            raise ValueError(
+                "heartbeat_ttl_seconds must exceed the heartbeat interval"
+            )
+
+
+class _NodeState:
+    """Registry entry for one node incarnation."""
+
+    def __init__(self, node_id: str, token: int) -> None:
+        self.node_id = node_id
+        self.token = token
+        self.proc: Optional[subprocess.Popen] = None
+        self.pid: Optional[int] = None
+        self.conn: Optional[socket.socket] = None
+        self.connected = False  # hello received and welcomed
+        self.alive = True  # not yet declared dead
+        self.last_seen = time.monotonic()
+        self.last_heartbeat_wall = 0.0
+        self.inflight: Set[str] = set()
+        self.deaths_before = 0  # deaths of earlier incarnations
+        self._send_lock = threading.Lock()
+
+    def send(self, message: Dict[str, object]) -> bool:
+        """Best-effort line-framed send; False when the link is gone."""
+        conn = self.conn
+        if conn is None:
+            return False
+        data = (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+        try:
+            with self._send_lock:
+                conn.sendall(data)
+        except OSError:
+            return False
+        return True
+
+
+class _Ticket:
+    """One engine attempt travelling through the fabric."""
+
+    def __init__(
+        self,
+        spec: AttemptSpec,
+        attempt_uid: str,
+        session: "DispatchSession",
+    ) -> None:
+        self.spec = spec
+        self.attempt_uid = attempt_uid
+        self.session = session
+        self.event = threading.Event()
+        self.result: Optional[ExperimentResult] = None
+        self.failure: Optional[ExperimentFailure] = None
+        self.completed = False
+        self.hedged = False
+        self.assignments: Dict[str, str] = {}  # assignment_id -> node_id
+        self.first_dispatch_mono: Optional[float] = None
+        self.unassigned_deadline: Optional[float] = None
+        self.obs: Optional[Dict[str, object]] = None
+
+
+class NodeFabric:
+    """Spawns, registers, monitors, fences, and feeds worker nodes.
+
+    One fabric may serve many :class:`DispatchSession` instances
+    (the service shares one fleet across campaign submissions); each
+    session owns its campaign's ``dispatch.wal``.
+
+    Args:
+        run_dir: Where ``nodes.json`` (and node logs) live.
+        config: Fabric policy.
+        on_event: Optional ``(event, experiment_id, detail)`` callback
+            mirroring the worker-supervisor event hook.
+        python: Interpreter for node processes.
+    """
+
+    def __init__(
+        self,
+        run_dir: os.PathLike,
+        config: Optional[FabricConfig] = None,
+        on_event: Optional[Callable[[str, Optional[str], Dict[str, object]], None]] = None,
+        python: Optional[str] = None,
+    ) -> None:
+        self.run_dir = Path(run_dir)
+        self.config = config or FabricConfig()
+        self.on_event = on_event
+        self.python = python or sys.executable
+        self._lock = threading.RLock()
+        self._nodes: Dict[str, _NodeState] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._zombies: List[subprocess.Popen] = []
+        self._assignments: Dict[str, _Ticket] = {}
+        self._unassigned: List[_Ticket] = []
+        self._durations: List[float] = []
+        self._assignment_seq = 0
+        self._listener: Optional[socket.socket] = None
+        self._port: Optional[int] = None
+        self._stopping = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def start(self) -> None:
+        """Bind the listener, spawn every node, wait for the first hello."""
+        if self._started:
+            return
+        self._stopping.clear()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(self.config.nodes * 2 + 4)
+        listener.settimeout(0.25)
+        self._listener = listener
+        self._port = listener.getsockname()[1]
+        self._started = True
+        accept = threading.Thread(
+            target=self._accept_loop, name="fabric-accept", daemon=True
+        )
+        monitor = threading.Thread(
+            target=self._monitor_loop, name="fabric-monitor", daemon=True
+        )
+        self._threads = [accept, monitor]
+        with self._lock:
+            for index in range(self.config.nodes):
+                self._spawn_node_locked(f"node-{index}", token=1)
+        accept.start()
+        monitor.start()
+        deadline = time.monotonic() + self.config.connect_timeout_seconds
+        while time.monotonic() < deadline:
+            if self.live_node_count() > 0:
+                return
+            time.sleep(0.05)
+        raise RuntimeError(
+            f"no worker node connected within "
+            f"{self.config.connect_timeout_seconds:.0f}s "
+            f"(spawned {self.config.nodes})"
+        )
+
+    def stop(self, term_grace_seconds: float = 5.0) -> None:
+        """Graceful shutdown: ask nodes to exit, then make sure of it."""
+        if not self._started:
+            return
+        self._stopping.set()
+        with self._lock:
+            nodes = list(self._nodes.values())
+            zombies = list(self._zombies)
+        for node in nodes:
+            node.send({"type": "shutdown"})
+        deadline = time.monotonic() + term_grace_seconds
+        procs = [n.proc for n in nodes if n.proc is not None] + zombies
+        for proc in procs:
+            remaining = deadline - time.monotonic()
+            if remaining > 0:
+                try:
+                    proc.wait(timeout=remaining)
+                except subprocess.TimeoutExpired:
+                    pass
+            if proc.poll() is None:
+                _killpg(proc, signal.SIGKILL)
+                proc.wait()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []
+        self._started = False
+        self._snapshot_locked_or_not()
+
+    def kill_nodes(self, term_grace_seconds: float = 2.0) -> int:
+        """TERM every node process, grace, then KILL (interrupt path)."""
+        with self._lock:
+            procs = [
+                n.proc for n in self._nodes.values() if n.proc is not None
+            ] + list(self._zombies)
+        live = [p for p in procs if p.poll() is None]
+        for proc in live:
+            _killpg(proc, signal.SIGTERM)
+        deadline = time.monotonic() + term_grace_seconds
+        for proc in live:
+            remaining = deadline - time.monotonic()
+            if remaining > 0:
+                try:
+                    proc.wait(timeout=remaining)
+                except subprocess.TimeoutExpired:
+                    pass
+            if proc.poll() is None:
+                _killpg(proc, signal.SIGKILL)
+        return len(live)
+
+    # -- spawning and the registry ------------------------------------
+
+    def _spawn_node_locked(self, node_id: str, token: int) -> _NodeState:
+        state = _NodeState(node_id, token)
+        previous = self._nodes.get(node_id)
+        if previous is not None:
+            state.deaths_before = previous.deaths_before + 1
+        cmd = [
+            self.python,
+            "-m",
+            NODE_MODULE,
+            "--connect",
+            f"127.0.0.1:{self._port}",
+            "--node-id",
+            node_id,
+            "--node-token",
+            str(token),
+            "--heartbeat-interval",
+            str(self.config.heartbeat_interval_seconds),
+        ]
+        log_dir = self.run_dir / "node-logs"
+        log_dir.mkdir(parents=True, exist_ok=True)
+        log = open(log_dir / f"{node_id}.log", "ab")
+        try:
+            state.proc = subprocess.Popen(
+                cmd,
+                stdin=subprocess.DEVNULL,
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=worker_environment(),
+                start_new_session=True,
+            )
+        finally:
+            log.close()
+        state.pid = state.proc.pid
+        self._nodes[node_id] = state
+        self._breakers.setdefault(
+            node_id,
+            CircuitBreaker(
+                failure_threshold=self.config.breaker_failure_threshold,
+                cooldown_seconds=self.config.breaker_cooldown_seconds,
+                gauge_prefix=f"node.breaker.{node_id}",
+                on_transition=self._breaker_transition(node_id),
+            ),
+        )
+        obs_metrics.inc("node.spawns")
+        self._emit(
+            "node-spawned",
+            None,
+            node_id=node_id,
+            node_token=token,
+            pid=state.pid,
+        )
+        self._export_locked()
+        return state
+
+    def _breaker_transition(
+        self, node_id: str
+    ) -> Callable[[str, str, float], None]:
+        def callback(old: str, new: str, t_wall: float) -> None:
+            self._emit(
+                "breaker-transition",
+                None,
+                breaker=f"node:{node_id}",
+                node_id=node_id,
+                from_state=old,
+                to_state=new,
+                t_wall=t_wall,
+            )
+
+        return callback
+
+    def breaker(self, node_id: str) -> CircuitBreaker:
+        with self._lock:
+            return self._breakers[node_id]
+
+    def live_node_count(self) -> int:
+        with self._lock:
+            return sum(
+                1
+                for n in self._nodes.values()
+                if n.alive and n.connected
+            )
+
+    def node_count(self) -> int:
+        with self._lock:
+            return len(self._nodes)
+
+    def describe(self) -> Dict[str, object]:
+        """Per-node health for ``/healthz`` and ``status``."""
+        with self._lock:
+            nodes = {
+                node.node_id: {
+                    "pid": node.pid,
+                    "token": node.token,
+                    "alive": bool(node.alive and node.connected),
+                    "inflight": len(node.inflight),
+                    "deaths": node.deaths_before,
+                    "last_heartbeat_wall": node.last_heartbeat_wall,
+                    "breaker": self._breakers[node.node_id].state,
+                }
+                for node in self._nodes.values()
+            }
+        return {
+            "nodes": nodes,
+            "live": sum(1 for n in nodes.values() if n["alive"]),
+            "total": len(nodes),
+        }
+
+    def _export_locked(self) -> None:
+        live = sum(
+            1 for n in self._nodes.values() if n.alive and n.connected
+        )
+        obs_metrics.set_gauge("node.alive", live)
+        obs_metrics.set_gauge("node.total", len(self._nodes))
+        self._snapshot_locked_or_not()
+
+    def _snapshot_locked_or_not(self) -> None:
+        """Refresh ``nodes.json`` (best effort, never fatal)."""
+        try:
+            payload = self.describe()
+            payload["written_wall"] = time.time()
+            atomic_write_text(
+                self.run_dir / NODES_SNAPSHOT_FILENAME,
+                json.dumps(payload, indent=1, sort_keys=True),
+                site="nodes-snapshot",
+                durable=False,
+            )
+        except OSError:
+            pass
+
+    # -- the accept / read side ---------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="fabric-conn",
+                daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.settimeout(None)
+        reader = conn.makefile("r", encoding="utf-8", newline="\n")
+        try:
+            hello_line = reader.readline()
+            if not hello_line:
+                return
+            try:
+                hello = json.loads(hello_line)
+            except json.JSONDecodeError:
+                return
+            if hello.get("type") != "hello":
+                return
+            node_id = str(hello.get("node_id", ""))
+            token = int(hello.get("node_token", 0))
+            with self._lock:
+                node = self._nodes.get(node_id)
+                if node is None or node.token != token or not node.alive:
+                    # A stale incarnation (or an impostor) dialling in:
+                    # fence it out before it can say anything else.
+                    obs_metrics.inc("node.fenced_hellos")
+                    try:
+                        conn.sendall(b'{"type": "fenced"}\n')
+                    except OSError:
+                        pass
+                    return
+                node.conn = conn
+                node.connected = True
+                node.last_seen = time.monotonic()
+                node.last_heartbeat_wall = time.time()
+                self._export_locked()
+            node.send({"type": "welcome", "node_id": node_id})
+            self._emit(
+                "node-connected", None, node_id=node_id, node_token=token
+            )
+            self._read_messages(reader, node)
+        finally:
+            try:
+                reader.close()
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _read_messages(self, reader, node: _NodeState) -> None:
+        while not self._stopping.is_set():
+            try:
+                line = reader.readline()
+            except OSError:
+                line = ""
+            if not line:
+                break
+            try:
+                message = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            kind = message.get("type")
+            if kind == "heartbeat":
+                self._handle_heartbeat(node, message)
+            elif kind == "result":
+                self._handle_result(node, message)
+        # EOF: the process died or closed its socket.  A node that was
+        # already declared dead (partition) just loses its zombie link.
+        with self._lock:
+            current = self._nodes.get(node.node_id)
+            if current is node and node.alive and not self._stopping.is_set():
+                self._declare_dead_locked(node, "connection-lost")
+
+    def _handle_heartbeat(
+        self, node: _NodeState, message: Dict[str, object]
+    ) -> None:
+        with self._lock:
+            current = self._nodes.get(node.node_id)
+            if current is not node or int(message.get("node_token", 0)) != node.token:
+                obs_metrics.inc("node.stale_heartbeats")
+                node.send({"type": "fenced"})
+                return
+            node.last_seen = time.monotonic()
+            node.last_heartbeat_wall = time.time()
+
+    # -- result handling (the fencing gate) ---------------------------
+
+    def _handle_result(
+        self, node: _NodeState, message: Dict[str, object]
+    ) -> None:
+        assignment_id = str(message.get("assignment_id", ""))
+        sends: List[Tuple[_NodeState, Dict[str, object]]] = []
+        with self._lock:
+            node.last_seen = time.monotonic()
+            ticket = self._assignments.get(assignment_id)
+            current = self._nodes.get(node.node_id)
+            stale_node = (
+                current is not node
+                or int(message.get("node_token", 0)) != node.token
+                or not node.alive
+            )
+            if stale_node:
+                # A superseded incarnation delivering late: never
+                # recorded, always fenced.
+                obs_metrics.inc("node.stale_rejected")
+                self._fence_locked(
+                    ticket, assignment_id, node, FENCE_STALE_NODE
+                )
+                node.send({"type": "fenced"})
+                return
+            node.inflight.discard(assignment_id)
+            if ticket is None:
+                obs_metrics.inc("node.stale_rejected")
+                self._emit(
+                    "dispatch-fenced-result",
+                    None,
+                    assignment_id=assignment_id,
+                    node_id=node.node_id,
+                    reason=FENCE_UNKNOWN,
+                )
+                return
+            if ticket.completed:
+                # The hedge (or a re-dispatch twin) lost the race.
+                obs_metrics.inc("node.duplicate_results")
+                self._fence_locked(
+                    ticket, assignment_id, node, FENCE_DUPLICATE
+                )
+                return
+            if assignment_id not in ticket.assignments:
+                # Requeued away from this node before it answered.
+                obs_metrics.inc("node.stale_rejected")
+                self._fence_locked(
+                    ticket, assignment_id, node, FENCE_SUPERSEDED
+                )
+                return
+            expected = ticket.session.current_token()
+            stated = int(message.get("engine_token", 0))
+            if expected is not None and stated != expected:
+                obs_metrics.inc("node.stale_rejected")
+                self._fence_locked(
+                    ticket, assignment_id, node, FENCE_STALE_ENGINE
+                )
+                failure = ExperimentFailure(
+                    experiment_id=ticket.spec.experiment_id,
+                    attempt=ticket.spec.attempt,
+                    category=FencingViolationError.category,
+                    error_type=FencingViolationError.__name__,
+                    message=(
+                        f"node {node.node_id} returned a result stamped with "
+                        f"fencing token {stated}, but the current supervisor "
+                        f"generation is {expected}; the result is from a "
+                        "superseded generation and was rejected"
+                    ),
+                    degraded=ticket.spec.degraded,
+                )
+                sends += self._resolve_locked(ticket, None, failure, node)
+            else:
+                result, failure = self._decode_outcome(ticket.spec, message)
+                obs_metrics.inc("node.results")
+                obs = message.get("obs")
+                if isinstance(obs, dict):
+                    ticket.obs = obs
+                duration = None
+                if ticket.first_dispatch_mono is not None:
+                    duration = time.monotonic() - ticket.first_dispatch_mono
+                    self._durations.append(duration)
+                    del self._durations[:-256]
+                ticket.session.journal.append(
+                    "dispatch-complete",
+                    experiment_id=ticket.spec.experiment_id,
+                    attempt=ticket.spec.attempt,
+                    attempt_uid=ticket.attempt_uid,
+                    assignment_id=assignment_id,
+                    node_id=node.node_id,
+                    node_token=node.token,
+                    status="failed" if failure is not None else "ok",
+                )
+                breaker = self._breakers[node.node_id]
+                if failure is None:
+                    breaker.record_success()
+                else:
+                    breaker.record_failure(failure.category)
+                sends += self._resolve_locked(ticket, result, failure, node)
+        for target, payload in sends:
+            target.send(payload)
+
+    @staticmethod
+    def _decode_outcome(
+        spec: AttemptSpec, message: Dict[str, object]
+    ) -> Tuple[Optional[ExperimentResult], Optional[ExperimentFailure]]:
+        """Rebuild the node's classified outcome; damage is a crash."""
+        try:
+            raw_result = message.get("result")
+            raw_failure = message.get("failure")
+            if raw_result is not None:
+                return ExperimentResult.from_dict(raw_result), None
+            if raw_failure is not None:
+                return None, ExperimentFailure.from_dict(raw_failure)
+            raise ValueError("result message carries neither result nor failure")
+        except Exception as exc:  # noqa: BLE001 — classification is the point
+            return None, ExperimentFailure(
+                experiment_id=spec.experiment_id,
+                attempt=spec.attempt,
+                category=WorkerCrashError.category,
+                error_type=WorkerCrashError.__name__,
+                message=(
+                    f"node returned an unusable result payload for "
+                    f"{spec.experiment_id} ({type(exc).__name__}: {exc})"
+                ),
+                degraded=spec.degraded,
+            )
+
+    def _fence_locked(
+        self,
+        ticket: Optional[_Ticket],
+        assignment_id: str,
+        node: _NodeState,
+        reason: str,
+    ) -> None:
+        """Write the forensic ``dispatch-fenced`` record (when the WAL
+        that owns the assignment is still known)."""
+        self._emit(
+            "dispatch-fenced-result",
+            ticket.spec.experiment_id if ticket is not None else None,
+            assignment_id=assignment_id,
+            node_id=node.node_id,
+            node_token=node.token,
+            reason=reason,
+        )
+        if ticket is None:
+            return
+        try:
+            ticket.session.journal.append(
+                "dispatch-fenced",
+                experiment_id=ticket.spec.experiment_id,
+                attempt=ticket.spec.attempt,
+                attempt_uid=ticket.attempt_uid,
+                assignment_id=assignment_id,
+                node_id=node.node_id,
+                node_token=node.token,
+                reason=reason,
+            )
+        except OSError:
+            pass  # forensics must not take the fabric down
+
+    def _resolve_locked(
+        self,
+        ticket: _Ticket,
+        result: Optional[ExperimentResult],
+        failure: Optional[ExperimentFailure],
+        winner: Optional[_NodeState],
+    ) -> List[Tuple[_NodeState, Dict[str, object]]]:
+        """Complete a ticket; returns cancel messages to send unlocked."""
+        ticket.completed = True
+        ticket.result = result
+        ticket.failure = failure
+        sends: List[Tuple[_NodeState, Dict[str, object]]] = []
+        for assignment_id, node_id in list(ticket.assignments.items()):
+            other = self._nodes.get(node_id)
+            if other is None or (winner is not None and other is winner):
+                continue
+            other.inflight.discard(assignment_id)
+            sends.append((other, {"type": "cancel", "assignment_id": assignment_id}))
+        ticket.assignments.clear()
+        if ticket in self._unassigned:
+            self._unassigned.remove(ticket)
+        ticket.event.set()
+        return sends
+
+    # -- assignment ----------------------------------------------------
+
+    def submit(self, ticket: _Ticket) -> None:
+        """Queue a ticket for dispatch (assigned immediately if a node
+        is available, else parked until one respawns or grace expires)."""
+        with self._lock:
+            ticket.unassigned_deadline = (
+                time.monotonic() + self.config.no_node_grace_seconds
+            )
+            self._unassigned.append(ticket)
+            self._drain_unassigned_locked()
+
+    def _next_assignment_id_locked(self, ticket: _Ticket) -> str:
+        self._assignment_seq += 1
+        return f"{ticket.attempt_uid}#{self._assignment_seq}"
+
+    def _pick_node_locked(self, exclude: Set[str]) -> Optional[_NodeState]:
+        candidates = [
+            n
+            for n in self._nodes.values()
+            if n.alive and n.connected and n.node_id not in exclude
+        ]
+        if not candidates:
+            return None
+        candidates.sort(key=lambda n: (len(n.inflight), n.node_id))
+        for node in candidates:
+            if self._breakers[node.node_id].allow_full_scale():
+                return node
+        # Every candidate's breaker is open: the fabric still has to
+        # run the work somewhere — degradation policy belongs to the
+        # engine, not the transport.
+        return candidates[0]
+
+    def _assign_locked(
+        self,
+        ticket: _Ticket,
+        node: _NodeState,
+        record_type: str,
+    ) -> Tuple[_NodeState, Dict[str, object]]:
+        assignment_id = self._next_assignment_id_locked(ticket)
+        ticket.assignments[assignment_id] = node.node_id
+        if ticket.first_dispatch_mono is None:
+            ticket.first_dispatch_mono = time.monotonic()
+        node.inflight.add(assignment_id)
+        self._assignments[assignment_id] = ticket
+        ticket.session.journal.append(
+            record_type,
+            experiment_id=ticket.spec.experiment_id,
+            attempt=ticket.spec.attempt,
+            attempt_uid=ticket.attempt_uid,
+            assignment_id=assignment_id,
+            node_id=node.node_id,
+            node_token=node.token,
+        )
+        message = {
+            "type": "assign",
+            "assignment_id": assignment_id,
+            "attempt_uid": ticket.attempt_uid,
+            "node_id": node.node_id,
+            "node_token": node.token,
+            "spec": json.loads(ticket.spec.to_json()),
+            "hard_timeout_seconds": ticket.session.hard_timeout_seconds,
+            "term_grace_seconds": ticket.session.term_grace_seconds,
+        }
+        return node, message
+
+    def _drain_unassigned_locked(self) -> None:
+        sends: List[Tuple[_NodeState, Dict[str, object]]] = []
+        still_waiting: List[_Ticket] = []
+        now = time.monotonic()
+        for ticket in self._unassigned:
+            if ticket.completed:
+                continue
+            node = self._pick_node_locked(exclude=set())
+            if node is not None:
+                sends.append(self._assign_locked(ticket, node, "dispatch-assign"))
+            elif (
+                ticket.unassigned_deadline is not None
+                and now >= ticket.unassigned_deadline
+                and not self._respawn_pending_locked()
+            ):
+                failure = ExperimentFailure(
+                    experiment_id=ticket.spec.experiment_id,
+                    attempt=ticket.spec.attempt,
+                    category=NoLiveNodesError.category,
+                    error_type=NoLiveNodesError.__name__,
+                    message=(
+                        "every worker node of the dispatch fabric is dead or "
+                        f"fenced ({self.node_count()} spawned, 0 live); "
+                        "there is nowhere to run the attempt"
+                    ),
+                    degraded=ticket.spec.degraded,
+                )
+                self._resolve_locked(ticket, None, failure, None)
+            else:
+                still_waiting.append(ticket)
+        self._unassigned = still_waiting
+        for node, message in sends:
+            if not node.send(message):
+                # The link died between pick and send: declare and let
+                # the death path requeue what we just assigned.
+                self._declare_dead_locked(node, "send-failed")
+
+    def _respawn_pending_locked(self) -> bool:
+        """Is a spawned-but-not-yet-connected node still plausible?"""
+        return any(
+            not n.connected
+            and n.alive
+            and n.proc is not None
+            and n.proc.poll() is None
+            for n in self._nodes.values()
+        )
+
+    # -- death, failover, hedging -------------------------------------
+
+    def _declare_dead_locked(self, node: _NodeState, reason: str) -> None:
+        if not node.alive:
+            return
+        node.alive = False
+        node.connected = False
+        obs_metrics.inc("node.deaths")
+        self._emit(
+            "node-dead",
+            None,
+            node_id=node.node_id,
+            node_token=node.token,
+            reason=reason,
+            pid=node.pid,
+        )
+        conn = node.conn
+        if conn is not None and reason != "heartbeat-timeout":
+            # A partitioned node keeps its socket: its buffered sends
+            # must still arrive so the fencing gate can reject them.
+            try:
+                conn.close()
+            except OSError:
+                pass
+            node.conn = None
+        proc = node.proc
+        if proc is not None and proc.poll() is None:
+            # Still running (partition / hang): keep the handle so
+            # stop()/kill_nodes() can reap it, but never block on it.
+            self._zombies.append(proc)
+        # Failover: requeue every open assignment.
+        for assignment_id in sorted(node.inflight):
+            ticket = self._assignments.get(assignment_id)
+            if ticket is None or ticket.completed:
+                continue
+            ticket.assignments.pop(assignment_id, None)
+            obs_metrics.inc("node.redispatches")
+            try:
+                ticket.session.journal.append(
+                    "dispatch-requeue",
+                    experiment_id=ticket.spec.experiment_id,
+                    attempt=ticket.spec.attempt,
+                    attempt_uid=ticket.attempt_uid,
+                    assignment_id=assignment_id,
+                    node_id=node.node_id,
+                    node_token=node.token,
+                    reason=reason,
+                )
+            except OSError:
+                pass
+            if not ticket.assignments and ticket not in self._unassigned:
+                ticket.unassigned_deadline = (
+                    time.monotonic() + self.config.no_node_grace_seconds
+                )
+                self._unassigned.append(ticket)
+        node.inflight.clear()
+        # Fenced respawn: the replacement carries incarnation + 1.
+        if node.deaths_before + 1 <= self.config.max_respawns_per_node:
+            if not self._stopping.is_set():
+                self._spawn_node_locked(node.node_id, node.token + 1)
+        self._export_locked()
+        self._drain_unassigned_locked()
+
+    def _hedge_threshold_locked(self) -> Optional[float]:
+        if len(self._durations) < self.config.hedge_min_samples:
+            return None
+        ordered = sorted(self._durations)
+        p95 = ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+        return max(
+            self.config.hedge_min_seconds, p95 * self.config.hedge_p95_factor
+        )
+
+    def _maybe_hedge_locked(self) -> List[Tuple[_NodeState, Dict[str, object]]]:
+        threshold = self._hedge_threshold_locked()
+        if threshold is None:
+            return []
+        sends: List[Tuple[_NodeState, Dict[str, object]]] = []
+        now = time.monotonic()
+        for ticket in {t for t in self._assignments.values()}:
+            if (
+                ticket.completed
+                or ticket.hedged
+                or len(ticket.assignments) != 1
+                or ticket.first_dispatch_mono is None
+                or now - ticket.first_dispatch_mono < threshold
+            ):
+                continue
+            current_node = next(iter(ticket.assignments.values()))
+            node = self._pick_node_locked(exclude={current_node})
+            if node is None:
+                continue
+            ticket.hedged = True
+            obs_metrics.inc("node.hedges")
+            self._emit(
+                "dispatch-hedge",
+                ticket.spec.experiment_id,
+                attempt_uid=ticket.attempt_uid,
+                slow_node=current_node,
+                hedge_node=node.node_id,
+                threshold_seconds=threshold,
+            )
+            sends.append(self._assign_locked(ticket, node, "dispatch-hedge"))
+        return sends
+
+    def _monitor_loop(self) -> None:
+        tick = min(0.25, self.config.heartbeat_interval_seconds / 2.0)
+        while not self._stopping.wait(tick):
+            try:
+                self._monitor_once()
+            except Exception:  # noqa: BLE001 — the monitor must survive
+                obs_metrics.inc("node.monitor_errors")
+
+    def _monitor_once(self) -> None:
+        sends: List[Tuple[_NodeState, Dict[str, object]]] = []
+        with self._lock:
+            now = time.monotonic()
+            for node in list(self._nodes.values()):
+                if not node.alive:
+                    continue
+                proc = node.proc
+                if proc is not None and proc.poll() is not None:
+                    self._declare_dead_locked(node, "process-exit")
+                    continue
+                if (
+                    node.connected
+                    and now - node.last_seen > self.config.heartbeat_ttl_seconds
+                ):
+                    self._declare_dead_locked(node, "heartbeat-timeout")
+                    continue
+                if (
+                    not node.connected
+                    and now - node.last_seen
+                    > self.config.connect_timeout_seconds
+                ):
+                    self._declare_dead_locked(node, "connect-timeout")
+            self._drain_unassigned_locked()
+            sends = self._maybe_hedge_locked()
+        for node, message in sends:
+            if not node.send(message):
+                with self._lock:
+                    self._declare_dead_locked(node, "send-failed")
+
+    # -- session support ----------------------------------------------
+
+    def abort_session(self, session: "DispatchSession") -> int:
+        """Resolve every open ticket of ``session`` as cancelled."""
+        cancelled = 0
+        sends: List[Tuple[_NodeState, Dict[str, object]]] = []
+        with self._lock:
+            for ticket in {t for t in self._assignments.values()}:
+                if ticket.session is not session or ticket.completed:
+                    continue
+                failure = ExperimentFailure(
+                    experiment_id=ticket.spec.experiment_id,
+                    attempt=ticket.spec.attempt,
+                    category=WorkerCrashError.category,
+                    error_type=WorkerCrashError.__name__,
+                    message="assignment cancelled: dispatcher shutting down",
+                    degraded=ticket.spec.degraded,
+                )
+                sends += self._resolve_locked(ticket, None, failure, None)
+                cancelled += 1
+            for ticket in list(self._unassigned):
+                if ticket.session is session:
+                    self._unassigned.remove(ticket)
+                    ticket.event.set()
+        for node, message in sends:
+            node.send(message)
+        return cancelled
+
+    def release_session(self, session: "DispatchSession") -> None:
+        """Drop a finished session's assignment tombstones."""
+        with self._lock:
+            self._assignments = {
+                aid: t
+                for aid, t in self._assignments.items()
+                if t.session is not session
+            }
+
+    def _emit(
+        self,
+        event: str,
+        experiment_id: Optional[str],
+        **detail: object,
+    ) -> None:
+        if self.on_event is not None:
+            try:
+                self.on_event(event, experiment_id, detail)
+            except Exception:  # noqa: BLE001 — telemetry never kills dispatch
+                pass
+
+
+class DispatchSession:
+    """The engine-facing adapter: one campaign's view of the fabric.
+
+    Implements the :class:`~repro.runtime.workers.WorkerSupervisor`
+    surface (``run_attempt`` / ``kill_all`` / ``live_count``) so
+    :class:`DispatchPool` can drop it into the unchanged
+    :class:`~repro.runtime.workers.WorkerPool` machinery.  Owns the
+    campaign's ``dispatch.wal``.
+    """
+
+    def __init__(self, engine, fabric: NodeFabric) -> None:
+        self.engine = engine
+        self.fabric = fabric
+        run_dir = (
+            engine.store.run_dir if engine.store is not None else fabric.run_dir
+        )
+        wal_path = Path(run_dir) / DISPATCH_WAL_FILENAME
+        try:
+            truncate_torn_tail(wal_path)
+        except JournalCorruptError:
+            pass  # validate will surface it; appends stay readable
+        self.journal = Journal(wal_path, token=engine.fencing_token)
+        self.hard_timeout_seconds = WorkerPool._hard_deadline(engine.config)
+        self.term_grace_seconds = engine.config.term_grace_seconds
+        self._aborted = threading.Event()
+
+    def current_token(self) -> Optional[int]:
+        return self.engine.fencing_token
+
+    # -- WorkerSupervisor surface -------------------------------------
+
+    def run_attempt(
+        self, spec: AttemptSpec
+    ) -> Tuple[Optional[ExperimentResult], Optional[ExperimentFailure]]:
+        self.journal.token = self.engine.fencing_token
+        uid = attempt_uid(spec.experiment_id, spec.fencing_token, spec.attempt)
+        ticket = _Ticket(spec, uid, self)
+        self.fabric.submit(ticket)
+        backstop = self._backstop_seconds()
+        if not ticket.event.wait(timeout=backstop):
+            sends = []
+            with self.fabric._lock:
+                if not ticket.completed:
+                    failure = ExperimentFailure(
+                        experiment_id=spec.experiment_id,
+                        attempt=spec.attempt,
+                        category=WorkerTimeoutError.category,
+                        error_type=WorkerTimeoutError.__name__,
+                        message=(
+                            f"no node delivered a result for "
+                            f"{spec.experiment_id} within the dispatcher "
+                            f"backstop of {backstop:.3g}s"
+                        ),
+                        degraded=spec.degraded,
+                    )
+                    sends = self.fabric._resolve_locked(
+                        ticket, None, failure, None
+                    )
+            for node, message in sends:
+                node.send(message)
+        if ticket.obs is not None:
+            sink = getattr(self.engine, "record_worker_obs", None)
+            if sink is not None:
+                sink(spec, ticket.obs)
+        if ticket.result is None and ticket.failure is None:
+            # kill_all() released the wait without an outcome.
+            return None, ExperimentFailure(
+                experiment_id=spec.experiment_id,
+                attempt=spec.attempt,
+                category=WorkerCrashError.category,
+                error_type=WorkerCrashError.__name__,
+                message="assignment cancelled: dispatcher shutting down",
+                degraded=spec.degraded,
+            )
+        return ticket.result, ticket.failure
+
+    def _backstop_seconds(self) -> Optional[float]:
+        """The dispatcher-side wait bound per attempt.
+
+        The node-side supervisor enforces the real hard deadline; this
+        only has to cover it plus failover slack (a death, a respawn,
+        and a full re-execution).
+        """
+        if self.hard_timeout_seconds is None:
+            return None
+        ttl = self.fabric.config.heartbeat_ttl_seconds
+        return 2.0 * (self.hard_timeout_seconds + ttl) + 30.0
+
+    def kill_all(self, term_grace_seconds: Optional[float] = None) -> int:
+        self._aborted.set()
+        cancelled = self.fabric.abort_session(self)
+        self.fabric.kill_nodes(
+            2.0 if term_grace_seconds is None else term_grace_seconds
+        )
+        return cancelled
+
+    def live_count(self) -> int:
+        return self.fabric.live_node_count()
+
+    def close(self) -> None:
+        self.fabric.release_session(self)
+        self.journal.close()
+
+
+class DispatchPool(WorkerPool):
+    """A :class:`~repro.runtime.workers.WorkerPool` whose attempts run
+    on the multi-node fabric instead of local subprocesses.
+
+    Args:
+        engine: The owning campaign engine.
+        fabric: A (possibly shared) :class:`NodeFabric`.  When the pool
+            starts it, the pool also stops it.
+        jobs: Concurrent experiments; defaults to ``engine.config.jobs``.
+    """
+
+    def __init__(self, engine, fabric: NodeFabric, jobs: Optional[int] = None) -> None:
+        super().__init__(engine, jobs=jobs or max(1, engine.config.jobs))
+        self.fabric = fabric
+        self.session = DispatchSession(engine, fabric)
+        # The backend seam: WorkerPool talks to `self.supervisor`
+        # exclusively through run_attempt/kill_all/live_count.
+        self.supervisor = self.session
+
+    def run(self, wanted, collected) -> None:
+        started_here = not self.fabric.started
+        if started_here:
+            self.fabric.start()
+        try:
+            super().run(wanted, collected)
+        finally:
+            self.session.close()
+            if started_here:
+                self.fabric.stop()
+
+
+def _killpg(proc: subprocess.Popen, signum: int) -> None:
+    """Signal a node's whole process group (best effort)."""
+    if proc.poll() is not None:
+        return
+    try:
+        os.killpg(os.getpgid(proc.pid), signum)
+    except (ProcessLookupError, PermissionError, OSError):
+        try:
+            proc.send_signal(signum)
+        except (ProcessLookupError, OSError):
+            pass

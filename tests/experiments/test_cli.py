@@ -235,3 +235,37 @@ class TestDurabilityCLI:
         capsys.readouterr()
         assert main(["validate", str(run_dir)]) == 1
         assert "journal-corrupt" in capsys.readouterr().out
+
+
+class TestNodesFlag:
+    """--nodes validation on the campaign and chaos CLIs."""
+
+    def test_nodes_must_be_positive(self, tmp_path, capsys):
+        code = main([
+            "--quick", "--jobs", "1", "--nodes", "0",
+            "--run-dir", str(tmp_path / "r"), "table1",
+        ])
+        assert code == 2
+        assert "--nodes must be >= 1" in capsys.readouterr().out
+
+    def test_nodes_requires_subprocess_jobs(self, tmp_path, capsys):
+        code = main([
+            "--quick", "--jobs", "0", "--nodes", "2",
+            "--run-dir", str(tmp_path / "r"), "table1",
+        ])
+        assert code == 2
+        assert "--nodes requires --jobs >= 1" in capsys.readouterr().out
+
+    def test_chaos_nodes_validation(self, capsys):
+        assert main(["chaos", "--nodes", "0"]) == 2
+        assert "--nodes must be >= 1" in capsys.readouterr().out
+        assert main(["chaos", "--nodes", "2", "--jobs", "0"]) == 2
+        assert "--nodes requires --jobs >= 1" in capsys.readouterr().out
+
+    def test_serve_nodes_validation(self, tmp_path, capsys):
+        from repro.service.http import ServiceConfig
+
+        with pytest.raises(ValueError, match="nodes"):
+            ServiceConfig(nodes=0)
+        with pytest.raises(ValueError, match="jobs"):
+            ServiceConfig(nodes=2, jobs=0)

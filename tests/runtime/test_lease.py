@@ -24,6 +24,22 @@ from repro.runtime.workers import AttemptSpec, parse_worker_payload
 from tests.runtime.conftest import make_result
 
 
+class _FakeDwell:
+    """Deterministic monotonic/sleep pair for the reclaim dwell."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+        self.on_sleep = None
+
+    def monotonic(self) -> float:
+        return self.t
+
+    def sleep(self, seconds: float) -> None:
+        self.t += seconds
+        if self.on_sleep is not None:
+            self.on_sleep()
+
+
 class TestAcquire:
     def test_fresh_acquire_gets_token_1(self, tmp_path):
         with Lease.acquire(tmp_path) as lease:
@@ -63,10 +79,18 @@ class TestAcquire:
         (tmp_path / LEASE_FILENAME).write_text(state.to_json())
         with pytest.raises(LeaseHeldError):
             Lease.acquire(tmp_path, ttl_seconds=500.0, wall_clock=lambda: now)
+        dwell = _FakeDwell()
         with Lease.acquire(
-            tmp_path, ttl_seconds=30.0, wall_clock=lambda: now
+            tmp_path,
+            ttl_seconds=30.0,
+            wall_clock=lambda: now,
+            monotonic_clock=dwell.monotonic,
+            sleep=dwell.sleep,
         ) as lease:
             assert lease.token == 3
+        # The reclaim really dwelled (ttl/2) before trusting the
+        # wall-clock staleness verdict.
+        assert dwell.t >= 15.0
 
     def test_undecodable_lease_treated_as_absent(self, tmp_path):
         (tmp_path / LEASE_FILENAME).write_text("{torn")
@@ -112,6 +136,102 @@ class TestHeartbeatAndRelease:
         lease.release()
         # The usurper's file survives: fencing forbids deleting it.
         assert read_lease(tmp_path / LEASE_FILENAME).token == 99
+
+
+class TestClockSkew:
+    """Monotonic-vs-wall cross-check: a reader whose wall clock runs a
+    full TTL ahead of a live owner's must NOT steal the lease — the
+    off-by-TTL reclaim window is closed by heartbeat progress observed
+    across a monotonic dwell."""
+
+    TTL = 30.0
+
+    def _owner_lease(self, tmp_path, heartbeat_wall: float) -> LeaseState:
+        state = LeaseState(
+            pid=os.getpid(),
+            token=5,
+            acquired_wall=heartbeat_wall,
+            heartbeat_wall=heartbeat_wall,
+        )
+        (tmp_path / LEASE_FILENAME).write_text(state.to_json())
+        return state
+
+    def test_skewed_reader_refuses_live_owner(self, tmp_path):
+        # Owner heartbeat "now" by its own clock (t=1000); the reader's
+        # wall clock is 2*TTL ahead, so the snapshot verdict says stale.
+        owner = self._owner_lease(tmp_path, heartbeat_wall=1000.0)
+        dwell = _FakeDwell()
+        beats = []
+
+        def owner_heartbeats():
+            # The live owner refreshes mid-dwell (on its own clock).
+            if not beats:
+                beats.append(True)
+                refreshed = LeaseState(
+                    pid=owner.pid,
+                    token=owner.token,
+                    acquired_wall=owner.acquired_wall,
+                    heartbeat_wall=owner.heartbeat_wall + 10.0,
+                )
+                (tmp_path / LEASE_FILENAME).write_text(refreshed.to_json())
+
+        dwell.on_sleep = owner_heartbeats
+        with pytest.raises(LeaseHeldError, match="clock skew"):
+            Lease.acquire(
+                tmp_path,
+                ttl_seconds=self.TTL,
+                wall_clock=lambda: 1000.0 + 2 * self.TTL,
+                monotonic_clock=dwell.monotonic,
+                sleep=dwell.sleep,
+            )
+        # The live owner's lease survived untouched.
+        assert read_lease(tmp_path / LEASE_FILENAME).token == owner.token
+
+    def test_dwell_confirms_truly_silent_owner(self, tmp_path):
+        # Same skewed snapshot, but the owner never heartbeats during
+        # the dwell: a genuinely hung owner is still reclaimed.
+        self._owner_lease(tmp_path, heartbeat_wall=1000.0)
+        dwell = _FakeDwell()
+        with Lease.acquire(
+            tmp_path,
+            ttl_seconds=self.TTL,
+            wall_clock=lambda: 1000.0 + 2 * self.TTL,
+            monotonic_clock=dwell.monotonic,
+            sleep=dwell.sleep,
+        ) as lease:
+            assert lease.token == 6
+        assert dwell.t >= self.TTL / 2.0
+
+    def test_dead_pid_reclaims_without_dwell(self, tmp_path):
+        proc = subprocess.Popen(["true"])
+        proc.wait()
+        state = LeaseState(
+            pid=proc.pid, token=3, acquired_wall=0.0, heartbeat_wall=0.0
+        )
+        (tmp_path / LEASE_FILENAME).write_text(state.to_json())
+
+        def must_not_sleep(seconds: float) -> None:
+            pytest.fail("dead-PID reclaim must not dwell")
+
+        with Lease.acquire(
+            tmp_path, sleep=must_not_sleep
+        ) as lease:
+            assert lease.token == 4
+
+    def test_owner_release_during_dwell_allows_reclaim(self, tmp_path):
+        self._owner_lease(tmp_path, heartbeat_wall=1000.0)
+        dwell = _FakeDwell()
+        dwell.on_sleep = lambda: (tmp_path / LEASE_FILENAME).unlink(
+            missing_ok=True
+        )
+        with Lease.acquire(
+            tmp_path,
+            ttl_seconds=self.TTL,
+            wall_clock=lambda: 1000.0 + 2 * self.TTL,
+            monotonic_clock=dwell.monotonic,
+            sleep=dwell.sleep,
+        ) as lease:
+            assert lease.token == 6
 
 
 class TestStaleness:

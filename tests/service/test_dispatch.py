@@ -1,0 +1,341 @@
+"""Dispatch-fabric unit tests: the fencing gate, failover requeue, and
+hedging policy.
+
+These drive :class:`~repro.service.dispatch.NodeFabric` internals with
+hand-built registry entries — no subprocesses, no sockets — so every
+fencing decision is tested in microseconds.  The full wire protocol
+(real node processes, kills, partitions) is covered by the node-chaos
+harness (``chaos --nodes``) and its CI job.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.experiments.runner import ExperimentResult
+from repro.runtime.journal import Journal, read_journal
+from repro.runtime.workers import AttemptSpec
+from repro.service.dispatch import (
+    DISPATCH_WAL_FILENAME,
+    FENCE_DUPLICATE,
+    FENCE_STALE_ENGINE,
+    FENCE_STALE_NODE,
+    FENCE_SUPERSEDED,
+    FabricConfig,
+    NodeFabric,
+    _NodeState,
+    _Ticket,
+)
+
+
+class FakeSession:
+    """The slice of DispatchSession the fabric actually touches."""
+
+    def __init__(self, wal_path, token=1):
+        self.journal = Journal(wal_path, token=token, fsync=False)
+        self.token = token
+        self.hard_timeout_seconds = None
+        self.term_grace_seconds = 2.0
+
+    def current_token(self):
+        return self.token
+
+
+def make_fabric(tmp_path, node_ids=("node-0",), **config_kwargs):
+    """A fabric with registered (never-spawned) live nodes.
+
+    ``_stopping`` is set so a declared death never respawns a real
+    subprocess under test.
+    """
+    config_kwargs.setdefault("nodes", len(node_ids))
+    fabric = NodeFabric(tmp_path, config=FabricConfig(**config_kwargs))
+    fabric._stopping.set()
+    for node_id in node_ids:
+        node = _NodeState(node_id, token=1)
+        node.connected = True
+        # A real socketpair so best-effort sends succeed (a dead link
+        # triggers the declare-dead path, which is not under test here).
+        node.conn, node._test_peer = socket.socketpair()
+        fabric._nodes[node_id] = node
+        from repro.service.breaker import CircuitBreaker
+
+        fabric._breakers[node_id] = CircuitBreaker(
+            failure_threshold=3, cooldown_seconds=10.0
+        )
+    return fabric
+
+
+def make_ticket(fabric, session, experiment_id="exp", attempt=1):
+    spec = AttemptSpec(
+        experiment_id=experiment_id,
+        runner="tests.runtime.worker_targets:run_ok",
+        attempt=attempt,
+        fencing_token=session.token,
+    )
+    uid = f"{experiment_id}@{session.token}.{attempt}"
+    return _Ticket(spec, uid, session)
+
+
+def assign(fabric, ticket, node_id="node-0"):
+    """Open one assignment on ``node_id``; returns its assignment id."""
+    with fabric._lock:
+        node = fabric._nodes[node_id]
+        fabric._assign_locked(ticket, node, "dispatch-assign")
+    return next(iter(ticket.assignments))
+
+
+def result_message(assignment_id, node, engine_token=1, result=None):
+    payload = (
+        result
+        if result is not None
+        else ExperimentResult(experiment_id="exp", title="t").to_dict()
+    )
+    return {
+        "type": "result",
+        "node_id": node.node_id,
+        "node_token": node.token,
+        "assignment_id": assignment_id,
+        "engine_token": engine_token,
+        "result": payload,
+    }
+
+
+def wal_types(tmp_path):
+    records = read_journal(tmp_path / DISPATCH_WAL_FILENAME).records
+    return [r["type"] for r in records]
+
+
+def fence_reasons(tmp_path):
+    return [
+        r.get("reason")
+        for r in read_journal(tmp_path / DISPATCH_WAL_FILENAME).records
+        if r["type"] == "dispatch-fenced"
+    ]
+
+
+class TestFabricConfig:
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError, match="nodes"):
+            FabricConfig(nodes=0)
+
+    def test_rejects_ttl_not_exceeding_heartbeat(self):
+        with pytest.raises(ValueError, match="heartbeat_ttl"):
+            FabricConfig(
+                heartbeat_interval_seconds=1.0, heartbeat_ttl_seconds=1.0
+            )
+
+
+class TestFencingGate:
+    def test_valid_result_records_exactly_one_complete(self, tmp_path):
+        fabric = make_fabric(tmp_path)
+        session = FakeSession(tmp_path / DISPATCH_WAL_FILENAME)
+        ticket = make_ticket(fabric, session)
+        aid = assign(fabric, ticket)
+        node = fabric._nodes["node-0"]
+
+        fabric._handle_result(node, result_message(aid, node))
+
+        assert ticket.completed and ticket.failure is None
+        assert ticket.result is not None
+        assert ticket.event.is_set()
+        assert wal_types(tmp_path) == ["dispatch-assign", "dispatch-complete"]
+
+    def test_stale_node_token_is_fenced_not_recorded(self, tmp_path):
+        fabric = make_fabric(tmp_path)
+        session = FakeSession(tmp_path / DISPATCH_WAL_FILENAME)
+        ticket = make_ticket(fabric, session)
+        aid = assign(fabric, ticket)
+        node = fabric._nodes["node-0"]
+
+        message = result_message(aid, node)
+        message["node_token"] = node.token - 1  # superseded incarnation
+        fabric._handle_result(node, message)
+
+        assert not ticket.completed
+        assert "dispatch-complete" not in wal_types(tmp_path)
+        assert fence_reasons(tmp_path) == [FENCE_STALE_NODE]
+
+    def test_duplicate_result_is_fenced_after_first_wins(self, tmp_path):
+        fabric = make_fabric(tmp_path)
+        session = FakeSession(tmp_path / DISPATCH_WAL_FILENAME)
+        ticket = make_ticket(fabric, session)
+        aid = assign(fabric, ticket)
+        node = fabric._nodes["node-0"]
+
+        fabric._handle_result(node, result_message(aid, node))
+        fabric._handle_result(node, result_message(aid, node))
+
+        types = wal_types(tmp_path)
+        assert types.count("dispatch-complete") == 1
+        assert fence_reasons(tmp_path) == [FENCE_DUPLICATE]
+
+    def test_requeued_assignment_is_fenced_as_superseded(self, tmp_path):
+        fabric = make_fabric(tmp_path)
+        session = FakeSession(tmp_path / DISPATCH_WAL_FILENAME)
+        ticket = make_ticket(fabric, session)
+        aid = assign(fabric, ticket)
+        node = fabric._nodes["node-0"]
+        # Simulate the failover path having moved the work elsewhere.
+        ticket.assignments.pop(aid)
+
+        fabric._handle_result(node, result_message(aid, node))
+
+        assert not ticket.completed
+        assert fence_reasons(tmp_path) == [FENCE_SUPERSEDED]
+
+    def test_stale_engine_token_is_a_fencing_violation(self, tmp_path):
+        fabric = make_fabric(tmp_path)
+        session = FakeSession(tmp_path / DISPATCH_WAL_FILENAME, token=3)
+        ticket = make_ticket(fabric, session)
+        aid = assign(fabric, ticket)
+        node = fabric._nodes["node-0"]
+
+        fabric._handle_result(
+            node, result_message(aid, node, engine_token=2)
+        )
+
+        assert ticket.completed  # resolved — but as a rejection
+        assert ticket.result is None
+        assert ticket.failure is not None
+        assert ticket.failure.category == "fencing-stale"
+        assert "dispatch-complete" not in wal_types(tmp_path)
+        assert fence_reasons(tmp_path) == [FENCE_STALE_ENGINE]
+
+    def test_unusable_payload_is_a_classified_crash(self, tmp_path):
+        fabric = make_fabric(tmp_path)
+        session = FakeSession(tmp_path / DISPATCH_WAL_FILENAME)
+        ticket = make_ticket(fabric, session)
+        aid = assign(fabric, ticket)
+        node = fabric._nodes["node-0"]
+
+        message = result_message(aid, node)
+        message["result"] = {"nonsense": True}
+        fabric._handle_result(node, message)
+
+        assert ticket.completed
+        assert ticket.failure is not None
+        assert ticket.failure.category == "worker-crash"
+        # Still recorded: the attempt consumed its dispatch.
+        assert wal_types(tmp_path) == ["dispatch-assign", "dispatch-complete"]
+
+
+class TestFailover:
+    def test_dead_node_requeues_onto_survivor(self, tmp_path):
+        fabric = make_fabric(tmp_path, node_ids=("node-0", "node-1"))
+        session = FakeSession(tmp_path / DISPATCH_WAL_FILENAME)
+        ticket = make_ticket(fabric, session)
+        assign(fabric, ticket, "node-0")
+
+        with fabric._lock:
+            fabric._declare_dead_locked(fabric._nodes["node-0"], "test-kill")
+
+        assert wal_types(tmp_path) == [
+            "dispatch-assign",
+            "dispatch-requeue",
+            "dispatch-assign",
+        ]
+        assert list(ticket.assignments.values()) == ["node-1"]
+        assert not ticket.completed
+
+    def test_dead_node_with_no_survivor_parks_the_ticket(self, tmp_path):
+        fabric = make_fabric(tmp_path, no_node_grace_seconds=30.0)
+        session = FakeSession(tmp_path / DISPATCH_WAL_FILENAME)
+        ticket = make_ticket(fabric, session)
+        assign(fabric, ticket, "node-0")
+
+        with fabric._lock:
+            fabric._declare_dead_locked(fabric._nodes["node-0"], "test-kill")
+
+        assert ticket in fabric._unassigned
+        assert not ticket.completed
+        assert wal_types(tmp_path) == ["dispatch-assign", "dispatch-requeue"]
+
+    def test_declared_death_is_idempotent(self, tmp_path):
+        fabric = make_fabric(tmp_path, node_ids=("node-0", "node-1"))
+        session = FakeSession(tmp_path / DISPATCH_WAL_FILENAME)
+        ticket = make_ticket(fabric, session)
+        assign(fabric, ticket, "node-0")
+
+        with fabric._lock:
+            fabric._declare_dead_locked(fabric._nodes["node-0"], "one")
+            fabric._declare_dead_locked(fabric._nodes["node-0"], "two")
+
+        # Exactly one requeue despite the double declaration.
+        assert wal_types(tmp_path).count("dispatch-requeue") == 1
+
+
+class TestHedging:
+    def hedged_fabric(self, tmp_path):
+        fabric = make_fabric(
+            tmp_path,
+            node_ids=("node-0", "node-1"),
+            hedge_min_seconds=0.01,
+            hedge_p95_factor=1.0,
+            hedge_min_samples=3,
+        )
+        fabric._durations = [0.01, 0.01, 0.01]
+        return fabric
+
+    def test_straggler_gets_a_hedge_on_another_node(self, tmp_path):
+        fabric = self.hedged_fabric(tmp_path)
+        session = FakeSession(tmp_path / DISPATCH_WAL_FILENAME)
+        ticket = make_ticket(fabric, session)
+        assign(fabric, ticket, "node-0")
+        ticket.first_dispatch_mono -= 10.0  # well past the threshold
+
+        with fabric._lock:
+            sends = fabric._maybe_hedge_locked()
+
+        assert ticket.hedged
+        assert len(sends) == 1
+        assert sends[0][0].node_id == "node-1"
+        assert wal_types(tmp_path) == ["dispatch-assign", "dispatch-hedge"]
+        assert sorted(ticket.assignments.values()) == ["node-0", "node-1"]
+
+    def test_no_hedge_below_min_samples(self, tmp_path):
+        fabric = self.hedged_fabric(tmp_path)
+        fabric._durations = [0.01]  # not enough completions to trust p95
+        session = FakeSession(tmp_path / DISPATCH_WAL_FILENAME)
+        ticket = make_ticket(fabric, session)
+        assign(fabric, ticket, "node-0")
+        ticket.first_dispatch_mono -= 10.0
+
+        with fabric._lock:
+            assert fabric._maybe_hedge_locked() == []
+        assert not ticket.hedged
+
+    def test_hedge_never_repeats_and_needs_a_second_node(self, tmp_path):
+        fabric = self.hedged_fabric(tmp_path)
+        session = FakeSession(tmp_path / DISPATCH_WAL_FILENAME)
+        ticket = make_ticket(fabric, session)
+        assign(fabric, ticket, "node-0")
+        ticket.first_dispatch_mono -= 10.0
+
+        with fabric._lock:
+            assert len(fabric._maybe_hedge_locked()) == 1
+            assert fabric._maybe_hedge_locked() == []  # already hedged
+
+    def test_hedge_loser_is_cancelled_and_fenced_on_late_arrival(
+        self, tmp_path
+    ):
+        fabric = self.hedged_fabric(tmp_path)
+        session = FakeSession(tmp_path / DISPATCH_WAL_FILENAME)
+        ticket = make_ticket(fabric, session)
+        first = assign(fabric, ticket, "node-0")
+        ticket.first_dispatch_mono -= 10.0
+        with fabric._lock:
+            fabric._maybe_hedge_locked()
+        hedge_aid = next(a for a in ticket.assignments if a != first)
+
+        # Hedge wins; the original node answers late.
+        node1 = fabric._nodes["node-1"]
+        node0 = fabric._nodes["node-0"]
+        fabric._handle_result(node1, result_message(hedge_aid, node1))
+        fabric._handle_result(node0, result_message(first, node0))
+
+        types = wal_types(tmp_path)
+        assert types.count("dispatch-complete") == 1
+        assert fence_reasons(tmp_path) == [FENCE_DUPLICATE]
+        assert ticket.result is not None

@@ -1,0 +1,95 @@
+"""Worker-node protocol pieces: fault-directive parsing and the
+partition-simulating line sender."""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.service.node import LineSender, parse_fault_directives
+
+
+class TestParseFaultDirectives:
+    def test_kill_directive_for_this_incarnation(self):
+        parsed = parse_fault_directives("node-1#2:kill@1.5", "node-1", 2)
+        assert len(parsed) == 1
+        assert parsed[0].kind == "kill"
+        assert parsed[0].at_seconds == 1.5
+
+    def test_partition_directive_carries_duration(self):
+        parsed = parse_fault_directives(
+            "node-0#1:partition@0.3+4.0", "node-0", 1
+        )
+        assert len(parsed) == 1
+        assert parsed[0].kind == "partition"
+        assert parsed[0].at_seconds == 0.3
+        assert parsed[0].duration_seconds == 4.0
+
+    def test_other_nodes_and_incarnations_are_ignored(self):
+        value = "node-0#1:kill@1,node-1#2:kill@2,node-1#1:kill@3"
+        assert parse_fault_directives(value, "node-1", 1) == (
+            parse_fault_directives("node-1#1:kill@3", "node-1", 1)
+        )
+        # A respawned incarnation outlives its predecessor's directives.
+        assert parse_fault_directives("node-0#1:kill@1", "node-0", 2) == []
+
+    def test_malformed_entries_never_raise(self):
+        for garbage in (
+            "",
+            None,
+            "node-0#1",
+            "node-0#1:",
+            "node-0#1:kill@",
+            "node-0#1:explode@1.0",
+            "node-0#x:kill@1.0",
+            "node-0#1:partition@1.0+",
+            ",,,",
+        ):
+            assert parse_fault_directives(garbage, "node-0", 1) == []
+
+    def test_multiple_directives_for_one_node(self):
+        parsed = parse_fault_directives(
+            "node-0#1:partition@0.2+3.0,node-0#1:kill@9.0", "node-0", 1
+        )
+        assert [d.kind for d in parsed] == ["partition", "kill"]
+
+
+def recv_lines(sock, count, timeout=5.0):
+    sock.settimeout(timeout)
+    buffer = b""
+    while buffer.count(b"\n") < count:
+        buffer += sock.recv(4096)
+    return [json.loads(line) for line in buffer.splitlines()]
+
+
+class TestLineSender:
+    def test_sends_one_json_object_per_line(self):
+        left, right = socket.socketpair()
+        sender = LineSender(left)
+        assert sender.send({"type": "a", "n": 1})
+        assert sender.send({"type": "b"})
+        assert recv_lines(right, 2) == [{"n": 1, "type": "a"}, {"type": "b"}]
+
+    def test_mute_buffers_and_heal_flushes_in_order(self):
+        left, right = socket.socketpair()
+        sender = LineSender(left)
+        sender.mute()
+        for index in range(3):
+            assert sender.send({"seq": index})  # "accepted", not delivered
+        right.settimeout(0.2)
+        try:
+            data = right.recv(4096)
+        except socket.timeout:
+            data = b""
+        assert data == b""  # the partition really is silent
+
+        assert sender.heal()
+        assert recv_lines(right, 3) == [{"seq": 0}, {"seq": 1}, {"seq": 2}]
+
+    def test_send_after_peer_close_reports_failure(self):
+        left, right = socket.socketpair()
+        sender = LineSender(left)
+        right.close()
+        # One send may land in kernel buffers; the follow-up must fail.
+        ok = sender.send({"type": "x"}) and sender.send({"type": "y"})
+        assert not ok

@@ -388,3 +388,119 @@ class TestDrainAndRecovery:
         assert status == 503
         gate.release.set()
         drainer.join(timeout=30)
+
+
+class FakeFabric:
+    """The fabric surface the HTTP layer touches, with dial-a-liveness."""
+
+    def __init__(self, live=0, total=3):
+        from repro.service.dispatch import FabricConfig
+
+        self.live = live
+        self.total = total
+        self.config = FabricConfig(nodes=max(1, total))
+        self.stopped = False
+
+    def live_node_count(self):
+        return self.live
+
+    def node_count(self):
+        return self.total
+
+    def describe(self):
+        return {
+            "nodes": {
+                f"node-{i}": {
+                    "pid": 1000 + i,
+                    "token": 1,
+                    "alive": i < self.live,
+                    "inflight": 0,
+                    "deaths": 0,
+                    "last_heartbeat_wall": 0.0,
+                    "breaker": "closed",
+                }
+                for i in range(self.total)
+            },
+            "live": self.live,
+            "total": self.total,
+        }
+
+    def stop(self, term_grace_seconds=5.0):
+        self.stopped = True
+
+
+class TestAllNodesDead:
+    """Satellite: the service must refuse honestly when the whole
+    dispatch fabric is down, and /healthz must say why."""
+
+    def test_post_gets_503_with_retry_after_when_no_node_lives(self, started):
+        service, base = started([FakeExperiment("a")])
+        service.fabric = FakeFabric(live=0, total=3)
+        status, headers, body = http(
+            "POST", base, "/v1/campaigns",
+            {"tenant": "t", "experiments": ["a"]},
+        )
+        assert status == 503
+        assert "Retry-After" in headers
+        assert int(headers["Retry-After"]) >= 1
+        assert "node" in body["error"]
+        # Nothing was journaled or queued for the rejected submission.
+        assert service.describe()["submissions"] == {}
+
+    def test_healthz_reports_per_node_liveness_dead(self, started):
+        service, base = started([FakeExperiment("a")])
+        service.fabric = FakeFabric(live=0, total=2)
+        status, headers, body = http("GET", base, "/healthz")
+        assert status == 503
+        assert body["ok"] is False
+        assert headers.get("Retry-After") is not None
+        assert body["nodes"]["live"] == 0
+        assert set(body["nodes"]["nodes"]) == {"node-0", "node-1"}
+
+    def test_healthz_healthy_with_live_nodes(self, started):
+        service, base = started([FakeExperiment("a")])
+        service.fabric = FakeFabric(live=1, total=2)
+        status, _, body = http("GET", base, "/healthz")
+        assert status == 200
+        assert body["ok"] is True
+        assert body["nodes"]["nodes"]["node-0"]["alive"] is True
+
+    def test_healthz_without_fabric_stays_simple(self, started):
+        service, base = started([FakeExperiment("a")])
+        status, _, body = http("GET", base, "/healthz")
+        assert status == 200
+        assert body == {"ok": True}
+
+    def test_submissions_flow_again_once_a_node_returns(self, started):
+        service, base = started([FakeExperiment("a")])
+        fabric = FakeFabric(live=0, total=1)
+        service.fabric = fabric
+        status, _, _ = http(
+            "POST", base, "/v1/campaigns",
+            {"tenant": "t", "experiments": ["a"]},
+        )
+        assert status == 503
+        fabric.live = 1  # the respawn landed
+        # Clear the fabric before the engine runs: FakeFabric cannot
+        # actually execute work; admission is what's under test.
+        service.fabric = None
+        status, _, body = http(
+            "POST", base, "/v1/campaigns",
+            {"tenant": "t", "experiments": ["a"]},
+        )
+        assert status == 202
+        wait_terminal(service, body["campaign_id"])
+
+    def test_drain_stops_the_fabric(self, started):
+        service, _ = started([FakeExperiment("a")])
+        fabric = FakeFabric(live=1, total=1)
+        service.fabric = fabric
+        assert service.drain(timeout=30)
+        assert fabric.stopped
+
+    def test_describe_includes_node_health(self, started):
+        service, base = started([FakeExperiment("a")])
+        service.fabric = FakeFabric(live=2, total=2)
+        status, _, body = http("GET", base, "/v1/service")
+        assert status == 200
+        assert body["nodes"]["live"] == 2
