@@ -17,6 +17,13 @@ runners have wildly variable performance and a hard gate on shared
 hardware flakes.  Pass ``--max-regression-pct`` to turn it into a gate
 that fails when any throughput benchmark regresses more than PCT
 percent against the baseline.
+
+The vectorized simulation-kernel rows (``bench_kernel_*`` from
+``benchmarks/bench_kernels.py``) are gated harder: they always fail
+the comparison when regressing more than ``--kernel-regression-pct``
+(default 10%), even in report mode — a kernel slowdown silently
+erodes the whole campaign, so it is never just informational.  Pass
+``--kernel-regression-pct 0`` to disable the kernel gate.
 """
 
 from __future__ import annotations
@@ -102,6 +109,14 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when any throughput benchmark regresses more than "
         "PCT%% (default: report only, never fail)",
     )
+    parser.add_argument(
+        "--kernel-regression-pct",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="fail when a bench_kernel_* row regresses more than PCT%% "
+        "(default: 10; 0 disables the kernel gate)",
+    )
     args = parser.parse_args(argv)
     for path in (args.current, args.baseline):
         if not path.is_file():
@@ -134,6 +149,16 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    kernel_rows = [r for r in rows if r["name"].startswith("bench_kernel_")]
+    if args.kernel_regression_pct and kernel_rows:
+        worst_kernel = min(r["delta_pct"] for r in kernel_rows)
+        if worst_kernel < -abs(args.kernel_regression_pct):
+            print(
+                f"FAIL: kernel regression {worst_kernel:+.1f}% exceeds the "
+                f"{args.kernel_regression_pct:.1f}% kernel budget",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -303,6 +303,27 @@ def build_parser() -> argparse.ArgumentParser:
         "mid-simulation checkpoints at more I/O cost",
     )
     parser.add_argument(
+        "--kernel-tier",
+        choices=("vector", "oracle"),
+        default=None,
+        dest="kernel_tier",
+        help="simulation kernel tier: 'vector' (default) runs the "
+        "self-verifying numpy batch kernels with sampled shadow "
+        "verification against the pure-Python oracle; 'oracle' forces "
+        "the pure loops everywhere (REPRO_KERNEL_TIER overrides; see "
+        "docs/KERNELS.md)",
+    )
+    parser.add_argument(
+        "--kernel-verify",
+        type=int,
+        default=None,
+        metavar="N",
+        dest="kernel_verify",
+        help="shadow-verify every Nth kernel chunk against the oracle "
+        "(1 = every chunk, 0 = never; default 32, first chunk always; "
+        "REPRO_KERNEL_VERIFY overrides)",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress progress output (warnings and errors still print; "
@@ -1016,6 +1037,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.shard_refs is not None and args.shard_refs < 1:
         print("--shard-refs must be >= 1")
         return 2
+    if args.kernel_verify is not None and args.kernel_verify < 0:
+        print("--kernel-verify must be >= 0")
+        return 2
     try:
         fault_plan = parse_fault_plan(args.inject_faults)
     except ValueError as exc:
@@ -1058,6 +1082,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 tempfile.mkdtemp(prefix="repro-stream-")
             )
         configure_streaming(stream_dir, shard_refs=args.shard_refs)
+
+    # Self-verifying simulation kernels: install the ambient policy
+    # (module global + environment, inherited by workers and dispatch
+    # nodes).  Divergence repro bundles land inside the run directory
+    # so `validate` can audit them.
+    from repro.mem.kernels import configure_kernels
+
+    configure_kernels(
+        tier=args.kernel_tier,
+        verify_every=args.kernel_verify,
+        bundle_dir=(store.run_dir / "kernel-bundles") if store else None,
+    )
 
     # Campaign telemetry: on by default, off with --no-obs; the
     # REPRO_OBS environment variable overrides in either direction.

@@ -127,6 +127,10 @@ class FullyAssociativeCache:
             from repro.mem.streamsim import run_cache_streamed
 
             return run_cache_streamed(self, trace, budget=budget)
+        from repro.mem import kernels
+
+        if kernels.guard_run("fullassoc", self, trace, budget=budget):
+            return self.stats
         if budget is None:
             budget = active_budget()
         blocks = trace.block_ids(self.block_size)

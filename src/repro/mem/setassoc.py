@@ -109,6 +109,10 @@ class SetAssociativeCache:
             from repro.mem.streamsim import run_setassoc_streamed
 
             return run_setassoc_streamed(self, trace, budget=budget)
+        from repro.mem import kernels
+
+        if kernels.guard_run("setassoc", self, trace, budget=budget):
+            return self.stats
         if budget is None:
             budget = active_budget()
         sampler = hot_loop_sampler("mem.setassoc")

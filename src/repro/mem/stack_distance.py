@@ -281,6 +281,10 @@ class StackDistanceRun:
 
     def feed(self, trace: Trace, budget: Optional[Budget] = None) -> None:
         """Consume one chunk of references, updating the running state."""
+        from repro.mem import kernels
+
+        if kernels.guard_run("stackdist", self, trace, budget=budget):
+            return
         if budget is None:
             budget = active_budget()
         blocks = trace.block_ids(self.block_size).tolist()

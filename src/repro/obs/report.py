@@ -240,6 +240,17 @@ def render_report(
             bits.append(f"last hot-loop rate {status.refs_per_second:,.0f} refs/s")
         lines.append("Throughput: " + ", ".join(bits) + ".")
         lines.append("")
+    if status.kernels:
+        for kind in sorted(status.kernels):
+            entry = status.kernels[kind]
+            lines.append(
+                f"Kernel `{kind}`: **{entry.get('tier', 'vector')}** tier — "
+                f"{entry.get('chunks', 0)} chunk(s), "
+                f"{entry.get('verified', 0)} shadow-verified, "
+                f"{entry.get('divergences', 0)} divergence(s), "
+                f"{entry.get('fallback_chunks', 0)} oracle fallback(s)."
+            )
+        lines.append("")
     if status.trace_id:
         lines.append(f"Trace id: `{status.trace_id}`.")
         lines.append("")
@@ -289,6 +300,7 @@ def render_report(
                 ["validated results", tallies.get("validated", 0)],
                 ["resumed experiments", tallies.get("resume", 0)],
                 ["obs snapshot failures", tallies.get("obs-snapshot-failed", 0)],
+                ["kernel fallbacks", tallies.get("kernel-fallback", 0)],
             ],
         )
     )

@@ -119,6 +119,7 @@ class CampaignStatus:
     nodes: Optional[Dict[str, object]] = None
     breaker_transitions: List[Dict[str, object]] = field(default_factory=list)
     dispatch: Optional[Dict[str, int]] = None
+    kernels: Optional[Dict[str, Dict[str, object]]] = None
     notes: List[str] = field(default_factory=list)
 
     def counts(self) -> Dict[str, int]:
@@ -157,6 +158,7 @@ class CampaignStatus:
             "nodes": self.nodes,
             "breaker_transitions": list(self.breaker_transitions),
             "dispatch": self.dispatch,
+            "kernels": self.kernels,
             "notes": list(self.notes),
         }
 
@@ -323,6 +325,43 @@ def _stream_progress_from_metrics(
     if isinstance(done, (int, float)) and isinstance(total, (int, float)):
         return int(done), int(total)
     return None, None
+
+
+def _kernel_tallies_from_metrics(
+    snapshot: Optional[Dict[str, object]]
+) -> Optional[Dict[str, Dict[str, object]]]:
+    """Per-kernel trust-harness tallies (``mem.kernel.*`` counters and
+    tier gauges published by :mod:`repro.mem.kernels`); None when the
+    campaign predates the vectorized kernels or never exercised them."""
+    if snapshot is None:
+        return None
+    campaign = snapshot.get("campaign")
+    if not isinstance(campaign, dict):
+        return None
+    counters = campaign.get("counters")
+    gauges = campaign.get("gauges")
+    counters = counters if isinstance(counters, dict) else {}
+    gauges = gauges if isinstance(gauges, dict) else {}
+    tallies: Dict[str, Dict[str, object]] = {}
+    fields = ("chunks", "verified", "divergences", "fallback_chunks")
+    for name, value in counters.items():
+        if not name.startswith("mem.kernel.") or not isinstance(
+            value, (int, float)
+        ):
+            continue
+        parts = name.split(".")
+        if len(parts) != 4 or parts[3] not in fields:
+            continue
+        tallies.setdefault(parts[2], {})[parts[3]] = int(value)
+    for kind, entry in tallies.items():
+        tier = gauges.get(f"mem.kernel.{kind}.tier")
+        if isinstance(tier, (int, float)):
+            entry["tier"] = "vector" if tier >= 1.0 else "quarantined"
+        elif entry.get("divergences"):
+            entry["tier"] = "quarantined"
+        else:
+            entry["tier"] = "vector"
+    return tallies or None
 
 
 # -- reconstruction --------------------------------------------------------
@@ -506,6 +545,7 @@ def load_status(
     # -- dispatch fabric: per-node health and breaker history ----------
     status.nodes = load_nodes_snapshot(run_dir)
     status.dispatch = _dispatch_counters_from_metrics(metrics)
+    status.kernels = _kernel_tallies_from_metrics(metrics)
     status.breaker_transitions = _breaker_transitions_from_records(
         [r for r in events if r.get("event") == "breaker-transition"],
         "t_wall",
@@ -628,6 +668,18 @@ def render_status(status: CampaignStatus) -> str:
             f"streaming: shard {status.stream_shards_done}"
             f"/{status.stream_shards_total}"
         )
+    if status.kernels:
+        for kind in sorted(status.kernels):
+            entry = status.kernels[kind]
+            detail = (
+                f"{entry.get('chunks', 0)} chunk(s), "
+                f"{entry.get('verified', 0)} verified, "
+                f"{entry.get('divergences', 0)} divergence(s), "
+                f"{entry.get('fallback_chunks', 0)} fallback(s)"
+            )
+            lines.append(
+                f"kernel {kind}: {entry.get('tier', 'vector')} ({detail})"
+            )
     if status.eta_seconds is not None:
         lines.append(f"eta: ~{_format_seconds(status.eta_seconds)}")
     if status.trace_id:

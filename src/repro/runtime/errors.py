@@ -52,6 +52,16 @@ class SimulationError(ExperimentError):
     category = "simulation"
 
 
+class KernelDivergenceError(SimulationError):
+    """A vectorized simulation kernel disagreed with the pure-Python
+    oracle (or failed its structural sanity checks).  The kernel is
+    quarantined for the rest of the process and the campaign continues
+    on the oracle path — this error is recorded in events and repro
+    bundles, not raised through the experiment."""
+
+    category = "kernel-divergence"
+
+
 class AnalysisError(ExperimentError):
     """Analysis or report assembly failed."""
 

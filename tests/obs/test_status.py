@@ -421,3 +421,87 @@ class TestDispatchFabricStatus:
         text = render_service_status(rollup)
         assert "nodes: 1/2 live" in text
         assert "service: closed -> open" in text
+
+
+class TestKernelTallies:
+    def metrics_payload(self, counters, gauges):
+        return json.dumps(
+            {
+                "format": METRICS_FORMAT,
+                "written_wall": 1.0,
+                "campaign": {
+                    "counters": counters,
+                    "gauges": gauges,
+                    "histograms": {},
+                },
+                "attempts": {},
+            }
+        )
+
+    def test_kernel_counters_render_one_line_per_kernel(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_campaign(run_dir, [FakeExperiment("a")])
+        (run_dir / "metrics.json").write_text(
+            self.metrics_payload(
+                {
+                    "mem.kernel.stackdist.chunks": 12,
+                    "mem.kernel.stackdist.verified": 3,
+                    "mem.kernel.stackdist.divergences": 1,
+                    "mem.kernel.stackdist.fallback_chunks": 1,
+                    "mem.kernel.fullassoc.chunks": 4,
+                },
+                {
+                    "mem.kernel.stackdist.tier": 0.0,
+                    "mem.kernel.fullassoc.tier": 1.0,
+                },
+            )
+        )
+        status = load_status(run_dir)
+        assert status.kernels["stackdist"]["tier"] == "quarantined"
+        assert status.kernels["stackdist"]["divergences"] == 1
+        assert status.kernels["fullassoc"]["tier"] == "vector"
+        text = render_status(status)
+        assert (
+            "kernel stackdist: quarantined (12 chunk(s), 3 verified, "
+            "1 divergence(s), 1 fallback(s))" in text
+        )
+        assert "kernel fullassoc: vector" in text
+        assert status.to_dict()["kernels"]["fullassoc"]["chunks"] == 4
+
+    def test_divergence_counter_implies_quarantine_without_gauge(
+        self, tmp_path
+    ):
+        run_dir = tmp_path / "run"
+        run_campaign(run_dir, [FakeExperiment("a")])
+        (run_dir / "metrics.json").write_text(
+            self.metrics_payload(
+                {"mem.kernel.setassoc.divergences": 2}, {}
+            )
+        )
+        status = load_status(run_dir)
+        assert status.kernels["setassoc"]["tier"] == "quarantined"
+
+    def test_pre_kernel_run_dir_has_no_kernel_lines(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_campaign(run_dir, [FakeExperiment("a")])
+        status = load_status(run_dir)
+        assert status.kernels is None
+        assert "kernel " not in render_status(status)
+
+    def test_report_renders_kernel_tiers(self, tmp_path):
+        from repro.obs.report import render_report
+
+        run_dir = tmp_path / "run"
+        run_campaign(run_dir, [FakeExperiment("a")])
+        (run_dir / "metrics.json").write_text(
+            self.metrics_payload(
+                {
+                    "mem.kernel.stackdist.chunks": 2,
+                    "mem.kernel.stackdist.divergences": 1,
+                },
+                {"mem.kernel.stackdist.tier": 0.0},
+            )
+        )
+        text = render_report(run_dir)
+        assert "Kernel `stackdist`: **quarantined** tier" in text
+        assert "kernel fallbacks" in text

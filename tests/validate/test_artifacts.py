@@ -667,3 +667,92 @@ class TestDispatchWal:
         )
         report = validate_run_dir(clean_run)
         assert "dispatch-double-complete" in report.codes()
+
+
+class TestKernelBundles:
+    """Audit codes for the vectorized-kernel trust harness artifacts."""
+
+    def bundle_payload(self, **over):
+        payload = {
+            "format": "kernel-divergence-bundle-v1",
+            "kernel": "fullassoc",
+            "chunk": 3,
+            "reason": "shadow-verify",
+            "detail": "stats mismatch",
+            "pre_state": {},
+            "kernel_state": {},
+            "oracle_state": {},
+            "blocks": [0, 1, 0],
+            "kinds": [0, 1, 0],
+        }
+        payload.update(over)
+        return payload
+
+    def write_bundle(self, run_dir, name="fullassoc-chunk000003.json", text=None):
+        bundle_dir = run_dir / "kernel-bundles"
+        bundle_dir.mkdir(exist_ok=True)
+        path = bundle_dir / name
+        path.write_text(
+            json.dumps(self.bundle_payload()) if text is None else text
+        )
+        return path
+
+    def test_valid_bundle_is_a_warning(self, clean_run):
+        from repro.validate.artifacts import validate_kernel_bundles
+
+        self.write_bundle(clean_run)
+        report = validate_kernel_bundles(clean_run)
+        found = report.by_code("kernel-divergence-bundle")
+        assert found and found[0].severity == "warning"
+        assert report.ok  # oracle fallback kept the results correct
+
+    def test_undecodable_bundle_is_an_error(self, clean_run):
+        from repro.validate.artifacts import validate_kernel_bundles
+
+        self.write_bundle(clean_run, text="{not json")
+        self.write_bundle(
+            clean_run,
+            name="stackdist-chunk000001.json",
+            text=json.dumps({"kernel": "stackdist"}),  # missing keys
+        )
+        report = validate_kernel_bundles(clean_run)
+        assert len(report.by_code("kernel-bundle-undecodable")) == 2
+        assert not report.ok
+
+    def test_tmp_leftover_is_incomplete(self, clean_run):
+        from repro.validate.artifacts import validate_kernel_bundles
+
+        self.write_bundle(clean_run, name="fullassoc-chunk000001.json.tmp")
+        report = validate_kernel_bundles(clean_run)
+        found = report.by_code("kernel-bundle-incomplete")
+        assert found and found[0].severity == "warning"
+
+    def test_divergence_counters_flag_quarantine(self, clean_run):
+        from repro.validate.artifacts import validate_kernel_bundles
+
+        (clean_run / "metrics.json").write_text(
+            json.dumps(
+                {
+                    "format": 1,
+                    "campaign": {
+                        "counters": {"mem.kernel.setassoc.divergences": 2},
+                        "gauges": {},
+                        "histograms": {},
+                    },
+                    "attempts": {},
+                }
+            )
+        )
+        report = validate_kernel_bundles(clean_run)
+        found = report.by_code("kernel-quarantined")
+        assert found and found[0].severity == "warning"
+        assert "setassoc" in found[0].message
+
+    def test_run_dir_audit_includes_kernel_bundles(self, clean_run):
+        self.write_bundle(clean_run)
+        report = validate_run_dir(clean_run)
+        assert "kernel-divergence-bundle" in report.codes()
+
+    def test_pre_kernel_run_dir_is_silent(self, clean_run):
+        report = validate_run_dir(clean_run)
+        assert not any(code.startswith("kernel-") for code in report.codes())

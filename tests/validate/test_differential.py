@@ -149,3 +149,66 @@ class TestStreamedDifferential:
             names=["lu-n32-b8-p4"], streamed_work_dir=tmp_path
         )
         assert report.ok, report.render()
+
+
+class TestKernelTier:
+    """The kernel_tier= parameter pins the simulation kernel tier."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_kernels(self):
+        from repro.mem import kernels
+
+        kernels.clear_kernels(clear_env=False)
+        kernels.reset_kernel_state()
+        yield
+        kernels.clear_kernels(clear_env=False)
+        kernels.reset_kernel_state()
+
+    def test_vector_tier_engages_and_passes(self):
+        from repro.mem import kernels
+
+        kernels.configure_kernels(min_refs=0, export_env=False)
+        from tests.conftest import random_trace
+
+        trace = random_trace(2_000, 64, seed=9)
+        report = cross_check_trace(trace, kernel_tier="vector")
+        assert report.ok
+        assert any(
+            kernels.kernel_state(kind)["chunks"] > 0
+            for kind in kernels.KERNEL_KINDS
+        )
+
+    def test_oracle_tier_never_engages(self):
+        from repro.mem import kernels
+
+        kernels.configure_kernels(min_refs=0, export_env=False)
+        from tests.conftest import random_trace
+
+        trace = random_trace(2_000, 64, seed=9)
+        report = cross_check_trace(trace, kernel_tier="oracle")
+        assert report.ok
+        assert all(
+            kernels.kernel_state(kind)["chunks"] == 0
+            for kind in kernels.KERNEL_KINDS
+        )
+
+    def test_ambient_config_restored_after_check(self):
+        from repro.mem import kernels
+
+        from tests.conftest import random_trace
+
+        before = kernels.active_kernel_config().tier
+        cross_check_trace(
+            random_trace(500, 32, seed=1), kernel_tier="oracle"
+        )
+        assert kernels.active_kernel_config().tier == before
+
+    def test_streamed_check_accepts_kernel_tier(self, tmp_path):
+        from repro.validate.differential import cross_check_streamed
+        from tests.conftest import random_trace
+
+        trace = random_trace(1_000, 32, seed=4)
+        report = cross_check_streamed(
+            trace, tmp_path, kernel_tier="vector", subject="tiered"
+        )
+        assert report.ok
