@@ -216,6 +216,19 @@ def worker_main(stdin_text: Optional[str] = None) -> int:
                 root_parent=spec.parent_span_id,
                 buffered=True,
             )
+            # Adopt the supervisor's timeline file (REPRO_TIMELINE) and
+            # stamp this attempt's identity into every row we append.
+            from repro.obs import timeline as obs_timeline
+            from repro.runtime.journal import attempt_uid as _attempt_uid
+
+            recorder = obs_timeline.install_from_env()
+            if recorder is not None:
+                recorder.set_labels(
+                    experiment_id=spec.experiment_id,
+                    attempt_uid=_attempt_uid(
+                        spec.experiment_id, spec.fencing_token, spec.attempt
+                    ),
+                )
         apply_address_space_limit(spec.max_rss_mb)
         runner = resolve_runner_ref(spec.runner)
         budget = Budget(spec.budget_seconds)

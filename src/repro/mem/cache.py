@@ -127,6 +127,35 @@ class FullyAssociativeCache:
             from repro.mem.streamsim import run_cache_streamed
 
             return run_cache_streamed(self, trace, budget=budget)
+        from repro.obs import timeline as obs_timeline
+
+        recorder = obs_timeline.active_recorder()
+        if recorder is None:
+            return self._run_impl(trace, budget=budget)
+        import time as _time
+
+        pre = self.stats
+        pre_reads, pre_writes = pre.reads, pre.writes
+        pre_misses, pre_cold = pre.misses, pre.cold_misses
+        t0 = _time.perf_counter()
+        stats = self._run_impl(trace, budget=budget)
+        obs_timeline.record_cache_chunk(
+            recorder,
+            "fullassoc",
+            trace,
+            block_size=self.block_size,
+            capacity_bytes=self.capacity_bytes,
+            refs=len(trace),
+            counted=(stats.reads + stats.writes) - (pre_reads + pre_writes),
+            cold=stats.cold_misses - pre_cold,
+            misses_total=stats.misses - pre_misses,
+            elapsed=_time.perf_counter() - t0,
+        )
+        return stats
+
+    def _run_impl(
+        self, trace: Trace, budget: Optional[Budget] = None
+    ) -> CacheStats:
         from repro.mem import kernels
 
         if kernels.guard_run("fullassoc", self, trace, budget=budget):

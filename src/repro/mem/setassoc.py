@@ -109,6 +109,35 @@ class SetAssociativeCache:
             from repro.mem.streamsim import run_setassoc_streamed
 
             return run_setassoc_streamed(self, trace, budget=budget)
+        from repro.obs import timeline as obs_timeline
+
+        recorder = obs_timeline.active_recorder()
+        if recorder is None:
+            return self._run_impl(trace, budget=budget)
+        import time as _time
+
+        pre = self.stats
+        pre_accesses, pre_misses = pre.accesses, pre.misses
+        pre_cold = pre.cold_misses
+        t0 = _time.perf_counter()
+        stats = self._run_impl(trace, budget=budget)
+        obs_timeline.record_cache_chunk(
+            recorder,
+            "setassoc",
+            trace,
+            block_size=self.block_size,
+            capacity_bytes=self.capacity_bytes,
+            refs=len(trace),
+            counted=stats.accesses - pre_accesses,
+            cold=stats.cold_misses - pre_cold,
+            misses_total=stats.misses - pre_misses,
+            elapsed=_time.perf_counter() - t0,
+        )
+        return stats
+
+    def _run_impl(
+        self, trace: Trace, budget: Optional[Budget] = None
+    ) -> CacheStats:
         from repro.mem import kernels
 
         if kernels.guard_run("setassoc", self, trace, budget=budget):

@@ -20,6 +20,7 @@ touched since the previous access to the same block.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
@@ -201,13 +202,34 @@ class StackDistanceProfiler:
             from repro.mem.streamsim import profile_streamed
 
             return profile_streamed(self, trace, budget=budget)
+        from repro.obs import timeline as obs_timeline
+
         run = StackDistanceRun(
             block_size=self.block_size,
             count_reads_only=self.count_reads_only,
             warmup=self.warmup,
             capacity_hint=len(trace),
         )
-        run.feed(trace, budget=budget)
+        recorder = obs_timeline.active_recorder()
+        step = (
+            recorder.chunk_refs_for(len(trace)) if recorder is not None else 0
+        )
+        if recorder is None or step >= len(trace):
+            run.feed(trace, budget=budget)
+            return run.result()
+        # Timeline recording is on: feed the same trace in windows so
+        # each one lands a per-chunk row.  The incremental engine makes
+        # chunked feeding bit-identical to a single feed, and the
+        # window floor stays above the kernel guard's min_refs so the
+        # vector tier is never demoted by the chunking itself.
+        for start in range(0, len(trace), step):
+            run.feed(
+                Trace(
+                    trace.addrs[start : start + step],
+                    trace.kinds[start : start + step],
+                ),
+                budget=budget,
+            )
         return run.result()
 
 
@@ -280,7 +302,96 @@ class StackDistanceRun:
         self._clock = footprint
 
     def feed(self, trace: Trace, budget: Optional[Budget] = None) -> None:
-        """Consume one chunk of references, updating the running state."""
+        """Consume one chunk of references, updating the running state.
+
+        When a timeline recorder is active (``repro.obs.timeline``),
+        every feed also emits one per-chunk telemetry row — covering
+        both the vectorized kernel tier and the pure-Python loop, since
+        both leave their results in the same incremental state.  The
+        kernel trust harness replays chunks with sampling suppressed,
+        which deactivates the recorder for the shadow copy.
+        """
+        from repro.obs import timeline as obs_timeline
+
+        recorder = obs_timeline.active_recorder()
+        if recorder is None:
+            self._feed_impl(trace, budget=budget)
+            return
+        pre_hist = self._hist.copy()
+        pre_cold = self._cold
+        pre_total = self._total
+        t0 = time.perf_counter()
+        self._feed_impl(trace, budget=budget)
+        elapsed = time.perf_counter() - t0
+        self._record_chunk(
+            recorder, trace, pre_hist, pre_cold, pre_total, elapsed
+        )
+
+    def _record_chunk(
+        self,
+        recorder,
+        trace: Trace,
+        pre_hist: np.ndarray,
+        pre_cold: int,
+        pre_total: int,
+        elapsed: float,
+    ) -> None:
+        """Emit one timeline row for the chunk just fed (never raises)."""
+        from repro.mem import kernels
+        from repro.obs.metrics import inc
+
+        try:
+            n = len(trace)
+            if n == 0:
+                return
+            d_cold = self._cold - pre_cold
+            d_total = self._total - pre_total
+            size = max(len(self._hist), len(pre_hist))
+            d_hist = np.zeros(size, dtype=np.int64)
+            d_hist[: len(self._hist)] += self._hist
+            d_hist[: len(pre_hist)] -= pre_hist
+            cum = np.cumsum(d_hist)
+            hits_total = int(cum[-1])
+            grid = default_capacity_grid()
+            cap_blocks = np.minimum(grid // self.block_size, size - 1)
+            hits_within = np.where(cap_blocks >= 1, cum[cap_blocks], 0)
+            misses = d_total - hits_within
+            percentiles: Dict[str, int] = {}
+            if hits_total > 0:
+                for label, q in (
+                    ("depth_p50", 0.50),
+                    ("depth_p90", 0.90),
+                    ("depth_p99", 0.99),
+                ):
+                    percentiles[label] = int(
+                        np.searchsorted(cum, q * hits_total)
+                    )
+            config = kernels.active_kernel_config()
+            tier = (
+                "vector"
+                if config.tier == "vector"
+                and not kernels.quarantined("stackdist")
+                else "oracle"
+            )
+            recorder.record(
+                "stackdist",
+                refs=n,
+                counted=int(d_total),
+                cold=int(d_cold),
+                elapsed_s=round(elapsed, 9),
+                refs_per_second=(n / elapsed) if elapsed > 0 else None,
+                block_size=self.block_size,
+                ws_blocks=int(trace.footprint(self.block_size)),
+                footprint_blocks=len(self._last_time),
+                cache_sizes=[int(c) for c in grid],
+                misses=[int(m) for m in misses],
+                tier=tier,
+                **percentiles,
+            )
+        except Exception:
+            inc("obs.timeline.write_errors")
+
+    def _feed_impl(self, trace: Trace, budget: Optional[Budget] = None) -> None:
         from repro.mem import kernels
 
         if kernels.guard_run("stackdist", self, trace, budget=budget):

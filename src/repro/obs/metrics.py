@@ -440,6 +440,16 @@ class _SamplingSuppression:
         _sampling_suppressed = self._prev
 
 
+def sampling_suppressed() -> bool:
+    """Is hot-loop sampling currently suppressed (shadow replay)?
+
+    Exposed so other per-chunk observers (the timeline recorder) can
+    honor the same rule: a suppressed region is a shadow computation
+    that must not be double-counted anywhere.
+    """
+    return _sampling_suppressed
+
+
 def hot_loop_sampler(name: str) -> Optional[LoopSampler]:
     """The only obs entry point the simulation hot loops call.
 

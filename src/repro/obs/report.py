@@ -173,6 +173,132 @@ def _metrics_sections(run_dir: Path) -> List[str]:
     return lines or ["_metrics.json holds no samples._", ""]
 
 
+def _whole_run_knee_line(phases: List[object]) -> Optional[str]:
+    """Knees of the summed (end-of-run) curve, for contrast with phases."""
+    import numpy as np
+
+    from repro.core.curves import MissRateCurve
+    from repro.core.knee import find_knees
+    from repro.units import format_size
+
+    sizes: Optional[List[int]] = None
+    total = None
+    counted = 0
+    for phase in phases:
+        if phase.cache_sizes is None or phase.misses is None:
+            continue
+        if sizes is None:
+            sizes = phase.cache_sizes
+            total = np.zeros(len(sizes), dtype=np.int64)
+        if phase.cache_sizes == sizes:
+            total = total + phase.misses
+            counted += phase.counted
+    if sizes is None or not counted:
+        return None
+    curve = MissRateCurve(
+        capacities=np.asarray(sizes, dtype=np.int64),
+        miss_rates=total.astype(np.float64) / float(counted),
+        label="whole run",
+    )
+    knees = find_knees(curve, rel_threshold=0.25)
+    if not knees:
+        return "End-of-run curve shows no knee at the default threshold."
+    return (
+        "End-of-run knee(s): "
+        + ", ".join(format_size(int(k.capacity_bytes)) for k in knees)
+        + " — the single estimate the per-phase rows above average over."
+    )
+
+
+def _timeline_groups(rows: List[Dict[str, object]]):
+    """``(label, latest-attempt rows)`` per experiment found in rows."""
+    from repro.obs.timeline import latest_attempt_rows
+
+    experiment_ids = sorted(
+        {str(r["experiment_id"]) for r in rows if r.get("experiment_id")}
+    )
+    if experiment_ids:
+        return [
+            (eid, latest_attempt_rows(rows, experiment_id=eid))
+            for eid in experiment_ids
+        ]
+    return [(None, latest_attempt_rows(rows))]
+
+
+def _working_set_sections(run_dir: Path) -> List[str]:
+    """Per-phase knee tables from ``timeline.jsonl`` (tolerant)."""
+    try:
+        from repro.obs.timeline import TIMELINE_FILENAME, detect_phases, scan_timeline
+        from repro.units import format_size
+
+        scan = scan_timeline(run_dir / TIMELINE_FILENAME)
+        if not scan.rows:
+            return [
+                "_No readable `timeline.jsonl` (campaign ran without obs?)._",
+                "",
+            ]
+        lines: List[str] = []
+        for experiment_id, group in _timeline_groups(scan.rows):
+            phases = detect_phases(group)
+            if not phases:
+                continue
+            label = experiment_id or "(unlabelled rows)"
+            lines.append(
+                f"### {label}: {len(phases)} phase(s) over "
+                f"{len(group)} chunk(s)"
+            )
+            lines.append("")
+            table_rows = []
+            for phase in phases:
+                info = phase.to_dict()
+                knees = info["knee_bytes"]
+                table_rows.append(
+                    [
+                        phase.index,
+                        phase.rows,
+                        f"{phase.refs:,}",
+                        format_size(info["ws_bytes"]) if info["ws_bytes"] else "-",
+                        ", ".join(format_size(k) for k in knees) or "-",
+                        (
+                            f"{info['miss_rate']:.4g}"
+                            if info["miss_rate"] is not None
+                            else "-"
+                        ),
+                    ]
+                )
+            lines.extend(
+                _md_table(
+                    [
+                        "phase",
+                        "chunks",
+                        "refs",
+                        "ws estimate",
+                        "knee(s)",
+                        "miss rate",
+                    ],
+                    table_rows,
+                )
+            )
+            lines.append("")
+            contrast = _whole_run_knee_line(phases)
+            if contrast is not None:
+                lines.append(contrast)
+                lines.append("")
+        if scan.damaged:
+            lines.append(
+                f"> {len(scan.damaged)} damaged timeline line(s) skipped."
+            )
+            lines.append("")
+        if scan.torn_tail:
+            lines.append(
+                "> timeline ends in a torn tail (writer interrupted mid-append)."
+            )
+            lines.append("")
+        return lines or ["_Timeline rows carry no phase signal._", ""]
+    except Exception:  # noqa: BLE001 - a bad artifact costs a section
+        return ["_Timeline unreadable; section skipped._", ""]
+
+
 def _span_sections(run_dir: Path, top: int = 12) -> List[str]:
     from repro.obs.tracing import SPANS_FILENAME, read_spans
 
@@ -324,6 +450,11 @@ def render_report(
     result_lines = _result_sections(run_dir)
     lines.extend(result_lines or ["_No valid result checkpoints._", ""])
 
+    # -- temporal working sets -----------------------------------------
+    lines.append("## Temporal working sets")
+    lines.append("")
+    lines.extend(_working_set_sections(run_dir))
+
     # -- metrics / spans -----------------------------------------------
     lines.append("## Metrics rollup")
     lines.append("")
@@ -339,15 +470,104 @@ def render_report(
     return "\n".join(lines).rstrip() + "\n"
 
 
+def _sparkline_svg(
+    values: List[float], width: int = 280, height: int = 40, color: str = "#2a6fdb"
+) -> str:
+    """A dependency-free inline-SVG sparkline (empty below 2 points)."""
+    points = [float(v) for v in values if isinstance(v, (int, float))]
+    if len(points) < 2:
+        return ""
+    lo, hi = min(points), max(points)
+    span = (hi - lo) or 1.0
+    step = width / (len(points) - 1)
+    coords = " ".join(
+        f"{i * step:.1f},{height - 2 - (height - 4) * (v - lo) / span:.1f}"
+        for i, v in enumerate(points)
+    )
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" '
+        'xmlns="http://www.w3.org/2000/svg" role="img">'
+        f'<polyline fill="none" stroke="{color}" stroke-width="1.5" '
+        f'points="{coords}"/></svg>'
+    )
+
+
+def _row_chunk_miss_rate(row: Dict[str, object]) -> Optional[float]:
+    """Per-chunk miss rate: mid-ladder capacity for stack-distance rows,
+    the simulated capacity for explicit-cache rows."""
+    counted = row.get("counted")
+    if not isinstance(counted, (int, float)) or counted <= 0:
+        return None
+    misses = row.get("misses")
+    if isinstance(misses, list) and misses:
+        return float(misses[len(misses) // 2]) / float(counted)
+    total = row.get("misses_total")
+    if isinstance(total, (int, float)):
+        return float(total) / float(counted)
+    return None
+
+
+def _timeline_html_section(run_dir: Union[str, Path]) -> str:
+    """Raw-HTML sparkline section (not escaped with the markdown body)."""
+    try:
+        from repro.obs.timeline import TIMELINE_FILENAME, read_timeline
+
+        rows = read_timeline(Path(run_dir) / TIMELINE_FILENAME)
+        if not rows:
+            return ""
+        parts: List[str] = []
+        for experiment_id, group in _timeline_groups(rows):
+            ws = [
+                r["ws_blocks"] * r.get("block_size", 8)
+                for r in group
+                if isinstance(r.get("ws_blocks"), int)
+            ]
+            rates = [
+                rate
+                for rate in (_row_chunk_miss_rate(r) for r in group)
+                if rate is not None
+            ]
+            label = _html.escape(str(experiment_id or "(unlabelled rows)"))
+            charts: List[str] = []
+            ws_svg = _sparkline_svg(ws)
+            if ws_svg:
+                charts.append(
+                    f"<div>working set per chunk (bytes): {ws_svg}</div>"
+                )
+            rate_svg = _sparkline_svg(rates, color="#c4453c")
+            if rate_svg:
+                charts.append(
+                    "<div>miss rate per chunk (mid-ladder capacity): "
+                    f"{rate_svg}</div>"
+                )
+            if charts:
+                parts.append(f"<h3>{label}</h3>" + "".join(charts))
+        if not parts:
+            return ""
+        return (
+            '<section class="sparklines">\n<h2>Timeline sparklines</h2>\n'
+            + "\n".join(parts)
+            + "\n</section>"
+        )
+    except Exception:  # noqa: BLE001 - a bad artifact costs a section
+        return ""
+
+
 def render_report_html(
     run_dir: Union[str, Path],
     status: Optional[CampaignStatus] = None,
     now: Optional[float] = None,
 ) -> str:
-    """The same report wrapped as a static self-contained HTML page."""
+    """The same report wrapped as a static self-contained HTML page.
+
+    The markdown body is escaped wholesale; the timeline sparklines are
+    appended as a separate *raw* section so the inline SVG renders.
+    """
     markdown = render_report(run_dir, status=status, now=now)
     title = _html.escape(f"Campaign report: {run_dir}")
     body = _html.escape(markdown)
+    sparklines = _timeline_html_section(run_dir)
     return (
         "<!DOCTYPE html>\n"
         "<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
@@ -356,7 +576,8 @@ def render_report_html(
         "white-space:pre-wrap;}</style>\n"
         "</head>\n<body>\n"
         f"{body}\n"
-        "</body>\n</html>\n"
+        + (f"{sparklines}\n" if sparklines else "")
+        + "</body>\n</html>\n"
     )
 
 

@@ -120,6 +120,7 @@ class CampaignStatus:
     breaker_transitions: List[Dict[str, object]] = field(default_factory=list)
     dispatch: Optional[Dict[str, int]] = None
     kernels: Optional[Dict[str, Dict[str, object]]] = None
+    working_set: Optional[Dict[str, object]] = None
     notes: List[str] = field(default_factory=list)
 
     def counts(self) -> Dict[str, int]:
@@ -159,6 +160,7 @@ class CampaignStatus:
             "breaker_transitions": list(self.breaker_transitions),
             "dispatch": self.dispatch,
             "kernels": self.kernels,
+            "working_set": self.working_set,
             "notes": list(self.notes),
         }
 
@@ -546,6 +548,14 @@ def load_status(
     status.nodes = load_nodes_snapshot(run_dir)
     status.dispatch = _dispatch_counters_from_metrics(metrics)
     status.kernels = _kernel_tallies_from_metrics(metrics)
+
+    # -- temporal working set: newest phase/knee from timeline.jsonl ---
+    try:
+        from repro.obs.timeline import load_working_set
+
+        status.working_set = load_working_set(run_dir)
+    except Exception:
+        status.working_set = None
     status.breaker_transitions = _breaker_transitions_from_records(
         [r for r in events if r.get("event") == "breaker-transition"],
         "t_wall",
@@ -680,6 +690,18 @@ def render_status(status: CampaignStatus) -> str:
             lines.append(
                 f"kernel {kind}: {entry.get('tier', 'vector')} ({detail})"
             )
+    if status.working_set:
+        from repro.units import format_size
+
+        ws = status.working_set
+        detail = f"phase {ws.get('phase')}/{ws.get('phases')}"
+        if isinstance(ws.get("ws_bytes"), (int, float)):
+            detail += f", ws ≈ {format_size(int(ws['ws_bytes']))}"
+        if isinstance(ws.get("knee_bytes"), (int, float)):
+            detail += f", knee ≈ {format_size(int(ws['knee_bytes']))}"
+        if ws.get("experiment_id"):
+            detail += f" ({ws['experiment_id']})"
+        lines.append(f"working set: {detail}")
     if status.eta_seconds is not None:
         lines.append(f"eta: ~{_format_seconds(status.eta_seconds)}")
     if status.trace_id:

@@ -45,6 +45,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.runner import ExperimentResult
 from repro.obs import metrics as obs_metrics
+from repro.obs import timeline as obs_timeline
 from repro.obs import tracing
 from repro.runtime.budget import Budget, activate
 from repro.runtime.checkpoint import CheckpointStore
@@ -472,23 +473,32 @@ class CampaignEngine:
             obs_metrics.inc("engine.attempts")
             if attempt > 1:
                 obs_metrics.inc("engine.retries")
-            with tracing.span(
-                "engine.attempt",
-                experiment_id=experiment_id,
-                attempt=attempt,
-                attempt_uid=uid,
-                degraded=degraded,
-            ):
-                result, failure = run_attempt(
-                    experiment_id, attempt, degraded, kwargs, budget
-                )
-                self._drain_kernel_events(experiment_id)
-                if failure is None and config.validate:
-                    failure = self._validate_attempt(
-                        experiment_id, result, attempt, degraded
+            # Timeline rows written by an in-process attempt carry the
+            # attempt identity; isolated workers stamp their own labels
+            # from the spec (runner.worker_main).
+            obs_timeline.set_labels(
+                experiment_id=experiment_id, attempt_uid=uid
+            )
+            try:
+                with tracing.span(
+                    "engine.attempt",
+                    experiment_id=experiment_id,
+                    attempt=attempt,
+                    attempt_uid=uid,
+                    degraded=degraded,
+                ):
+                    result, failure = run_attempt(
+                        experiment_id, attempt, degraded, kwargs, budget
                     )
-                    if failure is not None:
-                        result = None
+                    self._drain_kernel_events(experiment_id)
+                    if failure is None and config.validate:
+                        failure = self._validate_attempt(
+                            experiment_id, result, attempt, degraded
+                        )
+                        if failure is not None:
+                            result = None
+            finally:
+                obs_timeline.clear_labels()
             self._note_attempt_obs(uid)
             if failure is not None:
                 obs_metrics.inc(f"engine.failures.{failure.category}")

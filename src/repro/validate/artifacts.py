@@ -70,6 +70,15 @@ finding code                defect class
 ``spans-torn``              undecodable span line *before* the end of
                             ``spans.jsonl`` (only the tail may tear)
 ``spans-schema``            span record violates the span schema
+``timeline-torn``           undecodable ``timeline.jsonl`` frame before
+                            the tail (error), or a torn trailing append
+                            (warning: the expected crash signature)
+``timeline-schema``         timeline row violates the row schema, or
+                            its miss vector disagrees with its
+                            capacity ladder
+``archive-corrupt``         ``perf-archive.jsonl`` frame damaged (torn
+                            tail warns), row violating the row schema,
+                            or an unattributed row
 ``metrics-schema``          ``metrics.json`` undecodable or violates
                             the snapshot schema
 ``metrics-dangling-id``     metrics snapshot records telemetry for an
@@ -723,6 +732,114 @@ def validate_metrics_file(
     return report
 
 
+def validate_timeline_file(path: Union[str, Path]) -> ValidationReport:
+    """Validate a ``timeline.jsonl`` working-set telemetry log.
+
+    Timeline rows are CRC-framed single-``write`` appends, so damage
+    anywhere but an unterminated final fragment is corruption
+    (``timeline-torn``, error); the unterminated fragment itself is the
+    expected crash signature and only warns.  Every decodable row is
+    checked against the timeline-row schema plus one invariant the
+    schema language cannot express: a ``misses`` vector must be as long
+    as its ``cache_sizes`` ladder (``timeline-schema``).
+    """
+    path = Path(path)
+    report = ValidationReport(subject=f"timeline {path.name}")
+    if not path.is_file():
+        return report
+    from repro.obs.timeline import scan_timeline
+
+    scan = scan_timeline(path)
+    report.tick()
+    for lineno in scan.damaged:
+        report.add(
+            "timeline-torn",
+            f"line {lineno} fails its CRC frame before the tail "
+            "(single-write appends may only tear the final line)",
+            path=path.name,
+        )
+    if scan.torn_tail:
+        report.add(
+            "timeline-torn",
+            "trailing line is a torn append (crash signature: tolerated)",
+            path=path.name,
+            severity=SEVERITY_WARNING,
+        )
+    for index, row in enumerate(scan.rows, start=1):
+        report.tick()
+        for problem in check_schema(row, schema_for("timeline-row")):
+            report.add(
+                "timeline-schema", f"row {index}: {problem}", path=path.name
+            )
+        sizes = row.get("cache_sizes")
+        misses = row.get("misses")
+        if (
+            isinstance(sizes, list)
+            and isinstance(misses, list)
+            and len(sizes) != len(misses)
+        ):
+            report.add(
+                "timeline-schema",
+                f"row {index}: {len(misses)} miss slot(s) for "
+                f"{len(sizes)} capacity ladder entr(ies)",
+                path=path.name,
+            )
+    return report
+
+
+def validate_archive_file(path: Union[str, Path]) -> ValidationReport:
+    """Validate a ``perf-archive.jsonl`` cross-campaign perf archive.
+
+    Same framing discipline as the timeline (``archive-corrupt`` for
+    mid-file damage, warning for an unterminated torn tail).  Every
+    decodable row must satisfy the archive-row schema *and* carry full
+    attribution (git SHA, timestamp, hostname): the appenders refuse
+    unattributed rows, so one on disk means the archive was edited
+    outside the writers.
+    """
+    path = Path(path)
+    report = ValidationReport(subject=f"archive {path.name}")
+    if not path.is_file():
+        return report
+    from repro.obs.archive import ATTRIBUTION_KEYS, is_attributed, scan_archive
+
+    scan = scan_archive(path)
+    report.tick()
+    for lineno in scan.damaged:
+        report.add(
+            "archive-corrupt",
+            f"line {lineno} fails its CRC frame before the tail "
+            "(single-write appends may only tear the final line)",
+            path=path.name,
+        )
+    if scan.torn_tail:
+        report.add(
+            "archive-corrupt",
+            "trailing line is a torn append (crash signature: tolerated)",
+            path=path.name,
+            severity=SEVERITY_WARNING,
+        )
+    for index, row in enumerate(scan.rows, start=1):
+        report.tick()
+        for problem in check_schema(row, schema_for("archive-row")):
+            report.add(
+                "archive-corrupt", f"row {index}: {problem}", path=path.name
+            )
+        if not is_attributed(row):
+            missing = [
+                key
+                for key in ATTRIBUTION_KEYS
+                if not (isinstance(row.get(key), str) and row.get(key))
+            ]
+            report.add(
+                "archive-corrupt",
+                f"row {index}: unattributed (missing "
+                f"{', '.join(missing)}); the writers refuse such rows",
+                path=path.name,
+            )
+    return report
+
+
 def validate_cache_dir(cache_root: Union[str, Path]) -> ValidationReport:
     """Audit a content-addressed result cache (read-only).
 
@@ -1050,6 +1167,8 @@ def validate_run_dir(
 
     # -- observability artifacts --------------------------------------
     report.extend(validate_spans_file(run_dir / "spans.jsonl"))
+    report.extend(validate_timeline_file(run_dir / "timeline.jsonl"))
+    report.extend(validate_archive_file(run_dir / "perf-archive.jsonl"))
     known_uids: List[str] = []
     if journal_path.is_file():
         from repro.runtime.journal import read_journal

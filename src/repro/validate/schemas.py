@@ -416,6 +416,71 @@ CACHE_MANIFEST_SCHEMA: Dict[str, object] = {
     },
 }
 
+#: One CRC-framed line of ``timeline.jsonl`` (:mod:`repro.obs.timeline`).
+#: Recorders omit fields that do not apply to a row kind (cache rows
+#: carry no ``misses`` vector, for example), so only the envelope
+#: identity fields are required.
+TIMELINE_ROW_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["v", "kind", "seq", "pid", "t_wall", "refs"],
+    "properties": {
+        "v": {"type": "integer", "minimum": 1},
+        "kind": {
+            "type": "string",
+            "enum": ["stackdist", "fullassoc", "setassoc"],
+        },
+        "seq": {"type": "integer", "minimum": 0},
+        "pid": {"type": "integer", "minimum": 1},
+        "t_wall": {"type": "number"},
+        "refs": {"type": "integer", "minimum": 1},
+        "counted": {"type": "integer", "minimum": 0},
+        "cold": {"type": "integer", "minimum": 0},
+        "elapsed_s": {"type": "number", "minimum": 0},
+        "refs_per_second": {"type": "number", "minimum": 0},
+        "block_size": {"type": "integer", "minimum": 1},
+        "ws_blocks": {"type": "integer", "minimum": 0},
+        "footprint_blocks": {"type": "integer", "minimum": 0},
+        "capacity_bytes": {"type": "integer", "minimum": 1},
+        "misses_total": {"type": "integer", "minimum": 0},
+        "cache_sizes": {"type": "array", "items": {"type": "integer", "minimum": 1}},
+        "misses": {"type": "array", "items": {"type": "integer", "minimum": 0}},
+        "depth_p50": {"type": "integer", "minimum": 0},
+        "depth_p90": {"type": "integer", "minimum": 0},
+        "depth_p99": {"type": "integer", "minimum": 0},
+        "tier": {"type": "string", "enum": ["vector", "oracle"]},
+        "experiment_id": {"type": "string"},
+        "attempt_uid": {"type": "string"},
+    },
+}
+
+#: One CRC-framed line of ``perf-archive.jsonl`` (:mod:`repro.obs.archive`).
+#: ``git_sha`` is optional (omitted when unresolvable, never faked);
+#: detail fields vary with ``kind`` so extras stay open.
+ARCHIVE_ROW_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["v", "kind", "series", "timestamp", "hostname"],
+    "properties": {
+        "v": {"type": "integer", "minimum": 1},
+        "kind": {"type": "string", "enum": ["campaign", "bench"]},
+        "series": {"type": "string"},
+        "timestamp": {"type": "string"},
+        "hostname": {"type": "string"},
+        "git_sha": {"type": "string"},
+        "run_dir": {"type": "string"},
+        "state": {"type": "string"},
+        "experiments": {"type": "array", "items": {"type": "string"}},
+        "bench": {"type": "string"},
+        "refs_per_second": {"type": ["number", "null"]},
+        "refs_simulated": {"type": ["integer", "null"]},
+        "kernel_tier": {"type": "string"},
+        "obs_overhead_pct": {"type": ["number", "null"]},
+        "mean_seconds": {"type": ["number", "null"]},
+        "phases": {"type": "object"},
+        "knee_bytes": {"type": "object"},
+        "miss_rates": {"type": "object"},
+    },
+}
+
 #: Artifact-kind name -> payload schema (what sits inside an envelope).
 PAYLOAD_SCHEMAS: Dict[str, Dict[str, object]] = {
     "manifest": MANIFEST_SCHEMA,
@@ -431,6 +496,8 @@ PAYLOAD_SCHEMAS: Dict[str, Dict[str, object]] = {
     "metrics": METRICS_SNAPSHOT_SCHEMA,
     "cache-entry": CACHE_ENTRY_SCHEMA,
     "cache-manifest": CACHE_MANIFEST_SCHEMA,
+    "timeline-row": TIMELINE_ROW_SCHEMA,
+    "archive-row": ARCHIVE_ROW_SCHEMA,
 }
 
 

@@ -13,6 +13,7 @@ import pytest
 
 from repro.obs import console
 from repro.obs import metrics as obs_metrics
+from repro.obs import timeline as obs_timeline
 from repro.obs import tracing as obs_tracing
 
 
@@ -21,12 +22,16 @@ def _obs_isolation(monkeypatch):
     monkeypatch.delenv(obs_metrics.OBS_ENV, raising=False)
     monkeypatch.delenv(obs_metrics.SAMPLE_ENV, raising=False)
     monkeypatch.delenv(console.LOG_LEVEL_ENV, raising=False)
+    monkeypatch.delenv(obs_timeline.TIMELINE_ENV, raising=False)
+    monkeypatch.delenv(obs_timeline.TIMELINE_CHUNK_ENV, raising=False)
     obs_metrics.set_obs_enabled(False)
     obs_metrics.get_registry().reset()
     obs_tracing.shutdown()
+    obs_timeline.configure_timeline(None)
     console.set_level(console.DEFAULT_LEVEL)
     yield
     obs_tracing.shutdown()
+    obs_timeline.configure_timeline(None)
     obs_metrics.set_obs_enabled(False)
     obs_metrics.get_registry().reset()
     console.set_level(console.DEFAULT_LEVEL)

@@ -198,3 +198,92 @@ class TestCli:
 
         assert "status" in SUBCOMMANDS
         assert "report" in SUBCOMMANDS
+
+
+class TestTemporalWorkingSets:
+    """The per-phase knee table and the HTML sparkline section."""
+
+    def _timeline(self, run_dir, experiment_id="fig6"):
+        from repro.obs import timeline as tl
+
+        sizes = [1024, 2048, 4096, 8192]
+        rows = []
+        for i in range(12):
+            small = i < 6
+            rows.append(
+                {
+                    "v": 1,
+                    "kind": "stackdist",
+                    "seq": i,
+                    "pid": 1,
+                    "t_wall": float(i),
+                    "refs": 4096,
+                    "counted": 4096,
+                    "block_size": 8,
+                    "ws_blocks": 120 if small else 5000,
+                    "cache_sizes": sizes,
+                    "misses": [400, 50, 40, 30] if small else [4000, 3900, 3800, 500],
+                }
+            )
+            rows[-1]["experiment_id"] = experiment_id
+            rows[-1]["attempt_uid"] = f"{experiment_id}@1.1"
+        run_dir.mkdir(exist_ok=True)
+        with open(run_dir / tl.TIMELINE_FILENAME, "wb") as handle:
+            for row in rows:
+                handle.write(tl.frame_row(row))
+
+    def test_markdown_has_per_phase_knee_table(self, tmp_path):
+        run_dir = tmp_path / "run"
+        self._timeline(run_dir)
+        text = render_report(run_dir)
+        assert "## Temporal working sets" in text
+        assert "### fig6: 2 phase(s) over 12 chunk(s)" in text
+        assert "| phase | chunks | refs | ws estimate | knee(s) | miss rate |" in text
+        assert "End-of-run" in text
+
+    def test_per_phase_knees_differ_from_end_of_run(self, tmp_path):
+        """The whole point: phase knees the aggregate curve cannot show."""
+        from repro.obs import timeline as tl
+
+        run_dir = tmp_path / "run"
+        self._timeline(run_dir)
+        rows = tl.read_timeline(run_dir / tl.TIMELINE_FILENAME)
+        phases = tl.detect_phases(tl.latest_attempt_rows(rows))
+        per_phase = [
+            [int(k.capacity_bytes) for k in phase.knees()] for phase in phases
+        ]
+        assert per_phase[0] != per_phase[1]
+
+    def test_report_without_timeline_degrades(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_campaign(run_dir, [FakeExperiment("a")])
+        text = render_report(run_dir)
+        assert "No readable `timeline.jsonl`" in text
+
+    def test_html_contains_raw_svg_sparklines(self, tmp_path):
+        run_dir = tmp_path / "run"
+        self._timeline(run_dir)
+        html = render_report_html(run_dir)
+        assert "<svg" in html
+        assert "Timeline sparklines" in html
+        assert "working set per chunk" in html
+        assert "miss rate per chunk" in html
+        # The markdown body itself stays escaped.
+        assert "&lt;" not in html.split("<section", 1)[1]
+
+    def test_html_without_timeline_has_no_svg(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_campaign(run_dir, [FakeExperiment("a")])
+        html = render_report_html(run_dir)
+        assert "<svg" not in html
+
+    def test_sparkline_svg_helper(self):
+        from repro.obs.report import _sparkline_svg
+
+        assert _sparkline_svg([]) == ""
+        assert _sparkline_svg([1.0]) == ""
+        svg = _sparkline_svg([1.0, 5.0, 2.0])
+        assert svg.startswith("<svg")
+        assert "polyline" in svg
+        # Flat series must not divide by zero.
+        assert _sparkline_svg([3.0, 3.0, 3.0]).startswith("<svg")
